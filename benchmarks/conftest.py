@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each experiment bench runs its experiment once (``rounds=1``) under
+pytest-benchmark timing, asserts the paper's qualitative claim held, and
+prints the paper-style table (visible with ``pytest -s`` or on failure).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--exp-full",
+        action="store_true",
+        default=False,
+        help="run experiments at report-quality horizons (slow)",
+    )
+
+
+@pytest.fixture
+def exp_fast(request):
+    return not request.config.getoption("--exp-full")

@@ -1,0 +1,23 @@
+"""Benches regenerating every validation experiment (E1–E14).
+
+One bench per paper artifact — theorem, lemma, property, conjecture or
+inline remark; see DESIGN.md's experiment index for the mapping.  Each
+bench asserts the paper's qualitative claim reproduced, and prints the
+result table (``-s`` to see it inline).
+"""
+
+import pytest
+
+from repro.exp import get_experiment, render
+
+EXPERIMENTS = [f"e{i:02d}" for i in range(1, 23)]
+
+
+@pytest.mark.parametrize("exp", EXPERIMENTS)
+def test_experiment(exp, benchmark, exp_fast):
+    run = get_experiment(exp)
+    result = benchmark.pedantic(run, kwargs={"fast": exp_fast, "seed": 0},
+                                rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, f"{exp}: the paper's claim did not reproduce"

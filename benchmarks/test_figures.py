@@ -1,0 +1,23 @@
+"""Benches regenerating the paper's four figures (F1–F4).
+
+The paper's figures are model schematics, so "regenerating" one means
+executing its construction programmatically and printing the anatomy
+table.  Run with ``pytest benchmarks/test_figures.py --benchmark-only -s``
+to see the tables.
+"""
+
+import pytest
+
+from repro.exp import get_experiment, render
+
+FIGS = ["f01", "f02", "f03", "f04"]
+
+
+@pytest.mark.parametrize("fig", FIGS)
+def test_figure(fig, benchmark, exp_fast):
+    run = get_experiment(fig)
+    result = benchmark.pedantic(run, kwargs={"fast": exp_fast, "seed": 0},
+                                rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, f"{fig} construction check failed"

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Saturated networks and the Section V induction, end to end.
+
+A *saturated* network runs at exactly its max-flow capacity — zero slack.
+This is the hard case of the paper: Section III's Lyapunov argument needs
+strict slack (ε > 0), so Sections IV-V build the R-generalized machinery
+and split the network along a minimum cut instead.
+
+This example walks the whole story on a barbell network (two hubs of
+traffic joined by a thin bridge):
+
+1. classify the network — saturated, with an *interior* min cut,
+2. split it along that cut into B' (sink side, border nodes become
+   generalized sources) and A' (source side, border nodes become
+   R_B-generalized destinations) per Section V-C,
+3. simulate B', measure its packet bound R_B,
+4. simulate A' with retention R_B,
+5. simulate the original network,
+and confirm every level of the induction is stable.
+
+Run:  python examples/saturated_gridlock.py
+"""
+
+from repro import NetworkSpec, classify_network, generators, simulate_lgg
+from repro.analysis.report import format_table
+from repro.reduction import build_a_prime, build_b_prime, interior_min_cut
+
+# two 4-cliques joined by a 2-hop bridge; one unit source, one unit sink
+graph = generators.barbell(4, 2)
+source, sink = 0, graph.n - 1
+spec = NetworkSpec.classical(graph, {source: 1}, {sink: 1})
+
+report = classify_network(spec.extended())
+print(f"network: {spec}")
+print(f"class: {report.network_class.value} "
+      f"(arrival {report.arrival_rate} = max flow {report.max_flow_value})")
+
+# -- 1. the interior minimum cut --------------------------------------------
+cut = interior_min_cut(spec)
+assert cut is not None, "a bridge network must have an interior min cut"
+a_nodes, b_nodes = cut
+print(f"interior min cut: A = {a_nodes} (source side), B = {b_nodes} (sink side)")
+
+# -- 2-3. B' : the sink side as its own generalized network ------------------
+b_side = build_b_prime(spec, a_nodes, b_nodes)
+print(f"\nB' spec: {b_side.spec}  (border S' = {list(b_side.border)})")
+res_b = simulate_lgg(b_side.spec, horizon=2000, seed=0)
+r_b = max(res_b.trajectory.total_queued)
+print(f"B' bounded: {res_b.verdict.bounded}; measured packet bound R_B = {r_b}")
+
+# -- 4. A' : the source side, retention R_B ----------------------------------
+a_side = build_a_prime(spec, a_nodes, b_nodes, r_b=int(r_b))
+print(f"\nA' spec: {a_side.spec}  (border D' = {list(a_side.border)})")
+res_a = simulate_lgg(a_side.spec, horizon=2000, seed=0)
+print(f"A' bounded: {res_a.verdict.bounded}")
+
+# -- 5. the original network --------------------------------------------------
+res_g = simulate_lgg(spec, horizon=2000, seed=0)
+print(f"\noriginal network bounded: {res_g.verdict.bounded}")
+
+print()
+print(format_table([
+    {"level": "B' (sink side)", "bounded": res_b.verdict.bounded,
+     "tail queue": res_b.verdict.tail_mean_queued},
+    {"level": "A' (source side)", "bounded": res_a.verdict.bounded,
+     "tail queue": res_a.verdict.tail_mean_queued},
+    {"level": "G (original)", "bounded": res_g.verdict.bounded,
+     "tail queue": res_g.verdict.tail_mean_queued},
+], title="Section V-C induction, empirically"))
+
+assert res_b.verdict.bounded and res_a.verdict.bounded and res_g.verdict.bounded
+print("\nthe induction chain holds: stability propagates from the pieces to G.")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Wireless sensor network gathering data to a base station.
+
+The paper's motivation is autonomic networking: nodes with *only
+neighbourhood information* must route packets without routing tables or
+global state.  The canonical instance is a sensor field — dozens of
+low-power sensors periodically producing readings that must reach a base
+station over a random geometric (radio-range) topology.
+
+This example:
+
+* samples a connected random geometric graph (sensors = nodes in radio
+  range are linked),
+* makes the 6 sensors farthest from the base station the packet sources,
+* sizes the base station's extraction rate from the measured max flow so
+  the network is certifiably feasible,
+* runs LGG and shows the gradient field doing the routing — no routes were
+  ever computed.
+
+Run:  python examples/sensor_data_gathering.py
+"""
+
+import numpy as np
+
+from repro import NetworkSpec, classify_network, generators, simulate_lgg
+from repro.analysis import summarize
+from repro.analysis.report import format_series
+
+SEED = 7
+N_SENSORS = 60
+RADIO_RANGE = 0.28
+
+# -- build the sensor field ------------------------------------------------
+graph = generators.random_geometric(N_SENSORS, RADIO_RANGE, seed=SEED)
+while not graph.is_connected():  # resample until the field is connected
+    SEED += 1
+    graph = generators.random_geometric(N_SENSORS, RADIO_RANGE, seed=SEED)
+
+base_station = 0
+
+# the farthest sensors (by BFS hops) report readings: 1 packet / step each
+from collections import deque
+
+dist = np.full(graph.n, -1)
+dist[base_station] = 0
+dq = deque([base_station])
+while dq:
+    v = dq.popleft()
+    for w in graph.distinct_neighbors(v):
+        if dist[w] == -1:
+            dist[w] = dist[v] + 1
+            dq.append(w)
+
+far_sensors = list(np.argsort(dist)[-6:])
+print(f"sensor field: {graph.n} sensors, {graph.m} radio links, "
+      f"diameter >= {dist.max()} hops")
+print(f"reporting sensors (farthest from base): {far_sensors}")
+
+spec = NetworkSpec.classical(
+    graph,
+    in_rates={int(s): 1 for s in far_sensors},
+    out_rates={base_station: graph.degree(base_station)},
+)
+
+report = classify_network(spec.extended())
+print(f"feasibility: {report.network_class.value} "
+      f"(arrival {report.arrival_rate}, f* = {report.f_star})")
+if not report.feasible:
+    raise SystemExit("field too sparse for 6 reporters — rerun with fewer sources")
+
+# -- run the protocol --------------------------------------------------------
+result = simulate_lgg(spec, horizon=3000, seed=SEED)
+metrics = summarize(result)
+
+print()
+print(f"LGG bounded: {metrics.bounded}")
+print(f"readings delivered: {metrics.delivered}/{metrics.injected} "
+      f"({metrics.delivery_ratio:.1%})")
+print(f"steady-state backlog across the field: {metrics.tail_mean_queue:.0f} packets")
+print(format_series("total backlog", result.trajectory.total_queued))
+print()
+print("note the ramp-then-plateau: LGG first *builds* the queue gradient "
+      "(height ~ hop distance), then readings surf it to the base station.")

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""LGG under wireless interference — Conjecture 5's oracle, in action.
+
+Without interference every link can fire simultaneously.  Under
+node-exclusive spectrum sharing (the Wu-Srikant model the paper cites),
+the active link set E_t must be a *matching* — so on a relay chain each
+link effectively halves its capacity, and the stability region shrinks
+accordingly.
+
+This example runs a 10-hop relay chain at several injection rates under
+three schedulers:
+
+* no interference (the paper's base model),
+* the Conjecture 5 oracle: max-weight matching over LGG's candidates,
+* the practical greedy maximal matching (1/2-approximation).
+
+Watch the stability frontier move from rate 1 (no interference) down to
+rate 1/2 (matching capacity) — and the oracle and greedy agree on a chain.
+
+Run:  python examples/wireless_interference.py
+"""
+
+from dataclasses import replace
+from fractions import Fraction
+
+from repro.analysis.report import format_table
+from repro.arrivals import ScaledArrivals
+from repro.core import SimulationConfig, Simulator
+from repro.graphs import generators
+from repro.interference import GreedyMatchingInterference, OracleMatchingInterference
+from repro.network import NetworkSpec
+
+N = 10
+base = NetworkSpec.classical(generators.path(N), {0: 1}, {N - 1: 1})
+spec = replace(base, exact_injection=False)  # pseudo-source: dithered rates
+
+SCHEDULERS = [
+    ("no interference", None),
+    ("oracle matching", OracleMatchingInterference()),
+    ("greedy matching", GreedyMatchingInterference()),
+]
+RATES = [Fraction(1, 4), Fraction(2, 5), Fraction(3, 5), Fraction(4, 5), Fraction(1, 1)]
+
+rows = []
+for rate in RATES:
+    for name, model in SCHEDULERS:
+        cfg = SimulationConfig(
+            horizon=3000, seed=3,
+            arrivals=ScaledArrivals(spec, rate),
+            interference=model,
+        )
+        res = Simulator(spec, config=cfg).run()
+        rows.append(
+            {
+                "rate": f"{rate}",
+                "scheduler": name,
+                "bounded": res.verdict.bounded,
+                "tail queue": res.verdict.tail_mean_queued,
+                "slope": res.verdict.slope,
+            }
+        )
+
+print(format_table(rows, title=f"{N}-hop relay chain under node-exclusive interference"))
+print()
+print("reading: without interference the chain is stable up to rate 1; with")
+print("interference the frontier drops to the matching capacity 1/2 — and the")
+print("oracle E_t keeps LGG stable right up to it, as Conjecture 5 predicts.")

@@ -1,0 +1,54 @@
+"""repro — reproduction of *Stability of a localized and greedy routing
+algorithm* (Caillouet, Huc, Nisse, Pérennes, Rivano — IPPS 2010).
+
+The package implements the paper's Local Greedy Gradient (LGG) protocol and
+every substrate it depends on: the multigraph network model (S-D-networks
+and R-generalized S-D-networks), max-flow/min-cut solvers (including
+Goldberg–Tarjan push-relabel), feasibility classification, baselines, and
+an empirical-validation harness covering each theorem, property and
+conjecture of the paper.
+
+Quickstart
+----------
+>>> from repro import generators, NetworkSpec, simulate_lgg
+>>> g, sources, sinks = generators.paper_figure_graph()
+>>> spec = NetworkSpec.classical(g, {s: 1 for s in sources}, {d: 1 for d in sinks})
+>>> result = simulate_lgg(spec, horizon=500, seed=0)
+>>> result.verdict.bounded
+True
+"""
+
+from repro.graphs import MultiGraph, build_extended_graph, generators
+from repro.network import NetworkSpec, NodeRole, RevelationPolicy
+from repro.flow import (
+    FeasibilityReport,
+    classify_network,
+    max_flow,
+    min_cut,
+)
+from repro.core import (
+    LGGPolicy,
+    SimulationResult,
+    Simulator,
+    simulate_lgg,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiGraph",
+    "build_extended_graph",
+    "generators",
+    "NetworkSpec",
+    "NodeRole",
+    "RevelationPolicy",
+    "FeasibilityReport",
+    "classify_network",
+    "max_flow",
+    "min_cut",
+    "LGGPolicy",
+    "SimulationResult",
+    "Simulator",
+    "simulate_lgg",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Run-analysis helpers: summary metrics and plain-text reporting."""
+
+from repro.analysis.metrics import RunMetrics, summarize
+from repro.analysis.report import format_series, format_table, sparkline
+from repro.analysis.convergence import delivery_rate_series, standing_mass, warmup_time
+from repro.analysis.landscape import height_profile, render_grid_landscape
+from repro.analysis.fairness import jain_index, normalized_shares, per_source_throughput
+
+__all__ = [
+    "RunMetrics",
+    "summarize",
+    "format_table",
+    "format_series",
+    "sparkline",
+    "delivery_rate_series",
+    "standing_mass",
+    "warmup_time",
+    "height_profile",
+    "render_grid_landscape",
+    "jain_index",
+    "normalized_shares",
+    "per_source_throughput",
+]

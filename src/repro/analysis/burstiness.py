@@ -1,0 +1,59 @@
+"""Burstiness analysis: Conjecture 2's condition as a computable functional.
+
+Conjecture 2 says overload is harmless when later quiet intervals drain
+the excess.  Formally that is a *(ρ, σ)-boundedness* statement about the
+injection trace: the cumulative injections ``C(t)`` must satisfy
+``C(t2) − C(t1) ≤ ρ (t2 − t1) + σ`` for every window, with ``ρ`` the
+drainable rate (at most ``f*``) and ``σ`` a finite burst allowance.
+
+:func:`max_excess` computes the *smallest* such σ for a given ρ —
+``max over windows of (injections − ρ·len)`` — in O(T) via the running
+minimum of ``C(t) − ρ t``.  A trace is Conjecture-2-admissible at rate ρ
+iff its ``max_excess`` is finite and, for ρ < f*, stability should follow
+with backlog on the order of σ (experiment e08/e18 territory).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence, Union
+
+from repro.errors import SimulationError
+
+__all__ = ["max_excess", "is_rate_sigma_bounded", "effective_rate"]
+
+Number = Union[int, float, Fraction]
+
+
+def max_excess(injection_totals: Sequence[int], rate: Number) -> Fraction:
+    """Smallest σ with the trace (rate, σ)-bounded over its own span.
+
+    ``injection_totals[t]`` is the total injected at step ``t``.  Returns
+    ``max_{t1 <= t2} ( Σ_{t1 < t <= t2} inj[t] − rate · (t2 − t1) )``,
+    clamped at 0 (an empty window always satisfies the bound).
+    """
+    if rate < 0:
+        raise SimulationError(f"rate must be >= 0, got {rate}")
+    r = Fraction(rate)
+    best = Fraction(0)
+    running = Fraction(0)   # max over t1 of C(t) - C(t1) - r (t - t1), Kadane-style
+    for x in injection_totals:
+        running = max(Fraction(0), running + int(x) - r)
+        if running > best:
+            best = running
+    return best
+
+
+def is_rate_sigma_bounded(
+    injection_totals: Sequence[int], rate: Number, sigma: Number
+) -> bool:
+    """Every window carries at most ``rate · len + sigma`` packets."""
+    return max_excess(injection_totals, rate) <= Fraction(sigma)
+
+
+def effective_rate(injection_totals: Sequence[int]) -> float:
+    """Long-run average injections per step of a finite trace."""
+    totals = list(injection_totals)
+    if not totals:
+        raise SimulationError("empty trace has no rate")
+    return float(sum(int(x) for x in totals)) / len(totals)

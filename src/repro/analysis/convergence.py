@@ -1,0 +1,92 @@
+"""Convergence (gradient build-up) analysis.
+
+LGG routes along queue *gradients*, so before steady delivery the network
+must first raise a potential landscape whose height grows with hop
+distance from the sinks.  Two practical consequences the experiments
+quantify:
+
+* a **warmup transient** whose duration scales with the source-sink
+  distance (the paper's proofs hide this inside the constant ``Y``),
+* a **standing queue mass** proportional to the summed heights of the
+  built gradient (packets permanently "stored in the hill").
+
+:func:`warmup_time` locates the end of the transient as the first step
+from which the delivery rate stays within a tolerance of the injection
+rate over a sliding window; :func:`standing_mass` is the queue mass at
+the plateau.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.state import Trajectory
+
+__all__ = ["warmup_time", "standing_mass", "delivery_rate_series"]
+
+
+def delivery_rate_series(trajectory: Trajectory, *, window: int = 50) -> np.ndarray:
+    """Trailing-window mean delivery rate (packets/step); length = steps.
+
+    ``rates[t]`` averages the deliveries of steps ``max(0, t - window + 1)
+    .. t`` over the *actual* number of steps covered, so there is no edge
+    distortion at the start of the run.
+    """
+    if window < 1:
+        raise SimulationError(f"window must be >= 1, got {window}")
+    d = np.asarray(trajectory.delivered, dtype=np.float64)
+    if len(d) == 0:
+        return d
+    csum = np.concatenate([[0.0], np.cumsum(d)])
+    ends = np.arange(1, len(d) + 1)
+    starts = np.maximum(0, ends - window)
+    return (csum[ends] - csum[starts]) / (ends - starts)
+
+
+def warmup_time(
+    trajectory: Trajectory,
+    arrival_rate: float,
+    *,
+    window: int = 50,
+    tolerance: float = 0.1,
+) -> Optional[int]:
+    """First step from which delivery keeps up with arrivals.
+
+    Returns the earliest ``t`` such that the windowed delivery rate stays
+    at or above ``(1 - tolerance) * arrival_rate`` for every later window,
+    or ``None`` when the run never converges (e.g. an infeasible network).
+    """
+    if arrival_rate <= 0:
+        raise SimulationError("warmup undefined for a zero arrival rate")
+    rates = delivery_rate_series(trajectory, window=window)
+    if len(rates) == 0:
+        return None
+    target = (1.0 - tolerance) * arrival_rate
+    ok = rates >= target
+    if not ok[-1]:
+        return None
+    # earliest start of the all-True suffix
+    suffix_start = len(ok)
+    for i in range(len(ok) - 1, -1, -1):
+        if not ok[i]:
+            break
+        suffix_start = i
+    if suffix_start >= len(ok):
+        return None
+    return int(suffix_start)
+
+
+def standing_mass(trajectory: Trajectory, *, fraction: float = 0.2) -> float:
+    """Mean total queue over the final ``fraction`` of the run.
+
+    For a converged run this measures the packets permanently stored in
+    the gradient hill.
+    """
+    if not (0 < fraction <= 1):
+        raise SimulationError(f"fraction must be in (0, 1], got {fraction}")
+    q = np.asarray(trajectory.total_queued, dtype=np.float64)
+    k = max(1, int(len(q) * fraction))
+    return float(q[-k:].mean())

@@ -1,0 +1,66 @@
+"""Fairness of service among *undifferentiated* sources.
+
+The paper's sources are undifferentiated — any sink may absorb any packet
+and the protocol carries no flow identities.  Stability (Theorem 1) is
+about the *total* backlog; it says nothing about how the delivered
+throughput splits across sources.  These helpers quantify that split:
+
+* :func:`per_source_throughput` — delivered packets per source per step,
+  from a packet-level run;
+* :func:`jain_index` — Jain's fairness index: 1 for a perfectly even
+  split, ``1/k`` when one of ``k`` sources monopolises the service.
+
+Experiment E20 uses them to show both the good case (symmetric sources
+share evenly) and the structural caveat (a source much closer to the sink
+can capture more than its share while everything stays bounded).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.packet_engine import PacketSimulator
+from repro.errors import SimulationError
+
+__all__ = ["jain_index", "per_source_throughput", "normalized_shares"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (k Σx²)`` in ``[1/k, 1]``.
+
+    Raises for an empty sequence; returns 1.0 when everything is zero
+    (vacuous fairness).
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise SimulationError("fairness undefined for zero sources")
+    if (arr < 0).any():
+        raise SimulationError("fairness inputs must be non-negative")
+    ssq = float(np.dot(arr, arr))
+    if ssq == 0:
+        return 1.0
+    return float(arr.sum()) ** 2 / (arr.size * ssq)
+
+
+def per_source_throughput(sim: PacketSimulator) -> dict[int, float]:
+    """Delivered packets per step for every injecting source of a run."""
+    if sim.t == 0:
+        raise SimulationError("run the simulation before computing throughput")
+    stats = sim.packet_stats()
+    out: dict[int, float] = {}
+    for src in sim.spec.in_rates:
+        out[src] = stats.per_source_delivered.get(src, 0) / sim.t
+    return out
+
+
+def normalized_shares(throughput: Mapping[int, float], rates: Mapping[int, int]) -> dict[int, float]:
+    """Throughput divided by offered rate, per source (1.0 = fully served)."""
+    out: dict[int, float] = {}
+    for src, thr in throughput.items():
+        rate = rates.get(src, 0)
+        if rate <= 0:
+            raise SimulationError(f"node {src} has no injection rate")
+        out[src] = thr / rate
+    return out

@@ -1,0 +1,99 @@
+"""Trajectory persistence: save simulation runs for offline analysis.
+
+Long sweeps (E17's 200 random instances, report-quality horizons) are
+expensive; persisting trajectories lets analysis iterate without re-running
+the simulator.  The format is a single ``.npz`` per run — numpy arrays for
+the series, a small JSON blob for the spec fingerprint — readable with
+plain numpy, no unpickling of code objects (safe to share).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.spec import NetworkSpec
+from repro.network.state import Trajectory
+
+__all__ = ["save_trajectory", "load_trajectory", "spec_fingerprint"]
+
+PathLike = Union[str, pathlib.Path]
+
+_SERIES = ("potentials", "total_queued", "max_queues",
+           "injected", "transmitted", "lost", "delivered")
+
+
+def spec_fingerprint(spec: NetworkSpec) -> dict:
+    """JSON-serialisable identity of a network spec (for provenance)."""
+    return {
+        "n": spec.n,
+        "m": spec.graph.m,
+        "edges": sorted((min(u, v), max(u, v)) for _, u, v in spec.graph.edges()),
+        "in_rates": {str(k): v for k, v in spec.in_rates.items()},
+        "out_rates": {str(k): v for k, v in spec.out_rates.items()},
+        "retention": spec.retention,
+        "revelation": spec.revelation.value,
+        "exact_injection": spec.exact_injection,
+    }
+
+
+def save_trajectory(
+    path: PathLike,
+    trajectory: Trajectory,
+    *,
+    spec: NetworkSpec | None = None,
+    meta: dict | None = None,
+) -> None:
+    """Write a trajectory (and optional provenance) to ``path`` as .npz."""
+    payload = {
+        name: np.asarray(getattr(trajectory, name), dtype=np.int64)
+        for name in _SERIES
+    }
+    payload["initial_queued"] = np.array([trajectory.initial_queued], dtype=np.int64)
+    header = {"meta": meta or {}}
+    if spec is not None:
+        header["spec"] = spec_fingerprint(spec)
+    payload["header_json"] = np.frombuffer(
+        json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    if trajectory.queue_history is not None:
+        payload["queue_history"] = np.stack(trajectory.queue_history)
+    np.savez_compressed(str(path), **payload)
+
+
+def load_trajectory(path: PathLike) -> tuple[Trajectory, dict]:
+    """Read a trajectory back; returns ``(trajectory, header)``.
+
+    The header dict contains ``meta`` and, when saved, the ``spec``
+    fingerprint.  Raises :class:`SimulationError` on malformed files.
+    """
+    try:
+        data = np.load(str(path), allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise SimulationError(f"cannot read trajectory file {path}: {exc}") from exc
+    for name in _SERIES + ("initial_queued", "header_json"):
+        if name not in data:
+            raise SimulationError(f"trajectory file {path} is missing {name!r}")
+    pot = data["potentials"]
+    traj = Trajectory(
+        n=(data["queue_history"].shape[1] if "queue_history" in data else 0),
+        initial_queued=int(data["initial_queued"][0]),
+        potentials=[int(x) for x in pot],
+        total_queued=[int(x) for x in data["total_queued"]],
+        max_queues=[int(x) for x in data["max_queues"]],
+        injected=[int(x) for x in data["injected"]],
+        transmitted=[int(x) for x in data["transmitted"]],
+        lost=[int(x) for x in data["lost"]],
+        delivered=[int(x) for x in data["delivered"]],
+        queue_history=(
+            [row.copy() for row in data["queue_history"]]
+            if "queue_history" in data
+            else None
+        ),
+    )
+    header = json.loads(bytes(data["header_json"]).decode("utf-8"))
+    return traj, header

@@ -1,0 +1,60 @@
+"""Queue-landscape rendering: *see* the gradient LGG builds.
+
+For grid topologies the queue vector is literally a height field; this
+module renders it as an ASCII heat map so examples and debugging sessions
+can watch the potential hill grow from the sinks outward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["render_grid_landscape", "height_profile"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_grid_landscape(
+    queues: np.ndarray, rows: int, cols: int, *, markers: dict[int, str] | None = None
+) -> str:
+    """ASCII heat map of a grid network's queue heights.
+
+    ``markers`` (node -> single char, e.g. ``{0: 'S', 15: 'D'}``) override
+    the shade at specific nodes.
+    """
+    q = np.asarray(queues, dtype=np.float64)
+    if q.shape != (rows * cols,):
+        raise SimulationError(
+            f"queue vector has {q.shape[0] if q.ndim else 0} entries; "
+            f"grid needs {rows * cols}"
+        )
+    markers = markers or {}
+    for v, ch in markers.items():
+        if len(ch) != 1:
+            raise SimulationError(f"marker for node {v} must be one char, got {ch!r}")
+    hi = q.max()
+    lines = []
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            v = r * cols + c
+            if v in markers:
+                cells.append(markers[v])
+            elif hi <= 0:
+                cells.append(_SHADES[0])
+            else:
+                idx = int(q[v] / hi * (len(_SHADES) - 1))
+                cells.append(_SHADES[idx])
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def height_profile(queues: np.ndarray, path_nodes: list[int]) -> list[int]:
+    """Queue heights along a node path (the 1-D gradient profile)."""
+    q = np.asarray(queues)
+    for v in path_nodes:
+        if not (0 <= v < len(q)):
+            raise SimulationError(f"profile node {v} out of range")
+    return [int(q[v]) for v in path_nodes]

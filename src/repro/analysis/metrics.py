@@ -1,0 +1,54 @@
+"""Summary metrics of a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import SimulationResult
+
+__all__ = ["RunMetrics", "summarize"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Scalar summary of one run (what the experiment tables print)."""
+
+    steps: int
+    injected: int
+    delivered: int
+    lost: int
+    throughput: float        # delivered per step
+    delivery_ratio: float    # delivered / injected
+    loss_ratio: float        # lost / injected
+    peak_total_queue: int
+    tail_mean_queue: float   # mean total queue over the last quarter
+    peak_potential: int
+    bounded: bool
+    growth_slope: float
+
+
+def summarize(result: SimulationResult) -> RunMetrics:
+    """Condense a :class:`SimulationResult` into the standard metric row."""
+    traj = result.trajectory
+    injected = traj.cumulative("injected")
+    delivered = traj.cumulative("delivered")
+    lost = traj.cumulative("lost")
+    steps = traj.steps
+    tq = np.asarray(traj.total_queued, dtype=np.float64)
+    tail = tq[3 * len(tq) // 4 :]
+    return RunMetrics(
+        steps=steps,
+        injected=injected,
+        delivered=delivered,
+        lost=lost,
+        throughput=delivered / max(steps, 1),
+        delivery_ratio=delivered / max(injected, 1),
+        loss_ratio=lost / max(injected, 1),
+        peak_total_queue=int(tq.max()) if len(tq) else 0,
+        tail_mean_queue=float(tail.mean()) if len(tail) else 0.0,
+        peak_potential=traj.peak_potential,
+        bounded=result.verdict.bounded,
+        growth_slope=result.verdict.slope,
+    )

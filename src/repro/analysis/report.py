@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints these so a terminal run of
+``pytest benchmarks/ --benchmark-only`` reproduces the paper-style output
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], *, title: str | None = None) -> str:
+    """Render dict-rows as an aligned ASCII table (column order from row 0)."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """Unicode block sparkline, down-sampled to ``width`` points."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[int(i * stride)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo or 1.0
+    return "".join(_BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))] for v in vals)
+
+
+def format_series(
+    name: str, values: Sequence[float], *, width: int = 60
+) -> str:
+    """One labelled sparkline with min/max annotations."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"{name}: (empty)"
+    return (
+        f"{name}: {sparkline(vals, width=width)}  "
+        f"[min {_fmt(min(vals))}, max {_fmt(max(vals))}, last {_fmt(vals[-1])}]"
+    )

@@ -1,0 +1,34 @@
+"""Packet arrival (injection) processes.
+
+The classical model injects exactly ``in(s)`` per source per step; the
+generalized model (Definition 5) allows anything in ``[0, in(s)]``.  The
+conjectures need richer processes: pointwise-dominated traces
+(Conjecture 1), adversarial bursts with compensating quiet intervals
+(Conjecture 2), and uniform random arrivals (Conjecture 3).
+"""
+
+from repro.arrivals.base import ArrivalProcess
+from repro.arrivals.deterministic import DeterministicArrivals, ScaledArrivals
+from repro.arrivals.stochastic import (
+    BernoulliArrivals,
+    UniformArrivals,
+    PoissonClippedArrivals,
+)
+from repro.arrivals.adversarial import BurstArrivals, OnOffArrivals
+from repro.arrivals.trace import TraceArrivals, RecordingArrivals, dominates
+from repro.arrivals.token_bucket import TokenBucketArrivals
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "ScaledArrivals",
+    "BernoulliArrivals",
+    "UniformArrivals",
+    "PoissonClippedArrivals",
+    "BurstArrivals",
+    "OnOffArrivals",
+    "TokenBucketArrivals",
+    "TraceArrivals",
+    "RecordingArrivals",
+    "dominates",
+]

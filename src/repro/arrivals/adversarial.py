@@ -1,0 +1,88 @@
+"""Adversarial arrival processes — Conjecture 2 workloads.
+
+Conjecture 2 allows the instantaneous arrival rate to exceed the maximum
+flow as long as a later quiet interval lets the network drain the excess.
+These processes realise both sides of that condition:
+
+* :class:`BurstArrivals` — burst of full-rate injection followed by a
+  quiet interval, with a configurable excess budget (stable side), or with
+  sustained excess (divergent side);
+* :class:`OnOffArrivals` — Markov-modulated on/off source in the style of
+  adversarial queueing theory (paper reference [4]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.network.spec import NetworkSpec
+
+__all__ = ["BurstArrivals", "OnOffArrivals"]
+
+
+class BurstArrivals:
+    """Deterministic periodic bursts: ``on`` steps of full injection then
+    ``off`` steps of silence.
+
+    Over one period the average arrival rate is
+    ``Σ in(v) · on / (on + off)``; Conjecture 2 predicts stability whenever
+    that average stays below the max-flow value even if the burst itself
+    exceeds it.
+    """
+
+    def __init__(self, spec: NetworkSpec, on: int, off: int) -> None:
+        if on < 0 or off < 0 or on + off == 0:
+            raise SpecError(f"need on, off >= 0 with on + off > 0; got ({on}, {off})")
+        self._on = on
+        self._off = off
+        self._vec = spec.in_vector()
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        phase = t % (self._on + self._off)
+        if phase < self._on:
+            return self._vec.copy()
+        return np.zeros_like(self._vec)
+
+    def average_rate(self) -> float:
+        return float(self._vec.sum()) * self._on / (self._on + self._off)
+
+
+class OnOffArrivals:
+    """Two-state Markov-modulated injection (adversarial-queueing flavour).
+
+    In the *on* state every source injects fully; in *off*, nothing.
+    Transition probabilities control burstiness; the stationary on-
+    probability is ``p_off_to_on / (p_off_to_on + p_on_to_off)``.
+    """
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        p_on_to_off: float,
+        p_off_to_on: float,
+        *,
+        start_on: bool = True,
+    ) -> None:
+        for name, p in (("p_on_to_off", p_on_to_off), ("p_off_to_on", p_off_to_on)):
+            if not (0.0 <= p <= 1.0):
+                raise SpecError(f"{name} must be in [0, 1], got {p}")
+        self._p_off = p_on_to_off
+        self._p_on = p_off_to_on
+        self._state_on = start_on
+        self._vec = spec.in_vector()
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        out = self._vec.copy() if self._state_on else np.zeros_like(self._vec)
+        flip = rng.random()
+        if self._state_on and flip < self._p_off:
+            self._state_on = False
+        elif not self._state_on and flip < self._p_on:
+            self._state_on = True
+        return out
+
+    def stationary_rate(self) -> float:
+        denom = self._p_on + self._p_off
+        if denom == 0:
+            return float(self._vec.sum()) if self._state_on else 0.0
+        return float(self._vec.sum()) * self._p_on / denom

@@ -1,0 +1,26 @@
+"""Arrival-process protocol.
+
+An arrival process maps a time step to a per-node injection vector.  The
+engine validates every sample: non-negative, never above ``in(v)``, and —
+for classical specs — exactly ``in(v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["ArrivalProcess"]
+
+
+class ArrivalProcess(Protocol):
+    """Per-step injection amounts, ``sample(t, rng) -> int64[n]``.
+
+    Implementations must be *deterministic given (t, rng state)* so that a
+    seeded run is reproducible, and must never inject more than the spec's
+    ``in(v)`` at any node (the engine enforces this).
+    """
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        ...

@@ -1,0 +1,48 @@
+"""Deterministic arrival processes."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.network.spec import NetworkSpec
+
+__all__ = ["DeterministicArrivals", "ScaledArrivals"]
+
+
+class DeterministicArrivals:
+    """Inject exactly ``in(v)`` at every node, every step — the classical
+    Section II behaviour and the engine default."""
+
+    def __init__(self, spec: NetworkSpec) -> None:
+        self._vec = spec.in_vector()
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        return self._vec.copy()
+
+
+class ScaledArrivals:
+    """Inject ``round_mode(rate · in(v))`` per step for a fixed rate ≤ 1.
+
+    Fractional rates are realised by *time-dithering*: at rate ``p/q`` the
+    node injects its full ``in(v)`` on exactly ``p`` out of every ``q``
+    steps (evenly spread via the Bresenham accumulator), so the long-run
+    average is exact while each step stays integral.  Only valid for
+    generalized specs (classical ones require exact injection).
+    """
+
+    def __init__(self, spec: NetworkSpec, rate: float | Fraction) -> None:
+        r = Fraction(rate).limit_denominator(10**6)
+        if not (0 <= r <= 1):
+            raise SpecError(f"arrival rate scale must be in [0, 1], got {rate}")
+        self._rate = r
+        self._vec = spec.in_vector()
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        p, q = self._rate.numerator, self._rate.denominator
+        # Bresenham gate: floor((t+1)p/q) - floor(tp/q) is 1 on exactly p of
+        # every q consecutive steps
+        gate = (t + 1) * p // q - t * p // q
+        return self._vec * int(gate)

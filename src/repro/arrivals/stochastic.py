@@ -1,0 +1,81 @@
+"""Stochastic arrival processes (Conjecture 3 workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SpecError
+from repro.network.spec import NetworkSpec
+
+__all__ = ["BernoulliArrivals", "UniformArrivals", "PoissonClippedArrivals"]
+
+
+class BernoulliArrivals:
+    """Each source independently injects its full ``in(v)`` with probability
+    ``p``, else nothing — the simplest strictly-dominated random process."""
+
+    def __init__(self, spec: NetworkSpec, p: float) -> None:
+        if not (0.0 <= p <= 1.0):
+            raise SpecError(f"probability must be in [0, 1], got {p}")
+        self._p = p
+        self._vec = spec.in_vector()
+        self._active = np.nonzero(self._vec)[0]
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros_like(self._vec)
+        fire = rng.random(len(self._active)) < self._p
+        idx = self._active[fire]
+        out[idx] = self._vec[idx]
+        return out
+
+
+class UniformArrivals:
+    """Uniform integer injections on ``[0, in(v)]`` — Conjecture 3's
+    process, whose mean is ``in(v) / 2`` per source."""
+
+    def __init__(self, spec: NetworkSpec) -> None:
+        self._vec = spec.in_vector()
+        self._active = np.nonzero(self._vec)[0]
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros_like(self._vec)
+        if len(self._active):
+            out[self._active] = rng.integers(
+                0, self._vec[self._active] + 1, size=len(self._active)
+            )
+        return out
+
+    def mean_rate(self) -> float:
+        """Long-run expected injections per step, ``Σ in(v) / 2``."""
+        return float(self._vec.sum()) / 2.0
+
+
+class PoissonClippedArrivals:
+    """Poisson(λ·in(v)) injections clipped at ``in(v)``.
+
+    Clipping keeps the sample legal for the generalized model; the
+    effective mean is slightly below ``λ·in(v)`` accordingly (reported by
+    :meth:`effective_mean`).
+    """
+
+    def __init__(self, spec: NetworkSpec, intensity: float) -> None:
+        if intensity < 0:
+            raise SpecError(f"intensity must be >= 0, got {intensity}")
+        self._lam = intensity
+        self._vec = spec.in_vector()
+        self._active = np.nonzero(self._vec)[0]
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.zeros_like(self._vec)
+        if len(self._active):
+            raw = rng.poisson(self._lam * self._vec[self._active])
+            out[self._active] = np.minimum(raw, self._vec[self._active])
+        return out
+
+    def effective_mean(self, samples: int = 100_000, seed: int = 0) -> float:
+        """Monte-Carlo estimate of the post-clipping mean total injection."""
+        rng = np.random.default_rng(seed)
+        total = 0.0
+        for _ in range(samples // 1000):
+            total += float(self.sample(0, rng).sum())
+        return total / max(1, samples // 1000)

@@ -1,0 +1,96 @@
+"""Injection traces: record, replay and compare (Conjecture 1 machinery).
+
+Conjecture 1 is a *domination* claim: if the protocol is stable under the
+maximal injection sequence (every source injects ``in(s)`` every step, no
+losses), it stays stable under any pointwise-dominated sequence.  Testing
+it requires running paired experiments on exactly-controlled injection
+sequences, so we need traces:
+
+* :class:`RecordingArrivals` wraps any process and logs what it injected;
+* :class:`TraceArrivals` replays a logged (or hand-built) trace;
+* :func:`dominates` checks the pointwise ordering ``in_t(v) ≥ in'_t(v)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = ["TraceArrivals", "RecordingArrivals", "dominates", "random_dominated_trace"]
+
+
+class TraceArrivals:
+    """Replay a fixed injection trace; beyond its end, repeat the policy
+    given by ``after`` ("zeros" or "loop")."""
+
+    def __init__(self, trace: Sequence[np.ndarray], *, after: str = "zeros") -> None:
+        if after not in ("zeros", "loop"):
+            raise SpecError(f"after must be 'zeros' or 'loop', got {after!r}")
+        if len(trace) == 0:
+            raise SpecError("trace must contain at least one step")
+        self._trace = [np.asarray(step, dtype=np.int64) for step in trace]
+        shapes = {step.shape for step in self._trace}
+        if len(shapes) != 1:
+            raise SpecError(f"trace steps have inconsistent shapes: {shapes}")
+        self._after = after
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        if t < len(self._trace):
+            return self._trace[t].copy()
+        if self._after == "loop":
+            return self._trace[t % len(self._trace)].copy()
+        return np.zeros_like(self._trace[0])
+
+
+class RecordingArrivals:
+    """Wrap an arrival process and keep a copy of every sample."""
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.trace: list[np.ndarray] = []
+
+    def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
+        out = self._inner.sample(t, rng)
+        self.trace.append(np.asarray(out, dtype=np.int64).copy())
+        return out
+
+
+def dominates(big: Sequence[np.ndarray], small: Sequence[np.ndarray]) -> bool:
+    """True iff ``big[t][v] >= small[t][v]`` for every step and node.
+
+    Traces of different lengths are compared over the shorter one padded
+    with zeros on the short side (injecting nothing is dominated by
+    anything).
+    """
+    n = max(len(big), len(small))
+    for t in range(n):
+        b = big[t] if t < len(big) else np.zeros_like(small[0])
+        s = small[t] if t < len(small) else np.zeros_like(big[0])
+        if (np.asarray(b) < np.asarray(s)).any():
+            return False
+    return True
+
+
+def random_dominated_trace(
+    full: Sequence[np.ndarray], rng: np.random.Generator, *, keep_prob: float = 0.7
+) -> list[np.ndarray]:
+    """A random trace pointwise dominated by ``full``.
+
+    Each packet of the full trace survives independently with
+    ``keep_prob`` — the canonical "some packets removed" perturbation of
+    Conjecture 1.
+    """
+    if not (0.0 <= keep_prob <= 1.0):
+        raise SpecError(f"keep_prob must be in [0, 1], got {keep_prob}")
+    out = []
+    for step in full:
+        step = np.asarray(step, dtype=np.int64)
+        kept = rng.binomial(step, keep_prob)
+        out.append(kept.astype(np.int64))
+    return out

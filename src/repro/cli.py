@@ -1,0 +1,168 @@
+"""Command-line front end.
+
+Usage::
+
+    python -m repro list                 # experiment inventory
+    python -m repro run e03 [--full]     # run one experiment, print report
+    python -m repro run all              # run everything
+    python -m repro simulate --topology grid --rows 4 --cols 4 \
+        --source 0 --sink 15 --in-rate 1 --out-rate 2 --horizon 1000
+    python -m repro classify --topology path --n 5 --source 0 --sink 4 \
+        --in-rate 1 --out-rate 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import summarize
+from repro.core import simulate_lgg
+from repro.errors import ReproError
+from repro.flow import classify_network
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def _spec_from_args(args) -> NetworkSpec:
+    if args.topology == "path":
+        g = gen.path(args.n)
+    elif args.topology == "cycle":
+        g = gen.cycle(args.n)
+    elif args.topology == "grid":
+        g = gen.grid(args.rows, args.cols)
+    elif args.topology == "complete":
+        g = gen.complete(args.n)
+    elif args.topology == "gnp":
+        g = gen.random_gnp(args.n, args.p, seed=args.seed, ensure_connected=True)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown topology {args.topology}")
+    return NetworkSpec.classical(
+        g, {args.source: args.in_rate}, {args.sink: args.out_rate}
+    )
+
+
+def _add_spec_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--topology", choices=["path", "cycle", "grid", "complete", "gnp"],
+                   default="path")
+    p.add_argument("--n", type=int, default=6)
+    p.add_argument("--rows", type=int, default=3)
+    p.add_argument("--cols", type=int, default=3)
+    p.add_argument("--p", type=float, default=0.3)
+    p.add_argument("--source", type=int, default=0)
+    p.add_argument("--sink", type=int, default=None)
+    p.add_argument("--in-rate", type=int, default=1, dest="in_rate")
+    p.add_argument("--out-rate", type=int, default=1, dest="out_rate")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LGG routing-stability reproduction (IPPS 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser("claims", help="the paper's claim inventory and coverage")
+
+    p_run = sub.add_parser("run", help="run an experiment (or 'all')")
+    p_run.add_argument("exp_id")
+    p_run.add_argument("--full", action="store_true", help="report-quality horizons")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="simulate LGG on a generated network")
+    _add_spec_args(p_sim)
+    p_sim.add_argument("--horizon", type=int, default=1000)
+
+    p_cls = sub.add_parser("classify", help="Definitions 3-4 classification")
+    _add_spec_args(p_cls)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            from repro.exp import REGISTRY
+
+            for exp_id in sorted(REGISTRY):
+                title, _ = REGISTRY[exp_id]
+                print(f"{exp_id}  {title}")
+            return 0
+
+        if args.command == "claims":
+            from repro.analysis.report import format_table
+            from repro.paperdata import CLAIMS
+
+            rows = [
+                {
+                    "id": c.claim_id,
+                    "name": c.name,
+                    "section": c.section,
+                    "status in paper": c.status.value,
+                    "experiment": c.experiment or "-",
+                }
+                for c in CLAIMS
+            ]
+            print(format_table(rows, title="Paper claim inventory"))
+            return 0
+
+        if args.command == "run":
+            from repro.exp import REGISTRY, get_experiment, render
+
+            ids = sorted(REGISTRY) if args.exp_id == "all" else [args.exp_id]
+            failed = []
+            for exp_id in ids:
+                result = get_experiment(exp_id)(fast=not args.full, seed=args.seed)
+                print(render(result))
+                print()
+                if not result.passed:
+                    failed.append(exp_id)
+            if failed:
+                print(f"CLAIMS NOT REPRODUCED: {failed}", file=sys.stderr)
+                return 1
+            return 0
+
+        if args.sink is None:
+            if args.topology == "grid":
+                args.sink = args.rows * args.cols - 1
+            else:
+                args.sink = args.n - 1
+
+        if args.command == "simulate":
+            spec = _spec_from_args(args)
+            res = simulate_lgg(spec, horizon=args.horizon, seed=args.seed)
+            m = summarize(res)
+            print(f"network: {spec}")
+            print(f"bounded: {m.bounded}  slope: {m.growth_slope:.4f}")
+            print(f"delivered: {m.delivered}/{m.injected} "
+                  f"(throughput {m.throughput:.3f}/step)")
+            print(f"peak queue: {m.peak_total_queue}  tail mean: {m.tail_mean_queue:.1f}")
+            return 0
+
+        if args.command == "classify":
+            spec = _spec_from_args(args)
+            rep = classify_network(spec.extended())
+            print(f"network: {spec}")
+            print(f"class: {rep.network_class.value}")
+            print(f"arrival rate: {rep.arrival_rate}  max flow: {rep.max_flow_value}  "
+                  f"f*: {rep.f_star}")
+            if rep.certified_epsilon is not None:
+                print(f"certified unsaturation epsilon: {rep.certified_epsilon}")
+            print(f"min cut kind: {rep.cut_kind.value}  unique: {rep.unique_min_cut}")
+            return 0
+
+        raise ReproError(f"unknown command {args.command}")  # pragma: no cover
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""Vectorized ensemble simulation: many independent replicas in one array.
+
+Monte-Carlo experiments (Conjecture 3's "with high probability", the E17
+confusion matrix, seed-sensitivity sweeps) re-run the same network dozens
+of times.  Per the hpc-parallel guidance, the replica loop is the obvious
+axis to vectorize: :class:`EnsembleSimulator` steps ``R`` replicas as a
+single ``(R, n)`` queue matrix — one composite-key argsort per step for
+*all* replicas' Algorithm 1 decisions.
+
+Scope (checked at construction, widened as needed): LGG policy, truthful
+revelation, greedy extraction, per-link capacity never contested (truthful
+LGG guarantees it), static topology, no interference; arrivals are either
+exact classical injection, :class:`~repro.arrivals.stochastic.UniformArrivals`
+-style batched processes (anything exposing ``sample_batch``), or replica-
+independent draws of a per-replica process list; losses are ``None`` or
+i.i.d. Bernoulli.
+
+Semantics are identical to :class:`~repro.core.engine.Simulator` per
+replica — the differential test runs both on deterministic workloads and
+compares trajectories exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.core.lgg_fast import HalfEdges
+from repro.core.stability import StabilityVerdict, assess_stability
+from repro.errors import SimulationError
+from repro.network.spec import NetworkSpec, RevelationPolicy
+from repro.network.state import Trajectory
+
+__all__ = ["EnsembleResult", "EnsembleSimulator"]
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """Outcome of an ensemble run."""
+
+    total_queued: np.ndarray     # (T+1, R)
+    potentials: np.ndarray       # (T+1, R) int64
+    delivered: np.ndarray        # (T, R)
+    injected: np.ndarray         # (T, R)
+    lost: np.ndarray             # (T, R)
+    final_queues: np.ndarray     # (R, n)
+    verdicts: tuple[StabilityVerdict, ...]
+
+    @property
+    def replicas(self) -> int:
+        return self.total_queued.shape[1]
+
+    @property
+    def bounded_fraction(self) -> float:
+        return sum(v.bounded for v in self.verdicts) / len(self.verdicts)
+
+
+class EnsembleSimulator:
+    """Run ``replicas`` independent copies of one LGG network in lockstep."""
+
+    def __init__(
+        self,
+        spec: NetworkSpec,
+        replicas: int,
+        *,
+        seed: SeedLike = None,
+        loss_p: float = 0.0,
+        uniform_arrivals: bool = False,
+    ) -> None:
+        if replicas < 1:
+            raise SimulationError(f"need >= 1 replica, got {replicas}")
+        if spec.revelation is not RevelationPolicy.TRUTHFUL:
+            raise SimulationError("EnsembleSimulator supports truthful revelation only")
+        if not (0.0 <= loss_p <= 1.0):
+            raise SimulationError(f"loss_p must be in [0, 1], got {loss_p}")
+        if uniform_arrivals and spec.exact_injection:
+            raise SimulationError(
+                "uniform arrivals require a generalized spec (pseudo-sources)"
+            )
+        self.spec = spec
+        self.R = replicas
+        self.rng = as_generator(seed)
+        self.loss_p = float(loss_p)
+        self.uniform = bool(uniform_arrivals)
+        self.t = 0
+
+        n = spec.n
+        self.Q = np.zeros((replicas, n), dtype=np.int64)
+        self._in_vec = spec.in_vector()
+        self._out_vec = spec.out_vector()
+        self._half = HalfEdges.from_graph(spec.graph)
+        h = self._half
+        # static composite-key ingredients
+        self._base_keys = (
+            h.receivers.astype(np.int64) * (h.num_edge_slots + 1)
+            + h.edge_ids.astype(np.int64)
+        )
+        self._row = np.arange(replicas)[:, None]
+
+        self.total_hist: list[np.ndarray] = [self.Q.sum(axis=1)]
+        self.pot_hist: list[np.ndarray] = [self._potentials()]
+        self.delivered_hist: list[np.ndarray] = []
+        self.injected_hist: list[np.ndarray] = []
+        self.lost_hist: list[np.ndarray] = []
+
+    def _potentials(self) -> np.ndarray:
+        q = self.Q
+        return np.einsum("rn,rn->r", q, q)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        Q, h, R = self.Q, self._half, self.R
+
+        # 1. injection (classical exact, or batched uniform)
+        if self.uniform:
+            inj = self.rng.integers(0, self._in_vec + 1, size=(R, self.spec.n))
+        else:
+            inj = np.broadcast_to(self._in_vec, (R, self.spec.n))
+        Q += inj
+        self.injected_hist.append(inj.sum(axis=1).astype(np.int64))
+
+        if h.size:
+            # 2. Algorithm 1, all replicas at once
+            QS = Q[:, h.senders]          # (R, H) sender true queues
+            QR = Q[:, h.receivers]        # (R, H) receiver queues (truthful)
+            # composite sort key per row: (sender, q_recv, tie) — strictly
+            # hierarchical because each component is bounded
+            m_bound = int(QR.max()) + 2
+            k_bound = h.num_edge_slots + 1
+            if h.senders.max(initial=0) * m_bound * k_bound * k_bound > 2**62:
+                raise SimulationError("composite sort key would overflow int64")
+            keys = (
+                h.senders.astype(np.int64) * (m_bound * k_bound * k_bound)
+                + QR * (k_bound * k_bound)
+                + self._base_keys
+            )
+            order = np.argsort(keys, axis=1, kind="stable")
+            s_sorted = h.senders[order]                 # (R, H)
+            rank = np.arange(h.size)[None, :] - h.indptr[s_sorted]
+            qs_sorted = np.take_along_axis(QS, order, axis=1)
+            qr_sorted = np.take_along_axis(QR, order, axis=1)
+            chosen = (qs_sorted > qr_sorted) & (rank < qs_sorted)
+
+            # 3. losses (i.i.d. Bernoulli over selected transmissions)
+            if self.loss_p > 0:
+                lost = chosen & (self.rng.random(chosen.shape) < self.loss_p)
+            else:
+                lost = np.zeros_like(chosen)
+            arrived = chosen & ~lost
+
+            # 4. apply: senders pay for every selection, receivers gain
+            # only the survivors
+            snd_sorted = s_sorted
+            rcv_sorted = h.receivers[order]
+            flat_q = Q.ravel()
+            if chosen.any():
+                idx_snd = (self._row * self.spec.n + snd_sorted)[chosen]
+                np.subtract.at(flat_q, idx_snd, 1)
+            if arrived.any():
+                idx_rcv = (self._row * self.spec.n + rcv_sorted)[arrived]
+                np.add.at(flat_q, idx_rcv, 1)
+            self.lost_hist.append(lost.sum(axis=1).astype(np.int64))
+        else:
+            self.lost_hist.append(np.zeros(R, dtype=np.int64))
+
+        # 5. extraction (greedy)
+        ext = np.minimum(self._out_vec, Q)
+        Q -= ext
+        self.delivered_hist.append(ext.sum(axis=1).astype(np.int64))
+
+        self.total_hist.append(Q.sum(axis=1))
+        self.pot_hist.append(self._potentials())
+        self.t += 1
+
+    # ------------------------------------------------------------------
+    def run(self, horizon: int) -> EnsembleResult:
+        for _ in range(horizon):
+            self.step()
+        return self.result()
+
+    def result(self) -> EnsembleResult:
+        total = np.stack(self.total_hist)       # (T+1, R)
+        pots = np.stack(self.pot_hist)
+        delivered = (
+            np.stack(self.delivered_hist) if self.delivered_hist
+            else np.zeros((0, self.R), dtype=np.int64)
+        )
+        injected = (
+            np.stack(self.injected_hist) if self.injected_hist
+            else np.zeros((0, self.R), dtype=np.int64)
+        )
+        lost = (
+            np.stack(self.lost_hist) if self.lost_hist
+            else np.zeros((0, self.R), dtype=np.int64)
+        )
+        verdicts = []
+        for r in range(self.R):
+            traj = Trajectory(n=self.spec.n, initial_queued=int(total[0, r]))
+            traj.potentials = [int(x) for x in pots[:, r]]
+            traj.total_queued = [int(x) for x in total[:, r]]
+            traj.max_queues = [0] * len(traj.potentials)
+            traj.injected = [int(x) for x in injected[:, r]]
+            traj.transmitted = [0] * delivered.shape[0]
+            traj.lost = [int(x) for x in lost[:, r]]
+            traj.delivered = [int(x) for x in delivered[:, r]]
+            verdicts.append(assess_stability(traj))
+        return EnsembleResult(
+            total_queued=total,
+            potentials=pots,
+            delivered=delivered,
+            injected=injected,
+            lost=lost,
+            final_queues=self.Q.copy(),
+            verdicts=tuple(verdicts),
+        )

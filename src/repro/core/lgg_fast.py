@@ -1,0 +1,98 @@
+"""Vectorized Algorithm 1 — the engine hot path.
+
+Per the hpc-parallel guidance (vectorize the bottleneck, keep a legible
+reference): one ``numpy.lexsort`` over the half-edge arrays replaces the
+per-node Python loops of :func:`repro.core.lgg.lgg_select_reference`.
+
+Correctness argument: within one sender's block sorted by ascending
+revealed queue, the *eligible* half-edges (receiver revealed queue strictly
+below the sender's true queue ``q_u``) form a prefix.  Algorithm 1 sends on
+the first ``min(q_u, #eligible)`` of them, i.e. exactly the half-edges that
+are both eligible and have within-block rank ``< q_u``.  Both conditions
+are elementwise once ranks are computed, so the whole step is a lexsort
+plus a handful of vector ops — no per-neighbour Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tiebreak import TieBreak, tie_keys
+from repro.graphs.multigraph import MultiGraph
+
+__all__ = ["HalfEdges", "lgg_select_fast"]
+
+
+@dataclass(frozen=True)
+class HalfEdges:
+    """Flattened directed half-edge arrays of a multigraph.
+
+    ``senders[i] -> receivers[i]`` over edge ``edge_ids[i]``; every
+    undirected edge contributes two half-edges.  Built once per topology
+    epoch and reused every step.
+    """
+
+    senders: np.ndarray
+    receivers: np.ndarray
+    edge_ids: np.ndarray
+    indptr: np.ndarray  # CSR offsets: half-edges of node u in [indptr[u], indptr[u+1])
+    num_edge_slots: int
+
+    @classmethod
+    def from_graph(cls, graph: MultiGraph) -> "HalfEdges":
+        adj = graph.adjacency()
+        n = graph.n
+        senders = np.repeat(np.arange(n, dtype=np.int64), np.diff(adj.indptr))
+        return cls(
+            senders=senders,
+            receivers=adj.neighbors.copy(),
+            edge_ids=adj.edge_ids.copy(),
+            indptr=adj.indptr.copy(),
+            num_edge_slots=graph.num_edge_slots,
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.senders)
+
+
+def lgg_select_fast(
+    half: HalfEdges,
+    queues: np.ndarray,
+    revealed: np.ndarray,
+    *,
+    tiebreak: TieBreak = TieBreak.QUEUE_THEN_ID,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized Algorithm 1.
+
+    Returns ``(edge_ids, senders, receivers)`` arrays of the selected
+    transmissions, ordered by (sender, revealed queue, tie key) — the same
+    order the reference implementation produces.
+    """
+    if half.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+
+    q_send = queues[half.senders]
+    q_recv = revealed[half.receivers]
+    keys = tie_keys(
+        tiebreak, half.receivers, half.edge_ids, rng, num_edge_slots=half.num_edge_slots
+    )
+
+    # lexsort: primary sender, secondary revealed queue, tertiary tie key
+    order = np.lexsort((keys, q_recv, half.senders))
+    s_sorted = half.senders[order]
+
+    # rank of each half-edge within its sender block
+    block_starts = half.indptr[s_sorted]
+    rank = np.arange(half.size, dtype=np.int64) - block_starts
+
+    eligible = q_send[order] > q_recv[order]
+    chosen = eligible & (rank < q_send[order])
+
+    sel = order[chosen]
+    # `sel` preserves the lexsort order, matching the reference output
+    return half.edge_ids[sel], half.senders[sel], half.receivers[sel]

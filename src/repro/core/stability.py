@@ -1,0 +1,92 @@
+"""Stability verdicts (Definition 2) from finite trajectories.
+
+A finite run can only give *evidence* of boundedness or divergence, so the
+verdict combines two robust signals over the total-queue series:
+
+* the least-squares **slope** over the second half of the run (a network
+  diverging past its min cut grows linearly at rate ``λ - f*``, Theorem 1's
+  converse), and
+* the **growth ratio** between the tail-quarter mean and the mid-quarter
+  mean (a bounded protocol plateaus, so the ratio hovers near 1).
+
+Thresholds are explicit parameters with conservative defaults; the
+experiments always report the raw numbers alongside the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.state import Trajectory
+
+__all__ = ["StabilityVerdict", "assess_stability", "divergence_rate"]
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """Evidence-based stability classification of one run."""
+
+    bounded: bool
+    slope: float              # packets / step over the second half
+    growth_ratio: float       # tail-quarter mean / mid-quarter mean
+    peak_potential: int       # max P_t over the run
+    tail_mean_queued: float   # mean total queue over the last quarter
+    steps: int
+
+    @property
+    def divergent(self) -> bool:
+        return not self.bounded
+
+
+def assess_stability(
+    trajectory: Trajectory,
+    *,
+    slope_tol: float = 0.05,
+    growth_tol: float = 1.25,
+) -> StabilityVerdict:
+    """Classify a trajectory as bounded or divergent.
+
+    Divergent requires *both* a second-half slope above ``slope_tol``
+    packets/step and a tail/mid growth ratio above ``growth_tol`` — a
+    transient ramp toward a plateau trips neither for long runs.
+    """
+    q = np.asarray(trajectory.total_queued, dtype=np.float64)
+    T = len(q)
+    if T < 8:
+        raise SimulationError(
+            f"trajectory too short to assess stability ({T} samples; need >= 8)"
+        )
+    half = q[T // 2 :]
+    x = np.arange(len(half), dtype=np.float64)
+    slope = float(np.polyfit(x, half, 1)[0]) if len(half) > 1 else 0.0
+    mid_mean = float(np.mean(q[T // 4 : T // 2]))
+    tail_mean = float(np.mean(q[3 * T // 4 :]))
+    growth_ratio = tail_mean / max(mid_mean, 1.0)
+    divergent = slope > slope_tol and growth_ratio > growth_tol
+    return StabilityVerdict(
+        bounded=not divergent,
+        slope=slope,
+        growth_ratio=growth_ratio,
+        peak_potential=trajectory.peak_potential,
+        tail_mean_queued=tail_mean,
+        steps=trajectory.steps,
+    )
+
+
+def divergence_rate(trajectory: Trajectory, *, tail_fraction: float = 0.5) -> float:
+    """Linear growth rate (packets/step) of the total queue over the tail.
+
+    For an infeasible network, Theorem 1's converse predicts this to be at
+    least ``λ - f*`` (packets accumulate behind the min cut); experiment E4
+    compares the measured rate against that prediction.
+    """
+    if not (0 < tail_fraction <= 1):
+        raise SimulationError(f"tail_fraction must be in (0, 1], got {tail_fraction}")
+    q = np.asarray(trajectory.total_queued, dtype=np.float64)
+    k = max(2, int(len(q) * tail_fraction))
+    tail = q[-k:]
+    x = np.arange(len(tail), dtype=np.float64)
+    return float(np.polyfit(x, tail, 1)[0])

@@ -1,0 +1,62 @@
+"""Tie-breaking strategies for Algorithm 1's neighbour ordering.
+
+Algorithm 1 orders ``Γ(u)`` by increasing queue length; the order among
+equal queue lengths is left open, and the paper remarks that "this choice
+has no impact on the system stability".  Experiment E13 tests exactly that
+remark, so the strategy is pluggable:
+
+* ``QUEUE_THEN_ID`` — deterministic: smaller node id first (then edge id
+  between parallel edges),
+* ``QUEUE_THEN_REVERSED_ID`` — deterministic: larger node id first (the
+  "opposite" deterministic adversary),
+* ``QUEUE_THEN_RANDOM`` — fresh random order among ties each step.
+
+All strategies are implemented as *secondary sort keys* so the reference
+and vectorized engines break ties identically (which the differential
+tests rely on).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro._rng import as_generator
+
+__all__ = ["TieBreak", "tie_keys"]
+
+
+class TieBreak(Enum):
+    QUEUE_THEN_ID = "queue_then_id"
+    QUEUE_THEN_REVERSED_ID = "queue_then_reversed_id"
+    QUEUE_THEN_RANDOM = "queue_then_random"
+
+
+def tie_keys(
+    strategy: TieBreak,
+    receivers: np.ndarray,
+    edge_ids: np.ndarray,
+    rng: np.random.Generator | None = None,
+    *,
+    num_edge_slots: int,
+) -> np.ndarray:
+    """Secondary sort key per half-edge (smaller key = tried first).
+
+    ``receivers`` / ``edge_ids`` describe candidate half-edges; the key
+    encodes (node id, edge id) so parallel edges also order deterministically.
+    For the random strategy a fresh permutation of edge slots is drawn from
+    ``rng`` each call — one call per simulation step gives i.i.d. tie orders.
+    """
+    base = receivers.astype(np.int64) * (num_edge_slots + 1) + edge_ids.astype(np.int64)
+    if strategy is TieBreak.QUEUE_THEN_ID:
+        return base
+    if strategy is TieBreak.QUEUE_THEN_REVERSED_ID:
+        return -base
+    if strategy is TieBreak.QUEUE_THEN_RANDOM:
+        gen = as_generator(rng)
+        perm = gen.permutation(num_edge_slots + 1)
+        # permute edge ids, keep grouping only by the permuted slot: a
+        # receiver-independent shuffle so ties across receivers also mix
+        return perm[edge_ids.astype(np.int64)]
+    raise ValueError(f"unknown tie-break strategy {strategy!r}")

@@ -1,0 +1,15 @@
+"""Dynamic (time-varying) topologies — Conjecture 4's setting."""
+
+from repro.dynamic.topology import (
+    EdgeChurnSchedule,
+    PeriodicLinkSchedule,
+    ScheduledChanges,
+    TopologySchedule,
+)
+
+__all__ = [
+    "TopologySchedule",
+    "ScheduledChanges",
+    "PeriodicLinkSchedule",
+    "EdgeChurnSchedule",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still discriminating the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a multigraph (unknown node, bad edge, ...)."""
+
+
+class FlowError(ReproError):
+    """A max-flow / min-cut computation was invoked on invalid input."""
+
+
+class InfeasibleNetworkError(ReproError):
+    """An operation required a feasible S-D-network but got an infeasible one.
+
+    Feasibility is in the sense of Definition 3 of the paper: there must
+    exist an :math:`s^*`-:math:`d^*` flow in the extended graph ``G*``
+    saturating every virtual source link.
+    """
+
+
+class SpecError(ReproError):
+    """A network specification (roles, rates, retention R) is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

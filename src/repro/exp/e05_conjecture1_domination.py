@@ -1,0 +1,111 @@
+"""E5 — Conjecture 1: domination by the maximal injection sequence.
+
+Paper claim: if LGG is stable on a feasible R-generalized network when
+every source injects *exactly* ``in(s)`` per step and no packet is lost,
+then it is stable under any dominated behaviour (fewer injections, losses
+allowed).
+
+The conjecture is unproven in the paper, so this experiment is the
+empirical check: we run the maximal baseline on each certified-*saturated*
+workload (the case where Theorem 2's proof actually consumes the
+conjecture), then a battery of dominated perturbations —
+
+* random sub-injection traces (each packet kept with prob. ``p``),
+* i.i.d. Bernoulli losses at several rates,
+* adversarial losses concentrated on min-cut edges,
+
+and verify every perturbed run stays bounded, with a steady-state queue
+mass no larger (up to noise) than the maximal run's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._rng import as_generator
+from repro.arrivals import TraceArrivals
+from repro.arrivals.trace import dominates, random_dominated_trace
+from repro.core import SimulationConfig, Simulator
+from repro.exp.common import ExperimentResult, main_for, register
+from repro.exp.workloads import saturated_suite
+from repro.loss import AdversarialEdgeLoss, BernoulliLoss
+
+
+def _run(spec, horizon, seed, arrivals=None, losses=None):
+    cfg = SimulationConfig(horizon=horizon, seed=seed, arrivals=arrivals, losses=losses)
+    return Simulator(spec, config=cfg).run()
+
+
+@register("e05", "Conjecture 1: dominated injections stay stable")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    horizon = 700 if fast else 6000
+    rng = as_generator(seed)
+    rows = []
+    all_ok = True
+    from dataclasses import replace
+
+    for name, spec in saturated_suite():
+        # pseudo-source variant of the same network (Definition 5): allowed
+        # to inject less than in(s)
+        gspec = replace(spec, exact_injection=False)
+        # maximal baseline: exact injection, no losses (Section V-B's setting)
+        base = _run(spec, horizon, seed)
+        base_tail = base.verdict.tail_mean_queued
+        perturbations = []
+
+        # (a) dominated random traces
+        full = [spec.in_vector() for _ in range(horizon)]
+        for p in (0.9, 0.5):
+            sub = random_dominated_trace(full, rng, keep_prob=p)
+            assert dominates(full, sub)
+            res = _run(gspec, horizon, seed, arrivals=TraceArrivals(sub))
+            perturbations.append((f"trace keep={p}", res))
+
+        # (b) i.i.d. losses
+        for q in (0.1, 0.3):
+            res = _run(spec, horizon, seed, losses=BernoulliLoss(q))
+            perturbations.append((f"bernoulli loss p={q}", res))
+
+        # (c) adversarial losses on min-cut edges
+        from repro.flow import feasible_flow, min_cut
+        from repro.graphs.extended import ArcKind
+
+        ext = spec.extended()
+        result = feasible_flow(ext)
+        cut = min_cut(result)
+        cut_edges = sorted(
+            {int(ext.refs[a]) for a in cut.arcs
+             if ext.kinds[a] in (ArcKind.EDGE_FWD, ArcKind.EDGE_BWD)}
+        )
+        if cut_edges:
+            res = _run(spec, horizon, seed, losses=AdversarialEdgeLoss(cut_edges[:1]))
+            perturbations.append(("adversarial cut-edge loss", res))
+
+        for pname, res in perturbations:
+            ok = res.verdict.bounded
+            all_ok &= ok
+            rows.append(
+                {
+                    "network": name,
+                    "perturbation": pname,
+                    "bounded": res.verdict.bounded,
+                    "tail queue": res.verdict.tail_mean_queued,
+                    "baseline tail": base_tail,
+                    "tail <= baseline(+noise)": res.verdict.tail_mean_queued
+                    <= base_tail + 2 * spec.n,
+                }
+            )
+    return ExperimentResult(
+        exp_id="e05",
+        title="Conjecture 1 domination check",
+        claim="stability under maximal no-loss injection implies stability under "
+        "any dominated injections / losses",
+        rows=tuple(rows),
+        conclusion="every dominated perturbation stayed bounded"
+        if all_ok else "a dominated run DIVERGED — counterexample to Conjecture 1!",
+        passed=all_ok,
+    )
+
+
+if __name__ == "__main__":
+    main_for(run)

@@ -1,0 +1,81 @@
+"""E7 — Section V-C: the min-cut induction, executed end to end.
+
+The paper proves the saturated case by splitting the network along an
+interior minimum cut (Fig. 3) into ``B'`` (sink side, border nodes become
+R-generalized *sources*) and ``A'`` (source side, border nodes become
+``R_B``-generalized *destinations*, where ``R_B`` bounds the packets
+stored in B).  Both constructions must be feasible, and stability of the
+pieces must propagate to the whole.
+
+This experiment runs each link of that chain on saturated bridge networks:
+1. find an interior min cut,
+2. build ``B'``, check feasibility, simulate, measure ``R_B``,
+3. build ``A'`` with retention ``R_B``, check feasibility, simulate,
+4. simulate the original network,
+and reports all four outcomes.
+"""
+
+from __future__ import annotations
+
+from repro.core import simulate_lgg
+from repro.exp.common import ExperimentResult, main_for, register
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+from repro.reduction import build_a_prime, build_b_prime, interior_min_cut
+
+
+def _suite():
+    yield "barbell-3-2", NetworkSpec.classical(gen.barbell(3, 2), {0: 1}, {7: 1})
+    yield "barbell-4-1", NetworkSpec.classical(gen.barbell(4, 1), {0: 1}, {8: 1})
+    g, entries, exits = gen.bottleneck_gadget(3, 3, 2)
+    yield "gadget-3-3-2", NetworkSpec.classical(
+        g, {entries[0]: 1, entries[1]: 1}, {v: 1 for v in exits}
+    )
+
+
+@register("e07", "Section V-C cut decomposition")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    horizon = 700 if fast else 6000
+    rows = []
+    all_ok = True
+    for name, spec in _suite():
+        cut = interior_min_cut(spec)
+        if cut is None:
+            rows.append({"network": name, "interior cut": False, "holds": False})
+            all_ok = False
+            continue
+        a_nodes, b_nodes = cut
+        b_side = build_b_prime(spec, a_nodes, b_nodes)
+        res_b = simulate_lgg(b_side.spec, horizon=horizon, seed=seed)
+        r_b = int(max(res_b.trajectory.total_queued))
+        a_side = build_a_prime(spec, a_nodes, b_nodes, r_b=r_b)
+        res_a = simulate_lgg(a_side.spec, horizon=horizon, seed=seed)
+        res_g = simulate_lgg(spec, horizon=horizon, seed=seed)
+        ok = res_b.verdict.bounded and res_a.verdict.bounded and res_g.verdict.bounded
+        all_ok &= ok
+        rows.append(
+            {
+                "network": name,
+                "|A|": len(a_nodes),
+                "|B|": len(b_nodes),
+                "B' bounded": res_b.verdict.bounded,
+                "R_B (measured)": r_b,
+                "A' bounded": res_a.verdict.bounded,
+                "G bounded": res_g.verdict.bounded,
+                "holds": ok,
+            }
+        )
+    return ExperimentResult(
+        exp_id="e07",
+        title="Min-cut induction decomposition",
+        claim="B' and A' of the Section V-C construction are feasible and stable, "
+        "and so is the original network",
+        rows=tuple(rows),
+        conclusion="the induction chain holds on every bridge network"
+        if all_ok else "a link of the chain failed — see table",
+        passed=all_ok,
+    )
+
+
+if __name__ == "__main__":
+    main_for(run)

@@ -1,0 +1,88 @@
+"""E10 — Conjecture 4: dynamic topologies that preserve feasibility.
+
+Paper claim: if the (time-varying) topology always admits a feasible
+S-D-flow, LGG stays stable — "at least in the unsaturated case".
+
+Setup: a theta graph with three branches.  The *churning* schedules tear
+branch edges up and down; as long as the two protected branches carry a
+feasible flow at all times, the run should stay bounded.  The control arm
+churns a branch that *is* needed (periodically leaving only insufficient
+capacity), breaking the conjecture's hypothesis — divergence expected.
+"""
+
+from __future__ import annotations
+
+from repro.core import SimulationConfig, Simulator
+from repro.dynamic import EdgeChurnSchedule, PeriodicLinkSchedule
+from repro.exp.common import ExperimentResult, main_for, register
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+@register("e10", "Conjecture 4: dynamic topology with persistent feasibility")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    horizon = 900 if fast else 7000
+    rows = []
+    all_ok = True
+
+    # theta with 3 branches of length 2 (edges: b1 = {0,1}, b2 = {2,3}, b3 = {4,5})
+    def theta_spec():
+        g, s, d = gen.theta_graph([2, 2, 2])
+        return NetworkSpec.classical(g, {s: 2}, {d: 3}), g
+
+    scenarios = []
+
+    spec, g = theta_spec()
+    scenarios.append((
+        "churn spare branch (feasible throughout)",
+        spec,
+        EdgeChurnSchedule([4, 5], period=5, p_up=0.5, seed=seed + 1),
+        True,
+    ))
+
+    spec, g = theta_spec()
+    scenarios.append((
+        "blink spare branch periodically (feasible throughout)",
+        spec,
+        PeriodicLinkSchedule([4, 5], on=7, off=7),
+        True,
+    ))
+
+    spec, g = theta_spec()
+    # kill two branches most of the time: long stretches with capacity 1 < in 2
+    scenarios.append((
+        "starve to one branch (infeasible epochs)",
+        spec,
+        PeriodicLinkSchedule([2, 3, 4, 5], on=2, off=18),
+        False,
+    ))
+
+    for name, spec, schedule, expect_bounded in scenarios:
+        cfg = SimulationConfig(horizon=horizon, seed=seed, topology=schedule)
+        res = Simulator(spec, config=cfg).run()
+        ok = res.verdict.bounded == expect_bounded
+        all_ok &= ok
+        rows.append(
+            {
+                "scenario": name,
+                "bounded": res.verdict.bounded,
+                "expected": expect_bounded,
+                "tail queue": res.verdict.tail_mean_queued,
+                "slope": res.verdict.slope,
+                "matches": ok,
+            }
+        )
+    return ExperimentResult(
+        exp_id="e10",
+        title="Dynamic-topology stability",
+        claim="LGG stable when every topology epoch admits a feasible flow; "
+        "divergent when churn destroys feasibility",
+        rows=tuple(rows),
+        conclusion="stability tracks persistent feasibility, as conjectured"
+        if all_ok else "Conjecture 4 shape violated — see table",
+        passed=all_ok,
+    )
+
+
+if __name__ == "__main__":
+    main_for(run)

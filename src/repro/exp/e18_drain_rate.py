@@ -1,0 +1,84 @@
+"""E18 — quantitative drain rate: the slack empties backlogs linearly.
+
+The quantitative core behind Conjecture 2: a backlog of ``B`` excess
+packets sitting at the sources of a network with slack ``f* − λ`` should
+drain in roughly ``B / (f* − λ)`` steps, because the spare cut capacity is
+the only thing removing excess.
+
+We preload source backlogs of increasing size on a 2-wide bottleneck with
+arrival rate 1 (slack 1 packet/step) and measure the time until the total
+queue first reaches its steady plateau.  The shape: drain time linear in
+``B`` with unit slope against the prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import SimulationConfig, Simulator, simulate_lgg
+from repro.exp.common import ExperimentResult, main_for, register
+from repro.flow import classify_network
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+def _spec():
+    # two disjoint 3-hop paths: arrival 1, f* = 2 -> slack 1 packet/step
+    g, s, d = gen.parallel_paths(2, 3)
+    return NetworkSpec.classical(g, {s: 1}, {d: 2}), s
+
+
+@register("e18", "Extension: backlog drains at the slack rate f* - lambda")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    spec, src = _spec()
+    report = classify_network(spec.extended())
+    slack = int(report.f_star) - int(report.arrival_rate)
+
+    # steady plateau level without backlog
+    base = simulate_lgg(spec, horizon=800 if fast else 4000, seed=seed)
+    plateau = float(np.mean(base.trajectory.total_queued[-100:]))
+
+    rows = []
+    all_ok = True
+    backlogs = (50, 100, 200) if fast else (50, 100, 200, 400, 800)
+    for b in backlogs:
+        q0 = np.zeros(spec.n, dtype=np.int64)
+        q0[src] = b
+        horizon = int(3 * b / max(slack, 1)) + 600
+        sim = Simulator(spec, config=SimulationConfig(horizon=horizon, seed=seed),
+                        initial_queues=q0)
+        res = sim.run()
+        totals = np.asarray(res.trajectory.total_queued, dtype=np.float64)
+        below = np.nonzero(totals <= plateau + 2 * spec.n)[0]
+        drain_time = int(below[0]) if len(below) else None
+        predicted = b / max(slack, 1)
+        ok = (
+            drain_time is not None
+            and 0.5 * predicted <= drain_time <= 2.0 * predicted + 100
+            and res.verdict.bounded
+        )
+        all_ok &= ok
+        rows.append(
+            {
+                "backlog B": b,
+                "slack f*-lambda": slack,
+                "predicted B/slack": predicted,
+                "measured drain time": drain_time if drain_time is not None else "never",
+                "ratio": (drain_time / predicted) if drain_time else float("nan"),
+                "matches": ok,
+            }
+        )
+    return ExperimentResult(
+        exp_id="e18",
+        title="Backlog drain-rate calibration",
+        claim="excess backlog B drains in ~ B / (f* - lambda) steps — the "
+        "quantitative mechanism behind Conjecture 2",
+        rows=tuple(rows),
+        conclusion="drain times track B/slack within 2x across backlog sizes"
+        if all_ok else "drain-rate shape not observed — see table",
+        passed=all_ok,
+    )
+
+
+if __name__ == "__main__":
+    main_for(run)

@@ -1,0 +1,134 @@
+"""E19 — the Goldberg–Tarjan connection, made executable (extension).
+
+The introduction relates LGG to "the distributed algorithm for the maximum
+flow problem proposed by Goldberg and Tarjan": both maintain one scalar
+per node and move units strictly downhill on it — explicit heights kept by
+relabeling there, queue lengths emerging from packet dynamics here.
+
+The analogy is *mechanistic*, not pointwise (after convergence GT's
+heights flatten out — excess is gone — while LGG's standing queues remain,
+since packets keep flowing).  So this experiment checks the three things
+that are actually comparable:
+
+1. **LGG's queue field is a sink-directed gradient**: Spearman correlation
+   between steady-state queue lengths and hop distance to the nearest sink
+   is strongly positive;
+2. **same optimality target**: the distributed push-relabel run on ``G*``
+   reaches exactly the max-flow value, and converged LGG *delivers* at
+   that same value per step (when saturated) — the local gradient achieves
+   the global optimum both times;
+3. **strict downhill motion**: every LGG transmission goes from a strictly
+   higher queue to a strictly lower revealed queue (measured over the run,
+   not assumed), mirroring GT's admissible-arc rule ``h(u) = h(v) + 1``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro.core import SimulationConfig, Simulator
+from repro.exp.common import ExperimentResult, main_for, register
+from repro.flow.distributed_pr import distributed_push_relabel
+from repro.flow.maxflow import max_flow
+from repro.flow.residual import FlowProblem
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+def _hop_distance_to_sinks(spec: NetworkSpec) -> np.ndarray:
+    dist = np.full(spec.n, -1, dtype=np.int64)
+    dq = deque()
+    for d in spec.destinations:
+        dist[d] = 0
+        dq.append(d)
+    adj = spec.graph.adjacency()
+    while dq:
+        v = dq.popleft()
+        for w in adj.neighbors_of(v):
+            if dist[w] == -1:
+                dist[w] = dist[v] + 1
+                dq.append(int(w))
+    return dist
+
+
+def _workloads():
+    g = gen.grid(5, 5)
+    yield "grid-5x5", NetworkSpec.classical(g, {0: 1}, {24: 2})
+    g2 = gen.grid(4, 6)
+    yield "grid-4x6", NetworkSpec.classical(g2, {0: 1, 5: 1}, {23: 3})
+    g3, s, d = gen.parallel_paths(3, 5)
+    yield "3-paths-len5", NetworkSpec.classical(g3, {s: 3}, {d: 3})
+
+
+@register("e19", "Extension: LGG's queue field vs Goldberg-Tarjan push-relabel")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    rows = []
+    all_ok = True
+    for name, spec in _workloads():
+        dist = _hop_distance_to_sinks(spec)
+        horizon = 3000 if fast else max(8000, 10 * int(dist.max()) ** 2)
+
+        cfg = SimulationConfig(horizon=horizon, seed=seed, record_events=True)
+        sim = Simulator(spec, config=cfg)
+        res = sim.run()
+        queues = res.final_queues.astype(float)
+
+        # (3) strict downhill motion, measured
+        downhill = 0
+        total_tx = 0
+        for ev in sim.events:
+            if len(ev.senders) == 0:
+                continue
+            q_seen = ev.q_start + ev.injections
+            downhill += int((q_seen[ev.senders] > q_seen[ev.receivers]).sum())
+            total_tx += len(ev.senders)
+        downhill_frac = downhill / max(total_tx, 1)
+
+        # (2) same optimum: GT value == max flow; LGG delivery == max flow
+        problem = FlowProblem.from_extended(spec.extended())
+        flow_value = int(max_flow(problem).value)
+        pr = distributed_push_relabel(problem)
+        tail = res.trajectory.delivered[-500:]
+        lgg_rate = float(np.mean(tail))
+
+        # (1) gradient shape
+        rho_q, _ = spearmanr(queues, dist)
+
+        ok = (
+            res.verdict.bounded
+            and rho_q > 0.7
+            and downhill_frac == 1.0
+            and pr.result.value == flow_value
+            and lgg_rate >= 0.9 * min(flow_value, spec.arrival_rate)
+        )
+        all_ok &= ok
+        rows.append(
+            {
+                "network": name,
+                "rho(queues, sink dist)": float(rho_q),
+                "downhill transmissions": f"{downhill_frac:.3f}",
+                "GT max flow": int(pr.result.value),
+                "GT rounds": pr.rounds,
+                "LGG delivery/step": lgg_rate,
+                "arrival": spec.arrival_rate,
+                "matches": ok,
+            }
+        )
+    return ExperimentResult(
+        exp_id="e19",
+        title="LGG queue field vs distributed push-relabel",
+        claim="LGG's emergent queue landscape is a sink-directed gradient, every "
+        "transmission moves strictly downhill (GT's admissibility rule), and the "
+        "local rule attains the same max-flow throughput GT computes",
+        rows=tuple(rows),
+        conclusion="all three mechanistic analogies hold on every workload"
+        if all_ok else "an analogy failed — see table",
+        passed=all_ok,
+    )
+
+
+if __name__ == "__main__":
+    main_for(run)

@@ -1,0 +1,96 @@
+"""E22 — latency vs offered load: LGG inverts the queueing intuition
+(extension).
+
+Theorem 1 is binary: below capacity everything is bounded.  The
+packet-level engine asks *how* bounded — and finds the opposite of the
+classic FIFO knee.  In a FIFO network, latency explodes as load
+approaches capacity.  Under LGG, latency is dominated by **gradient
+wandering**: at low load the queue landscape is weak and noisy, packets
+bounce between near-equal neighbours (hop counts well above the shortest
+path); at high load the standing gradient is steep and packets ride it
+straight to the sinks at line rate.
+
+Shape checks on a 3x4-hop parallel-path workload (shortest path = 4 hops):
+
+* every load level is bounded (all are feasible);
+* mean hop count *decreases* (weakly) as load grows, approaching the
+  4-hop shortest path at full load;
+* median latency stays within a narrow band across the whole load range —
+  no FIFO-style blow-up near capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from fractions import Fraction
+
+import numpy as np
+
+from repro.arrivals import ScaledArrivals
+from repro.core import SimulationConfig
+from repro.core.packet_engine import PacketSimulator
+from repro.exp.common import ExperimentResult, main_for, register
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+@register("e22", "Extension: latency vs load — gradient wandering, not a FIFO knee")
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    horizon = 2500 if fast else 10000
+    g, s, d = gen.parallel_paths(3, 4)
+    base = NetworkSpec.classical(g, {s: 3}, {d: 3})
+    spec = replace(base, exact_injection=False)
+    shortest = 4
+
+    rows = []
+    medians = []
+    hops = []
+    all_ok = True
+    loads = (Fraction(1, 4), Fraction(1, 2), Fraction(3, 4), Fraction(9, 10), Fraction(1, 1))
+    for load in loads:
+        cfg = SimulationConfig(
+            horizon=horizon, seed=seed, arrivals=ScaledArrivals(spec, load)
+        )
+        sim = PacketSimulator(spec, config=cfg)
+        res = sim.run()
+        warm = [p for p in sim.packets
+                if p.delivered_at is not None and p.born > horizon // 4]
+        med = float(np.median([p.latency for p in warm])) if warm else float("inf")
+        mh = float(np.mean([p.hops for p in warm])) if warm else float("inf")
+        medians.append(med)
+        hops.append(mh)
+        all_ok &= res.verdict.bounded and np.isfinite(med)
+        rows.append(
+            {
+                "load / capacity": float(load),
+                "bounded": res.verdict.bounded,
+                "median latency": med,
+                "mean hops": mh,
+                "shortest path": shortest,
+                "delivered": len(warm),
+            }
+        )
+    # hop counts weakly decrease toward the shortest path as load grows
+    for a, b in zip(hops, hops[1:]):
+        if b > a + 0.2:
+            all_ok = False
+    if not (hops[-1] <= shortest + 0.2):
+        all_ok = False
+    # no FIFO blow-up: latency band stays narrow across the load range
+    if max(medians) > 3 * max(min(medians), 1.0):
+        all_ok = False
+    return ExperimentResult(
+        exp_id="e22",
+        title="Latency-load profile of LGG",
+        claim="hop counts shrink toward the shortest path as load grows (the "
+        "gradient straightens), and median latency stays flat to capacity — "
+        "LGG has no FIFO-style latency knee",
+        rows=tuple(rows),
+        conclusion="gradient wandering dominates at low load; line-rate surfing at "
+        "high load" if all_ok else "latency/hop shape not observed — see table",
+        passed=all_ok,
+    )
+
+
+if __name__ == "__main__":
+    main_for(run)

@@ -1,0 +1,66 @@
+"""Generic parameter-sweep scaffolding for experiments.
+
+A sweep is a cartesian grid of named parameters, each cell run over
+``repeats`` derived seeds.  Cells get collision-free reproducible seeds
+via :func:`repro._rng.derive_seed`, so re-running any single cell in
+isolation reproduces it exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro._rng import derive_seed
+from repro.errors import ExperimentError
+
+__all__ = ["SweepCell", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: its parameters and the per-repeat row dicts."""
+
+    params: Mapping[str, Any]
+    rows: tuple[Mapping[str, Any], ...]
+
+    def fraction(self, key: str) -> float:
+        """Fraction of repeats whose row has a truthy ``key``."""
+        if not self.rows:
+            raise ExperimentError("empty sweep cell")
+        return sum(bool(r.get(key)) for r in self.rows) / len(self.rows)
+
+    def mean(self, key: str) -> float:
+        if not self.rows:
+            raise ExperimentError("empty sweep cell")
+        return sum(float(r[key]) for r in self.rows) / len(self.rows)
+
+
+def run_sweep(
+    grid: Mapping[str, Sequence[Any]],
+    cell_fn: Callable[..., Mapping[str, Any]],
+    *,
+    repeats: int = 1,
+    seed: int = 0,
+) -> list[SweepCell]:
+    """Run ``cell_fn(seed=..., **params)`` over the grid.
+
+    ``cell_fn`` receives each grid parameter by name plus a derived integer
+    ``seed`` and returns a row dict.  Returns one :class:`SweepCell` per
+    grid point, in grid order.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    if not grid:
+        raise ExperimentError("empty sweep grid")
+    names = list(grid)
+    cells: list[SweepCell] = []
+    for values in itertools.product(*(grid[k] for k in names)):
+        params = dict(zip(names, values))
+        rows = []
+        for r in range(repeats):
+            cell_seed = derive_seed(seed, *[f"{k}={v}" for k, v in params.items()], r)
+            rows.append(dict(cell_fn(seed=cell_seed, **params)))
+        cells.append(SweepCell(params=params, rows=tuple(rows)))
+    return cells

@@ -1,0 +1,108 @@
+"""Standard workloads shared by the experiments.
+
+Each builder returns a spec whose Definition 3/4 class is certified by the
+flow machinery at build time (the experiments assert it), so an experiment
+can never silently run on the wrong regime.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.flow import NetworkClass, classify_network
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+__all__ = [
+    "expect_class",
+    "unsaturated_suite",
+    "saturated_suite",
+    "infeasible_suite",
+    "bottleneck_spec",
+]
+
+
+def expect_class(spec: NetworkSpec, want: NetworkClass) -> NetworkSpec:
+    """Assert the spec's feasibility class; returns the spec for chaining."""
+    got = classify_network(spec.extended()).network_class
+    if got is not want:
+        raise ExperimentError(
+            f"workload misconfigured: expected {want.value}, classified {got.value}"
+        )
+    return spec
+
+
+def unsaturated_suite() -> list[tuple[str, NetworkSpec]]:
+    """Certified-unsaturated networks of varied shape."""
+    out: list[tuple[str, NetworkSpec]] = []
+
+    g, s, d = gen.parallel_paths(2, 3)
+    out.append(("2-parallel-paths", expect_class(
+        NetworkSpec.classical(g, {s: 1}, {d: 2}), NetworkClass.UNSATURATED)))
+
+    g, s, d = gen.parallel_paths(4, 2)
+    out.append(("4-parallel-paths", expect_class(
+        NetworkSpec.classical(g, {s: 2}, {d: 4}), NetworkClass.UNSATURATED)))
+
+    g, s, d = gen.theta_graph([1, 2, 3])
+    out.append(("theta-1-2-3", expect_class(
+        NetworkSpec.classical(g, {s: 2}, {d: 3}), NetworkClass.UNSATURATED)))
+
+    g = gen.grid(4, 4)
+    out.append(("grid-4x4", expect_class(
+        NetworkSpec.classical(g, {5: 1}, {10: 3}), NetworkClass.UNSATURATED)))
+
+    g = gen.complete(6)
+    out.append(("K6", expect_class(
+        NetworkSpec.classical(g, {0: 2, 1: 1}, {4: 4, 5: 4}), NetworkClass.UNSATURATED)))
+    return out
+
+
+def saturated_suite() -> list[tuple[str, NetworkSpec]]:
+    """Certified-saturated (feasible, zero slack) networks."""
+    out: list[tuple[str, NetworkSpec]] = []
+
+    out.append(("unit-path", expect_class(
+        NetworkSpec.classical(gen.path(5), {0: 1}, {4: 1}), NetworkClass.SATURATED)))
+
+    g = gen.barbell(3, 2)
+    out.append(("barbell-bridge", expect_class(
+        NetworkSpec.classical(g, {0: 1}, {7: 1}), NetworkClass.SATURATED)))
+
+    g, entries, exits = gen.bottleneck_gadget(2, 2, 2)
+    out.append(("gadget-2-2-2", expect_class(
+        NetworkSpec.classical(g, {v: 1 for v in entries}, {v: 1 for v in exits}),
+        NetworkClass.SATURATED)))
+
+    g, s, d = gen.parallel_paths(3, 3)
+    out.append(("3-paths-full", expect_class(
+        NetworkSpec.classical(g, {s: 3}, {d: 3}), NetworkClass.SATURATED)))
+    return out
+
+
+def infeasible_suite() -> list[tuple[str, NetworkSpec]]:
+    """Certified-infeasible networks (arrival exceeds every cut)."""
+    out: list[tuple[str, NetworkSpec]] = []
+
+    g, entries, exits = gen.bottleneck_gadget(3, 3, 1)
+    out.append(("gadget-3-over-1", expect_class(
+        NetworkSpec.classical(g, {v: 1 for v in entries}, {v: 1 for v in exits}),
+        NetworkClass.INFEASIBLE)))
+
+    out.append(("path-overdriven", expect_class(
+        NetworkSpec.classical(gen.path(4), {0: 3}, {3: 3}), NetworkClass.INFEASIBLE)))
+    return out
+
+
+def bottleneck_spec(active_sources: int, *, width: int = 8, bridge: int = 4) -> NetworkSpec:
+    """The E3/E4 sweep network: ``width`` potential unit sources feeding a
+    ``bridge``-wide cut; ``active_sources`` of them actually inject.
+
+    ``f* = bridge`` whenever ``active_sources >= bridge``, so the stability
+    crossover sits exactly at ``active_sources == bridge``.
+    """
+    g, entries, exits = gen.bottleneck_gadget(width, width, bridge)
+    if not (1 <= active_sources <= width):
+        raise ExperimentError(f"active_sources must be in [1, {width}]")
+    in_rates = {v: 1 for v in entries[:active_sources]}
+    out_rates = {v: 1 for v in exits}
+    return NetworkSpec.classical(g, in_rates, out_rates)

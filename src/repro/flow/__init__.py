@@ -1,0 +1,69 @@
+"""Max-flow / min-cut substrate.
+
+The paper's stability results hinge on flows in the extended graph ``G*``
+(Definitions 3–4) and on minimum cuts (Section V).  This subpackage
+implements, from scratch:
+
+* :mod:`~repro.flow.residual` — the directed flow-network representation
+  shared by all solvers (exact :class:`fractions.Fraction` or float
+  capacities),
+* :mod:`~repro.flow.edmonds_karp` — BFS augmenting paths,
+* :mod:`~repro.flow.dinic` — Dinic's blocking-flow algorithm,
+* :mod:`~repro.flow.push_relabel` — Goldberg–Tarjan push-relabel (the
+  paper's reference [6]), FIFO and highest-label variants,
+* :mod:`~repro.flow.mincut` — cut extraction and the cut taxonomy of
+  Section V (trivial source cut / sink cut / interior S-D-cut),
+* :mod:`~repro.flow.feasibility` — Definitions 3–4: feasible, unsaturated,
+  saturated; the certified ε margin; ``f*``,
+* :mod:`~repro.flow.decomposition` — flow → path decomposition, used by the
+  maximum-flow routing baseline (the ``E_t^Φ`` of the proofs).
+"""
+
+from repro.flow.residual import FlowProblem, FlowResult
+from repro.flow.maxflow import max_flow, ALGORITHMS
+from repro.flow.mincut import min_cut, CutKind, MinCut, classify_cut, is_unique_min_cut, is_sd_cut
+from repro.flow.feasibility import (
+    FeasibilityReport,
+    NetworkClass,
+    classify_network,
+    f_star,
+    feasible_flow,
+)
+from repro.flow.decomposition import (
+    PathDecomposition,
+    decompose_paths,
+    edge_flow_from_result,
+)
+from repro.flow.cut_enum import CutFamily, count_min_cuts, enumerate_min_cuts
+from repro.flow.capacity_scaling import capacity_scaling
+from repro.flow.distributed_pr import DistributedRun, distributed_push_relabel
+from repro.flow.lp import lp_max_flow, lp_unsaturation_margin
+
+__all__ = [
+    "FlowProblem",
+    "FlowResult",
+    "max_flow",
+    "ALGORITHMS",
+    "min_cut",
+    "CutKind",
+    "MinCut",
+    "classify_cut",
+    "is_unique_min_cut",
+    "is_sd_cut",
+    "FeasibilityReport",
+    "NetworkClass",
+    "classify_network",
+    "f_star",
+    "feasible_flow",
+    "PathDecomposition",
+    "decompose_paths",
+    "edge_flow_from_result",
+    "capacity_scaling",
+    "DistributedRun",
+    "distributed_push_relabel",
+    "CutFamily",
+    "count_min_cuts",
+    "enumerate_min_cuts",
+    "lp_max_flow",
+    "lp_unsaturation_margin",
+]

@@ -1,0 +1,201 @@
+"""Flow path decomposition — the routing plan of the ``Φ`` baseline.
+
+The paper's proofs compare LGG against "pushing the packets along the paths
+allowing a maximum flow" (the set ``E_t^Φ``).  To *run* that comparison we
+need the actual paths: this module cancels antiparallel flow on the two
+directed copies of each undirected edge, then peels source-to-sink paths
+off the net flow (classic flow decomposition; at most ``m`` paths).
+
+With integral capacities the solvers return integral flows, so each peeled
+path has an integer value and the baseline can forward whole packets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.errors import FlowError
+from repro.flow.residual import FlowResult
+from repro.graphs.extended import ArcKind, ExtendedGraph
+
+__all__ = ["PathDecomposition", "FlowPath", "edge_flow_from_result", "decompose_paths"]
+
+
+@dataclass(frozen=True)
+class FlowPath:
+    """One source-to-sink path of the decomposition.
+
+    ``nodes`` runs from a real source to a real sink (the virtual ``s*`` /
+    ``d*`` hops are stripped); ``edge_dirs`` lists, per hop, the base edge
+    id and the direction it is used in (``(eid, u, v)`` meaning packet moves
+    ``u -> v``).
+    """
+
+    nodes: tuple[int, ...]
+    edge_dirs: tuple[tuple[int, int, int], ...]
+    value: object  # Number
+
+    @property
+    def source(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def sink(self) -> int:
+        return self.nodes[-1]
+
+
+@dataclass(frozen=True)
+class PathDecomposition:
+    """A max flow decomposed into source-to-sink paths.
+
+    ``edge_flow[(eid)] = (u, v, amount)`` gives the *net* per-edge flow after
+    antiparallel cancellation; the paths partition exactly that flow.
+    """
+
+    paths: tuple[FlowPath, ...]
+    edge_flow: Mapping[int, tuple[int, int, object]]
+    value: object
+
+    def per_source(self) -> dict[int, object]:
+        out: dict[int, object] = {}
+        for p in self.paths:
+            out[p.source] = out.get(p.source, 0) + p.value
+        return out
+
+    def per_sink(self) -> dict[int, object]:
+        out: dict[int, object] = {}
+        for p in self.paths:
+            out[p.sink] = out.get(p.sink, 0) + p.value
+        return out
+
+
+def edge_flow_from_result(ext: ExtendedGraph, result: FlowResult) -> dict[int, tuple[int, int, object]]:
+    """Net flow per base edge, antiparallel circulation cancelled.
+
+    Returns ``eid -> (u, v, amount)`` with ``amount > 0`` meaning the flow
+    uses the edge in direction ``u -> v``.  Cancelling the two directed
+    copies never changes the flow value or conservation, and guarantees
+    each physical link carries at most its capacity in one direction —
+    matching the paper's undirected model.
+    """
+    fwd: dict[int, object] = {}
+    bwd: dict[int, object] = {}
+    for j, (kind, ref) in enumerate(zip(ext.kinds, ext.refs)):
+        if kind is ArcKind.EDGE_FWD:
+            fwd[int(ref)] = result.flows[j]
+        elif kind is ArcKind.EDGE_BWD:
+            bwd[int(ref)] = result.flows[j]
+    out: dict[int, tuple[int, int, object]] = {}
+    for j, (kind, ref) in enumerate(zip(ext.kinds, ext.refs)):
+        if kind is not ArcKind.EDGE_FWD:
+            continue
+        eid = int(ref)
+        u, v = int(ext.tails[j]), int(ext.heads[j])
+        net = fwd.get(eid, 0) - bwd.get(eid, 0)
+        if net > 0:
+            out[eid] = (u, v, net)
+        elif net < 0:
+            out[eid] = (v, u, -net)
+    return out
+
+
+def decompose_paths(ext: ExtendedGraph, result: FlowResult) -> PathDecomposition:
+    """Peel the net flow into source-to-sink paths.
+
+    Cycles in the net flow (possible even after antiparallel cancellation,
+    e.g. a triangle of circulation) are discarded — they carry no
+    source-to-sink value and the paper's baseline never uses them.
+    """
+    edge_flow = edge_flow_from_result(ext, result)
+
+    # remaining capacity per directed use of a base edge + virtual arcs
+    remaining: dict[int, object] = {eid: amt for eid, (_, _, amt) in edge_flow.items()}
+    direction: dict[int, tuple[int, int]] = {eid: (u, v) for eid, (u, v, _) in edge_flow.items()}
+    out_edges: dict[int, list[int]] = {}
+    for eid, (u, _v) in direction.items():
+        out_edges.setdefault(u, []).append(eid)
+
+    src_remaining: dict[int, object] = {}
+    snk_remaining: dict[int, object] = {}
+    for j, (kind, ref) in enumerate(zip(ext.kinds, ext.refs)):
+        if kind is ArcKind.SOURCE and result.flows[j] > 0:
+            src_remaining[int(ref)] = result.flows[j]
+        elif kind is ArcKind.SINK and result.flows[j] > 0:
+            snk_remaining[int(ref)] = result.flows[j]
+
+    paths: list[FlowPath] = []
+    total = 0
+    # each iteration of the outer loop zeroes at least one edge capacity,
+    # source remainder or sink remainder, so this bound is safe
+    max_iter = 4 * (len(edge_flow) + len(src_remaining) + len(snk_remaining) + 1)
+    for src in sorted(src_remaining):
+        guard = 0
+        while src_remaining[src] > 0:
+            guard += 1
+            if guard > max_iter:
+                raise FlowError("path decomposition failed to terminate (flow not conserved?)")
+            # walk from src until a node with residual sink capacity; peel
+            # off any cycle encountered along the way (cycles carry no
+            # source-to-sink value)
+            nodes = [src]
+            hops: list[tuple[int, int, int]] = []
+            visited = {src: 0}  # node -> index in `nodes`
+            v = src
+            while snk_remaining.get(v, 0) <= 0:
+                candidates = [e for e in out_edges.get(v, []) if remaining[e] > 0]
+                if not candidates:
+                    raise FlowError(
+                        f"stuck at node {v} during decomposition: flow enters but "
+                        "neither leaves nor is extracted (conservation violated?)"
+                    )
+                e = next((c for c in candidates if direction[c][1] not in visited), None)
+                if e is None:
+                    # every outgoing option closes a cycle: peel the cycle.
+                    # After earlier peels the walk may traverse an edge more
+                    # than once, so account per-edge multiplicity.
+                    e = candidates[0]
+                    w = direction[e][1]
+                    i = visited[w]
+                    cycle = hops[i:] + [(e, v, w)]
+                    cnt = Counter(ee for ee, _, _ in cycle)
+                    cb = min(Fraction(remaining[ee], c) if isinstance(remaining[ee], int)
+                             else remaining[ee] / c
+                             for ee, c in cnt.items())
+                    for ee, c in cnt.items():
+                        remaining[ee] -= cb * c
+                    for _, _a, b in hops[i:]:
+                        del visited[b]
+                    del hops[i:]
+                    del nodes[i + 1 :]
+                    v = w
+                    continue
+                w = direction[e][1]
+                hops.append((e, v, w))
+                nodes.append(w)
+                visited[w] = len(nodes) - 1
+                v = w
+            cnt = Counter(e for e, _, _ in hops)
+            bottleneck = min(
+                [src_remaining[src], snk_remaining[v]]
+                + [
+                    Fraction(remaining[e], c) if isinstance(remaining[e], int) else remaining[e] / c
+                    for e, c in cnt.items()
+                ]
+            )
+            if bottleneck <= 0:
+                continue  # a peel zeroed an edge of this walk; retry
+            src_remaining[src] -= bottleneck
+            snk_remaining[v] -= bottleneck
+            for e, c in cnt.items():
+                remaining[e] -= bottleneck * c
+            paths.append(FlowPath(nodes=tuple(nodes), edge_dirs=tuple(hops), value=bottleneck))
+            total = total + bottleneck
+
+    if total != result.value:
+        raise FlowError(
+            f"decomposed value {total} != flow value {result.value}"
+        )
+    return PathDecomposition(paths=tuple(paths), edge_flow=edge_flow, value=total)

@@ -1,0 +1,150 @@
+"""Synchronous *distributed* Goldberg–Tarjan push-relabel.
+
+The paper motivates LGG as "related to the distributed algorithm for the
+maximum flow problem proposed by Goldberg and Tarjan [6]".  This module
+makes the relation executable: a round-synchronous push-relabel where, in
+every round, *all* active nodes simultaneously
+
+1. push their excess along admissible arcs (height exactly one higher
+   than the head's height, positive residual), then
+2. relabel to one above their lowest residual neighbour if no push was
+   possible,
+
+using only neighbour heights — the same information model as LGG, whose
+"heights" are queue lengths and whose "pushes" are packet transmissions.
+The structural difference, and the reason LGG needs a stability *proof*
+rather than a termination proof: LGG has no relabeling, heights emerge
+from the packet dynamics themselves.
+
+The implementation is a faithful synchronous simulator of the distributed
+algorithm (cf. Goldberg & Tarjan 1988, Section 6), with a round budget
+and convergence detection; its output max-flow value is cross-checked
+against the sequential solvers in the tests, and experiment F-level
+comparisons use its round-by-round height field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FlowError
+from repro.flow.residual import FlowProblem, FlowResult, Residual
+
+__all__ = ["DistributedRun", "distributed_push_relabel"]
+
+
+@dataclass(frozen=True)
+class DistributedRun:
+    """Outcome of the synchronous distributed execution."""
+
+    result: FlowResult
+    rounds: int
+    converged: bool
+    height_history: tuple[tuple[int, ...], ...]  # per recorded round
+    excess_history: tuple[tuple[int, ...], ...]
+
+
+def distributed_push_relabel(
+    problem: FlowProblem,
+    *,
+    max_rounds: int = 100_000,
+    record_every: int = 0,
+) -> DistributedRun:
+    """Run the round-synchronous distributed push-relabel to completion.
+
+    ``record_every > 0`` stores the height and excess vectors every that
+    many rounds (plus the final state) for landscape comparisons.
+
+    Raises :class:`FlowError` if ``max_rounds`` elapse before convergence —
+    the algorithm is guaranteed to converge in O(V²) rounds on unit-ish
+    networks, so the generous default only trips on genuine bugs.
+    """
+    res = Residual(problem)
+    n, s, t = problem.n, problem.source, problem.sink
+    height = [0] * n
+    height[s] = n
+    excess = [0] * n
+
+    # initial saturation of the source arcs
+    for a in res.adj[s]:
+        cap = res.residual[a]
+        if cap > 0:
+            v = res.to[a]
+            res.push(a, cap)
+            excess[v] += cap
+            excess[s] -= cap
+
+    heights_hist: list[tuple[int, ...]] = []
+    excess_hist: list[tuple[int, ...]] = []
+
+    def record() -> None:
+        heights_hist.append(tuple(height))
+        excess_hist.append(tuple(int(e) for e in excess))
+
+    if record_every:
+        record()
+
+    rounds = 0
+    converged = False
+    while rounds < max_rounds:
+        active = [v for v in range(n) if v not in (s, t) and excess[v] > 0]
+        if not active:
+            converged = True
+            break
+        rounds += 1
+
+        # Phase 1 (simultaneous): every active node plans pushes against the
+        # *current* heights; plans are then applied together.  A node only
+        # pushes what it holds, so simultaneous application stays valid.
+        pushes: list[tuple[int, object]] = []  # (arc, amount)
+        pushed_nodes: set[int] = set()
+        for u in active:
+            remaining = excess[u]
+            for a in res.adj[u]:
+                if remaining <= 0:
+                    break
+                if res.residual[a] > 0 and height[u] == height[res.to[a]] + 1:
+                    amount = remaining if remaining < res.residual[a] else res.residual[a]
+                    pushes.append((a, amount))
+                    remaining -= amount
+                    pushed_nodes.add(u)
+            # nodes that pushed anything do not relabel this round
+        for a, amount in pushes:
+            u = res.to[a ^ 1]
+            v = res.to[a]
+            res.push(a, amount)
+            excess[u] -= amount
+            excess[v] += amount
+
+        # Phase 2 (simultaneous): stuck active nodes relabel against the
+        # heights read at the start of the round
+        new_heights = list(height)
+        for u in active:
+            if u in pushed_nodes:
+                continue
+            options = [height[res.to[a]] for a in res.adj[u] if res.residual[a] > 0]
+            if options:
+                new_heights[u] = min(options) + 1
+        height = new_heights
+
+        if record_every and rounds % record_every == 0:
+            record()
+
+    if not converged:
+        raise FlowError(
+            f"distributed push-relabel did not converge in {max_rounds} rounds"
+        )
+    if record_every:
+        record()
+
+    value = excess[t]
+    result = FlowResult(
+        problem=problem, value=value, flows=tuple(res.flows()), residual=res
+    )
+    return DistributedRun(
+        result=result,
+        rounds=rounds,
+        converged=converged,
+        height_history=tuple(heights_hist),
+        excess_history=tuple(excess_hist),
+    )

@@ -1,0 +1,58 @@
+"""Edmonds–Karp max flow: shortest augmenting paths by BFS.
+
+O(V · E²); the simplest correct solver, kept as the differential-testing
+reference for Dinic and push-relabel.  Works unchanged for ``int``,
+``float`` and :class:`fractions.Fraction` capacities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flow.residual import FlowProblem, FlowResult, Residual
+
+__all__ = ["edmonds_karp"]
+
+
+def edmonds_karp(problem: FlowProblem) -> FlowResult:
+    """Compute a maximum ``source -> sink`` flow by BFS augmentation."""
+    res = Residual(problem)
+    s, t = problem.source, problem.sink
+    value = 0
+    parent_arc = [-1] * problem.n
+
+    while True:
+        for i in range(problem.n):
+            parent_arc[i] = -1
+        parent_arc[s] = -2  # sentinel: visited, no incoming arc
+        queue = deque([s])
+        found = False
+        while queue and not found:
+            u = queue.popleft()
+            for a in res.adj[u]:
+                if res.residual[a] > 0:
+                    v = res.to[a]
+                    if parent_arc[v] == -1:
+                        parent_arc[v] = a
+                        if v == t:
+                            found = True
+                            break
+                        queue.append(v)
+        if not found:
+            break
+        # bottleneck along the path, then push
+        bottleneck = None
+        v = t
+        while v != s:
+            a = parent_arc[v]
+            r = res.residual[a]
+            bottleneck = r if bottleneck is None or r < bottleneck else bottleneck
+            v = res.to[a ^ 1]
+        v = t
+        while v != s:
+            a = parent_arc[v]
+            res.push(a, bottleneck)
+            v = res.to[a ^ 1]
+        value = value + bottleneck
+
+    return FlowResult(problem=problem, value=value, flows=tuple(res.flows()), residual=res)

@@ -1,0 +1,200 @@
+"""Feasibility classification of S-D-networks (Definitions 3 and 4).
+
+* **Feasible** (Def. 3): there is an ``s*``-``d*`` flow in ``G*`` with
+  ``Φ(s*, s) = in(s)`` for every source — equivalently, the max flow
+  saturates every virtual source arc, i.e. equals the arrival rate
+  ``Σ in(s)``.
+* **Unsaturated** (Def. 4): still feasible when every source capacity is
+  scaled to ``(1 + ε) in(s)`` for some ``ε > 0``.  By convexity of the
+  feasible-ε set it suffices to test one sufficiently small rational ε
+  (see :func:`certification_epsilon`), which we do with exact
+  :class:`fractions.Fraction` arithmetic — no floating-point doubt.
+* **f*** : the max-flow value once the virtual source arcs get infinite
+  capacity — the divergence threshold of Theorem 1's converse.
+
+Everything here consumes an :class:`~repro.graphs.extended.ExtendedGraph`
+(built by :func:`repro.graphs.extended.build_extended_graph`) or a
+:class:`~repro.network.spec.NetworkSpec` via its ``extended()`` helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Optional
+
+from repro.errors import FlowError
+from repro.flow.maxflow import max_flow
+from repro.flow.mincut import CutKind, MinCut, classify_cut, is_unique_min_cut, min_cut
+from repro.flow.residual import FlowProblem, FlowResult
+
+__all__ = [
+    "NetworkClass",
+    "FeasibilityReport",
+    "classify_network",
+    "f_star",
+    "feasible_flow",
+    "certification_epsilon",
+    "max_unsaturation_margin",
+]
+
+
+class NetworkClass(Enum):
+    """Stability-region classification of an S-D-network."""
+
+    INFEASIBLE = "infeasible"    # arrival rate exceeds what any method can route
+    SATURATED = "saturated"      # feasible, but with zero slack (ε = 0 only)
+    UNSATURATED = "unsaturated"  # feasible with strictly positive slack
+
+
+@dataclass(frozen=True)
+class FeasibilityReport:
+    """Everything the experiments need to know about a network's flow regime."""
+
+    network_class: NetworkClass
+    arrival_rate: object             # Σ in(v), exact
+    max_flow_value: object           # max s*-d* flow with capacities in(v)
+    f_star: object                   # max s*-d* flow with infinite source caps
+    certified_epsilon: Optional[Fraction]  # the ε > 0 used to certify 'unsaturated'
+    min_cut: MinCut
+    cut_kind: CutKind
+    unique_min_cut: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.network_class is not NetworkClass.INFEASIBLE
+
+    @property
+    def unsaturated(self) -> bool:
+        return self.network_class is NetworkClass.UNSATURATED
+
+
+def _exact_problem(ext, *, source_cap_override=None) -> FlowProblem:
+    """Build a FlowProblem with all capacities coerced to Fractions."""
+    p = FlowProblem.from_extended(ext, source_cap_override=source_cap_override)
+    return FlowProblem(
+        n=p.n,
+        tails=p.tails,
+        heads=p.heads,
+        capacities=[Fraction(c) if not isinstance(c, Fraction) else c for c in p.capacities],
+        source=p.source,
+        sink=p.sink,
+    )
+
+
+def feasible_flow(ext, algorithm: str = "dinic") -> FlowResult:
+    """Max ``s*``-``d*`` flow of ``G*`` with the nominal source capacities."""
+    return max_flow(_exact_problem(ext), algorithm)
+
+
+def f_star(ext, algorithm: str = "dinic") -> object:
+    """Max flow with *infinite* capacity on the ``(s*, v)`` arcs.
+
+    "Infinite" is implemented as total sink capacity + 1, which no s*-d*
+    flow can exceed, so the relaxation is exact.
+    """
+    big = sum(ext.out_rates.values(), start=Fraction(0)) + 1
+    override = {v: big for v in ext.in_rates}
+    result = max_flow(_exact_problem(ext, source_cap_override=override), algorithm)
+    return result.value
+
+
+def certification_epsilon(ext) -> Fraction:
+    """An ε > 0 small enough that 'feasible at this ε' ⇔ 'unsaturated'.
+
+    Max-flow/min-cut duality makes the scaled max-flow value
+    ``v(ε) = min_C [(1 + ε)·inCross(C) + rest(C)]`` over cuts ``C``.  The
+    network is unsaturated iff every cut with ``inCross(C) < Σin`` has
+    strictly more capacity than the arrival rate, and the binding threshold
+    is ``min_C (cap₀(C) − Σin) / (Σin − inCross(C))``.  With ``L`` the lcm
+    of all capacity denominators, every cut capacity is a multiple of
+    ``1/L``, so the threshold is at least ``1 / (L · (⌊Σin⌋ + 1))``; any ε
+    strictly below that decides Definition 4.  Convexity (interpolate with
+    a feasible ε = 0 flow) gives the converse: feasible at any ε' > 0
+    implies feasible at every smaller positive ε.
+    """
+    from math import lcm
+
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
+    if arrival <= 0:
+        return Fraction(1)  # no injections: vacuously unsaturated at any ε
+    dens = [Fraction(c).denominator for c in ext.capacities]
+    dens.append(arrival.denominator)
+    L = lcm(*dens) if dens else 1
+    return Fraction(1, 2 * L * (int(arrival) + 2))
+
+
+def classify_network(ext, algorithm: str = "dinic") -> FeasibilityReport:
+    """Full Definitions 3–4 classification of an extended graph ``G*``."""
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
+    base = feasible_flow(ext, algorithm)
+    cut = min_cut(base)
+    problem = base.problem
+    kind = classify_cut(cut, problem)
+    unique = is_unique_min_cut(base)
+    fs = f_star(ext, algorithm)
+
+    if base.value < arrival:
+        return FeasibilityReport(
+            network_class=NetworkClass.INFEASIBLE,
+            arrival_rate=arrival,
+            max_flow_value=base.value,
+            f_star=fs,
+            certified_epsilon=None,
+            min_cut=cut,
+            cut_kind=kind,
+            unique_min_cut=unique,
+        )
+
+    eps = certification_epsilon(ext)
+    scaled_caps = {v: (1 + eps) * Fraction(r) for v, r in ext.in_rates.items()}
+    scaled = max_flow(_exact_problem(ext, source_cap_override=scaled_caps), algorithm)
+    unsaturated = scaled.value == (1 + eps) * arrival
+
+    return FeasibilityReport(
+        network_class=NetworkClass.UNSATURATED if unsaturated else NetworkClass.SATURATED,
+        arrival_rate=arrival,
+        max_flow_value=base.value,
+        f_star=fs,
+        certified_epsilon=eps if unsaturated else None,
+        min_cut=cut,
+        cut_kind=kind,
+        unique_min_cut=unique,
+    )
+
+
+def max_unsaturation_margin(ext, *, tol: Fraction = Fraction(1, 1024), algorithm: str = "dinic") -> Fraction:
+    """Largest ε (to within ``tol``) with ``(1 + ε) in`` still feasible.
+
+    This is the ε of Definition 4 maximised — binary search on exact
+    rationals, so the returned value is a certified *lower* bound with
+    ``returned + tol`` an upper bound.  Returns 0 for saturated/infeasible
+    networks.
+    """
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
+    if arrival <= 0:
+        raise FlowError("margin undefined for a network with no injections")
+
+    def feasible_at(eps: Fraction) -> bool:
+        caps = {v: (1 + eps) * Fraction(r) for v, r in ext.in_rates.items()}
+        res = max_flow(_exact_problem(ext, source_cap_override=caps), algorithm)
+        return res.value == (1 + eps) * arrival
+
+    if not feasible_at(Fraction(0)):
+        return Fraction(0)
+    lo = Fraction(0)
+    # exponential search for an infeasible upper bracket
+    hi = Fraction(1)
+    while feasible_at(hi):
+        lo = hi
+        hi *= 2
+        if hi > 2**20:  # pathological: essentially unbounded slack
+            return lo
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        if feasible_at(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,196 @@
+"""Directed flow-network representation shared by every max-flow solver.
+
+The representation is the classic *paired residual arc* layout: original
+arc ``j`` owns residual slots ``2j`` (forward, capacity ``cap_j - flow_j``)
+and ``2j + 1`` (backward, capacity ``flow_j``).  Solvers only manipulate the
+``residual`` array; flows are recovered at the end.
+
+Capacities may be ``int``, ``float`` or :class:`fractions.Fraction`.
+Exact :class:`~fractions.Fraction` capacities are what the feasibility
+classifier uses to certify the ε of Definition 4 without floating-point
+doubt; the solvers are written generically so both modes share one code
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import FlowError
+
+__all__ = ["FlowProblem", "FlowResult", "Residual"]
+
+Number = Union[int, float, Fraction]
+
+
+@dataclass(frozen=True)
+class FlowProblem:
+    """A single-source single-sink max-flow instance on a directed multigraph.
+
+    ``tails[j] -> heads[j]`` with capacity ``capacities[j]``; parallel arcs
+    and antiparallel pairs are fine.  Nodes are ``0 .. n-1``.
+    """
+
+    n: int
+    tails: Sequence[int]
+    heads: Sequence[int]
+    capacities: Sequence[Number]
+    source: int
+    sink: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise FlowError(f"need at least one node, got n={self.n}")
+        if not (len(self.tails) == len(self.heads) == len(self.capacities)):
+            raise FlowError("tails/heads/capacities length mismatch")
+        if not (0 <= self.source < self.n) or not (0 <= self.sink < self.n):
+            raise FlowError(f"source/sink out of range: {self.source}, {self.sink}")
+        if self.source == self.sink:
+            raise FlowError("source and sink must differ")
+        for j, (u, v, c) in enumerate(zip(self.tails, self.heads, self.capacities)):
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise FlowError(f"arc {j} endpoint out of range: ({u}, {v})")
+            if c < 0:
+                raise FlowError(f"arc {j} has negative capacity {c}")
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.tails)
+
+    @classmethod
+    def from_extended(cls, ext, *, source_cap_override: dict[int, Number] | None = None) -> "FlowProblem":
+        """Build the ``s* -> d*`` instance from an
+        :class:`~repro.graphs.extended.ExtendedGraph`.
+
+        ``source_cap_override`` replaces the capacity of selected ``(s*, v)``
+        arcs (keyed by base node ``v``) — used by ``f*`` (infinite source
+        capacity) and by the ε-scaling feasibility probes.
+        """
+        from repro.graphs.extended import ArcKind  # local import avoids a cycle
+
+        caps = list(ext.capacities)
+        if source_cap_override:
+            for i, (kind, ref) in enumerate(zip(ext.kinds, ext.refs)):
+                if kind is ArcKind.SOURCE and int(ref) in source_cap_override:
+                    caps[i] = source_cap_override[int(ref)]
+        return cls(
+            n=ext.n,
+            tails=[int(t) for t in ext.tails],
+            heads=[int(h) for h in ext.heads],
+            capacities=caps,
+            source=ext.s_star,
+            sink=ext.d_star,
+        )
+
+
+class Residual:
+    """Mutable residual network for a :class:`FlowProblem`.
+
+    Residual arc ``2j`` is the forward copy of original arc ``j``; ``2j ^ 1``
+    is always its partner.  Adjacency is a per-node list of residual arc
+    indices, built once.
+    """
+
+    __slots__ = ("problem", "to", "residual", "adj")
+
+    def __init__(self, problem: FlowProblem) -> None:
+        self.problem = problem
+        m = problem.num_arcs
+        self.to: list[int] = [0] * (2 * m)
+        self.residual: list[Number] = [0] * (2 * m)
+        self.adj: list[list[int]] = [[] for _ in range(problem.n)]
+        for j, (u, v, c) in enumerate(zip(problem.tails, problem.heads, problem.capacities)):
+            f, b = 2 * j, 2 * j + 1
+            self.to[f] = v
+            self.to[b] = u
+            self.residual[f] = c
+            self.residual[b] = 0
+            self.adj[u].append(f)
+            self.adj[v].append(b)
+
+    def push(self, arc: int, amount: Number) -> None:
+        """Move ``amount`` units of residual capacity along ``arc``."""
+        self.residual[arc] -= amount
+        self.residual[arc ^ 1] += amount
+
+    def flows(self) -> list[Number]:
+        """Per-original-arc flow values (the backward residual)."""
+        return [self.residual[2 * j + 1] for j in range(self.problem.num_arcs)]
+
+    def reachable_from(self, start: int) -> np.ndarray:
+        """Boolean mask of nodes reachable from ``start`` via positive residual."""
+        seen = np.zeros(self.problem.n, dtype=bool)
+        seen[start] = True
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for a in self.adj[u]:
+                if self.residual[a] > 0:
+                    v = self.to[a]
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+        return seen
+
+    def co_reachable_to(self, target: int) -> np.ndarray:
+        """Boolean mask of nodes that can reach ``target`` via positive residual."""
+        seen = np.zeros(self.problem.n, dtype=bool)
+        seen[target] = True
+        stack = [target]
+        while stack:
+            v = stack.pop()
+            for a in self.adj[v]:
+                # arc a leaves v; its partner a^1 enters v from self.to[a].
+                if self.residual[a ^ 1] > 0:
+                    u = self.to[a]
+                    if not seen[u]:
+                        seen[u] = True
+                        stack.append(u)
+        return seen
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Outcome of a max-flow computation.
+
+    ``flows[j]`` is the flow on original arc ``j``; ``value`` is the total
+    ``source -> sink`` flow.  The residual network is retained so cut
+    extraction does not recompute anything.
+    """
+
+    problem: FlowProblem
+    value: Number
+    flows: tuple[Number, ...]
+    residual: Residual = field(repr=False, compare=False)
+
+    def check(self) -> None:
+        """Validate capacity and conservation constraints (testing aid)."""
+        p = self.problem
+        excess: list[Number] = [0] * p.n
+        for j, f in enumerate(self.flows):
+            if f < 0 or f > p.capacities[j]:
+                raise FlowError(f"arc {j}: flow {f} violates capacity {p.capacities[j]}")
+            excess[p.heads[j]] += f
+            excess[p.tails[j]] -= f
+        for v in range(p.n):
+            if v in (p.source, p.sink):
+                continue
+            if excess[v] != 0:
+                raise FlowError(f"conservation violated at node {v}: excess {excess[v]}")
+        if excess[p.sink] != self.value or excess[p.source] != -self.value:
+            raise FlowError(
+                f"flow value {self.value} inconsistent with node excess "
+                f"(source {excess[p.source]}, sink {excess[p.sink]})"
+            )
+
+    def source_side(self) -> np.ndarray:
+        """Min-cut source side: nodes residually reachable from the source."""
+        return self.residual.reachable_from(self.problem.source)
+
+    def sink_side_complement(self) -> np.ndarray:
+        """Largest min-cut source side: complement of nodes co-reachable to sink."""
+        return ~self.residual.co_reachable_to(self.problem.sink)

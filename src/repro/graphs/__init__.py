@@ -1,0 +1,28 @@
+"""Multigraph substrate.
+
+The paper models the network as a *multigraph* ``G = (V, E)`` — parallel
+edges matter because each physical link carries at most one packet per step,
+so two parallel links double the capacity between their endpoints.  This
+subpackage provides:
+
+* :class:`~repro.graphs.multigraph.MultiGraph` — the core container,
+* :mod:`~repro.graphs.generators` — topology generators used by the
+  experiments (paths, grids, random graphs, bottleneck gadgets, ...),
+* :mod:`~repro.graphs.extended` — the ``G*`` construction of Fig. 2 / Fig. 4
+  (virtual source ``s*`` and sink ``d*``),
+* :mod:`~repro.graphs.convert` — networkx interoperability.
+"""
+
+from repro.graphs.multigraph import MultiGraph
+from repro.graphs.extended import ExtendedGraph, build_extended_graph
+from repro.graphs import generators
+from repro.graphs.convert import from_networkx, to_networkx
+
+__all__ = [
+    "MultiGraph",
+    "ExtendedGraph",
+    "build_extended_graph",
+    "generators",
+    "from_networkx",
+    "to_networkx",
+]

@@ -1,0 +1,48 @@
+"""networkx interoperability.
+
+The library's own :class:`~repro.graphs.multigraph.MultiGraph` is the source
+of truth everywhere; these converters exist for cross-checking our flow
+solvers against networkx and for users who already hold networkx objects.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graphs.multigraph import MultiGraph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def from_networkx(g: "nx.Graph | nx.MultiGraph") -> tuple[MultiGraph, dict[Hashable, int]]:
+    """Convert a networkx (multi)graph.
+
+    Returns ``(multigraph, label_map)`` where ``label_map`` maps original
+    node labels to our dense integer ids (insertion order of ``g.nodes``).
+    Directed graphs are rejected — the paper's links are undirected.
+    """
+    if g.is_directed():
+        raise GraphError("directed networkx graphs are not supported (links are undirected)")
+    label_map: dict[Hashable, int] = {node: i for i, node in enumerate(g.nodes)}
+    mg = MultiGraph(len(label_map))
+    if g.is_multigraph():
+        edge_iter = ((u, v) for u, v, _k in g.edges(keys=True))
+    else:
+        edge_iter = iter(g.edges())
+    for u, v in edge_iter:
+        if u == v:
+            continue  # self-loops carry no routing semantics; drop them
+        mg.add_edge(label_map[u], label_map[v])
+    return mg, label_map
+
+
+def to_networkx(g: MultiGraph) -> nx.MultiGraph:
+    """Convert to an ``nx.MultiGraph``; edge ids become the `eid` attribute."""
+    out = nx.MultiGraph()
+    out.add_nodes_from(range(g.n))
+    for eid, u, v in g.edges():
+        out.add_edge(u, v, eid=eid)
+    return out

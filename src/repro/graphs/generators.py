@@ -1,0 +1,397 @@
+"""Topology generators used across the experiments.
+
+Each generator returns a bare :class:`~repro.graphs.multigraph.MultiGraph`;
+sources/sinks/rates are layered on top by :mod:`repro.network.spec`.  Where
+an experiment needs a canonical source/sink placement, companion helpers
+here return a suggested ``(graph, sources, sinks)`` triple.
+
+All stochastic generators take an explicit ``seed`` and are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import GraphError
+from repro.graphs.multigraph import MultiGraph
+
+__all__ = [
+    "path",
+    "cycle",
+    "complete",
+    "star",
+    "grid",
+    "torus",
+    "binary_tree",
+    "random_gnp",
+    "random_regular",
+    "random_geometric",
+    "random_multigraph",
+    "barbell",
+    "wheel",
+    "hypercube",
+    "caterpillar",
+    "random_tree",
+    "ring_of_cliques",
+    "bottleneck_gadget",
+    "parallel_paths",
+    "theta_graph",
+    "paper_figure_graph",
+]
+
+
+def path(n: int) -> MultiGraph:
+    """Path on ``n`` nodes: ``0 - 1 - ... - n-1``."""
+    _require(n >= 1, f"path needs >= 1 node, got {n}")
+    return MultiGraph.from_edges(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle(n: int) -> MultiGraph:
+    """Cycle on ``n >= 3`` nodes."""
+    _require(n >= 3, f"cycle needs >= 3 nodes, got {n}")
+    g = path(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def complete(n: int) -> MultiGraph:
+    """Complete graph ``K_n``."""
+    _require(n >= 1, f"complete graph needs >= 1 node, got {n}")
+    return MultiGraph.from_edges(n, ((i, j) for i in range(n) for j in range(i + 1, n)))
+
+
+def star(leaves: int) -> MultiGraph:
+    """Star: node 0 is the hub, nodes ``1..leaves`` are the spokes."""
+    _require(leaves >= 1, f"star needs >= 1 leaf, got {leaves}")
+    return MultiGraph.from_edges(leaves + 1, ((0, i) for i in range(1, leaves + 1)))
+
+
+def grid(rows: int, cols: int) -> MultiGraph:
+    """``rows x cols`` 4-neighbour mesh; node ``(r, c)`` is ``r * cols + c``."""
+    _require(rows >= 1 and cols >= 1, f"grid needs positive dims, got {rows}x{cols}")
+    g = MultiGraph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def torus(rows: int, cols: int) -> MultiGraph:
+    """Grid with wrap-around links in both dimensions.
+
+    Wrap links that would duplicate a mesh link (2-long dimensions) are
+    still added — this is a *multigraph*, and the doubled capacity is the
+    honest reading of a 2-cycle torus.
+    """
+    _require(rows >= 2 and cols >= 2, f"torus needs dims >= 2, got {rows}x{cols}")
+    g = grid(rows, cols)
+    for r in range(rows):
+        g.add_edge(r * cols + (cols - 1), r * cols)
+    for c in range(cols):
+        g.add_edge((rows - 1) * cols + c, c)
+    return g
+
+
+def binary_tree(depth: int) -> MultiGraph:
+    """Complete binary tree of the given depth (depth 0 = single node)."""
+    _require(depth >= 0, f"depth must be >= 0, got {depth}")
+    n = 2 ** (depth + 1) - 1
+    g = MultiGraph(n)
+    for i in range(n):
+        left, right = 2 * i + 1, 2 * i + 2
+        if left < n:
+            g.add_edge(i, left)
+        if right < n:
+            g.add_edge(i, right)
+    return g
+
+
+def random_gnp(n: int, p: float, seed: SeedLike = None, *, ensure_connected: bool = False) -> MultiGraph:
+    """Erdős–Rényi ``G(n, p)``.
+
+    With ``ensure_connected`` a spanning random tree is added first so the
+    result is always connected (useful for routing experiments where an
+    isolated sink makes every arrival rate infeasible).
+    """
+    _require(n >= 1, f"G(n,p) needs >= 1 node, got {n}")
+    _require(0.0 <= p <= 1.0, f"p must be in [0,1], got {p}")
+    rng = as_generator(seed)
+    g = MultiGraph(n)
+    present: set[tuple[int, int]] = set()
+    if ensure_connected and n > 1:
+        order = rng.permutation(n)
+        for i in range(1, n):
+            u = int(order[i])
+            v = int(order[int(rng.integers(0, i))])
+            g.add_edge(u, v)
+            present.add((min(u, v), max(u, v)))
+    if p > 0:
+        iu, jv = np.triu_indices(n, k=1)
+        mask = rng.random(len(iu)) < p
+        for u, v in zip(iu[mask], jv[mask]):
+            key = (int(u), int(v))
+            if key not in present:
+                g.add_edge(int(u), int(v))
+    return g
+
+
+def random_regular(n: int, d: int, seed: SeedLike = None, *, max_tries: int = 200) -> MultiGraph:
+    """Random ``d``-regular simple graph via the pairing model with retries."""
+    _require(n >= 1 and d >= 0, f"bad (n, d) = ({n}, {d})")
+    _require(n * d % 2 == 0, f"n*d must be even, got n={n}, d={d}")
+    _require(d < n, f"need d < n for a simple graph, got d={d}, n={n}")
+    rng = as_generator(seed)
+    stubs = np.repeat(np.arange(n), d)
+    for _ in range(max_tries):
+        perm = rng.permutation(len(stubs))
+        shuffled = stubs[perm]
+        pairs = shuffled.reshape(-1, 2)
+        ok = True
+        seen: set[tuple[int, int]] = set()
+        for u, v in pairs:
+            a, b = int(min(u, v)), int(max(u, v))
+            if a == b or (a, b) in seen:
+                ok = False
+                break
+            seen.add((a, b))
+        if ok:
+            return MultiGraph.from_edges(n, ((int(u), int(v)) for u, v in pairs))
+    raise GraphError(f"failed to sample a simple {d}-regular graph on {n} nodes in {max_tries} tries")
+
+
+def random_geometric(n: int, radius: float, seed: SeedLike = None) -> MultiGraph:
+    """Random geometric graph on the unit square (wireless-style topology)."""
+    _require(n >= 1, f"need >= 1 node, got {n}")
+    _require(radius > 0, f"radius must be positive, got {radius}")
+    rng = as_generator(seed)
+    pts = rng.random((n, 2))
+    g = MultiGraph(n)
+    r2 = radius * radius
+    for i in range(n):
+        d2 = np.sum((pts[i + 1 :] - pts[i]) ** 2, axis=1)
+        for j in np.nonzero(d2 <= r2)[0]:
+            g.add_edge(i, int(i + 1 + j))
+    return g
+
+
+def random_multigraph(n: int, m: int, seed: SeedLike = None) -> MultiGraph:
+    """``m`` edges drawn uniformly over node pairs, parallel edges kept."""
+    _require(n >= 2, f"need >= 2 nodes, got {n}")
+    _require(m >= 0, f"need >= 0 edges, got {m}")
+    rng = as_generator(seed)
+    g = MultiGraph(n)
+    for _ in range(m):
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n - 1))
+        if v >= u:
+            v += 1
+        g.add_edge(u, v)
+    return g
+
+
+def barbell(clique: int, bridge: int) -> MultiGraph:
+    """Two ``K_clique`` cliques joined by a path of ``bridge`` interior nodes.
+
+    The bridge is the canonical *interior min cut* used by the Section V-C
+    decomposition experiments (E7).
+    """
+    _require(clique >= 2, f"cliques need >= 2 nodes, got {clique}")
+    _require(bridge >= 0, f"bridge length must be >= 0, got {bridge}")
+    n = 2 * clique + bridge
+    g = MultiGraph(n)
+    for i in range(clique):
+        for j in range(i + 1, clique):
+            g.add_edge(i, j)
+            g.add_edge(clique + bridge + i, clique + bridge + j)
+    chain = [clique - 1] + [clique + k for k in range(bridge)] + [clique + bridge]
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b)
+    return g
+
+
+def wheel(spokes: int) -> MultiGraph:
+    """Wheel: a ``spokes``-cycle (nodes ``1..spokes``) plus hub node 0."""
+    _require(spokes >= 3, f"wheel needs >= 3 spokes, got {spokes}")
+    g = MultiGraph(spokes + 1)
+    for i in range(1, spokes + 1):
+        g.add_edge(0, i)
+        g.add_edge(i, 1 + (i % spokes))
+    return g
+
+
+def hypercube(dim: int) -> MultiGraph:
+    """``dim``-dimensional hypercube ``Q_dim`` (node ids = bit patterns)."""
+    _require(0 <= dim <= 16, f"dimension must be in [0, 16], got {dim}")
+    n = 1 << dim
+    g = MultiGraph(n)
+    for v in range(n):
+        for b in range(dim):
+            w = v ^ (1 << b)
+            if w > v:
+                g.add_edge(v, w)
+    return g
+
+
+def caterpillar(spine: int, legs_per_node: int) -> MultiGraph:
+    """Caterpillar tree: a ``spine``-path with ``legs_per_node`` leaves each.
+
+    Spine nodes are ``0..spine-1``; leaves follow in spine order.
+    """
+    _require(spine >= 1, f"spine needs >= 1 node, got {spine}")
+    _require(legs_per_node >= 0, f"legs must be >= 0, got {legs_per_node}")
+    g = path(spine)
+    for v in range(spine):
+        for _ in range(legs_per_node):
+            (leaf,) = g.add_nodes(1)
+            g.add_edge(v, leaf)
+    return g
+
+
+def random_tree(n: int, seed: SeedLike = None) -> MultiGraph:
+    """Uniform random labelled tree (random Prüfer sequence)."""
+    _require(n >= 1, f"need >= 1 node, got {n}")
+    if n <= 2:
+        return path(n)
+    rng = as_generator(seed)
+    prufer = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for v in prufer:
+        degree[v] += 1
+    g = MultiGraph(n)
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, int(v))
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, int(v))
+    u = heapq.heappop(leaves)
+    w = heapq.heappop(leaves)
+    g.add_edge(u, w)
+    return g
+
+
+def ring_of_cliques(cliques: int, clique_size: int) -> MultiGraph:
+    """``cliques`` copies of ``K_clique_size`` joined in a ring by single links.
+
+    Each single inter-clique link is a width-1 cut — a topology with many
+    interior min cuts, useful for the Section V machinery.
+    """
+    _require(cliques >= 3, f"need >= 3 cliques, got {cliques}")
+    _require(clique_size >= 2, f"cliques need >= 2 nodes, got {clique_size}")
+    n = cliques * clique_size
+    g = MultiGraph(n)
+    for c in range(cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    for c in range(cliques):
+        a = c * clique_size + (clique_size - 1)
+        b = ((c + 1) % cliques) * clique_size
+        g.add_edge(a, b)
+    return g
+
+
+def bottleneck_gadget(width_in: int, width_out: int, bottleneck: int) -> tuple[MultiGraph, list[int], list[int]]:
+    """Layered gadget with a controllable min cut.
+
+    Layout: ``width_in`` entry nodes, all joined to a left hub, ``bottleneck``
+    parallel edges from the left hub to the right hub, right hub joined to
+    ``width_out`` exit nodes.  The max source-to-sink flow is exactly
+    ``min(width_in, bottleneck, width_out)`` per step when every entry node
+    is a unit source and every exit node a unit sink.
+
+    Returns ``(graph, entry_nodes, exit_nodes)``.
+    """
+    _require(width_in >= 1 and width_out >= 1 and bottleneck >= 1, "all widths must be >= 1")
+    n = width_in + width_out + 2
+    g = MultiGraph(n)
+    left_hub = width_in
+    right_hub = width_in + 1
+    entries = list(range(width_in))
+    exits = [width_in + 2 + k for k in range(width_out)]
+    for v in entries:
+        g.add_edge(v, left_hub)
+    for _ in range(bottleneck):
+        g.add_edge(left_hub, right_hub)
+    for v in exits:
+        g.add_edge(right_hub, v)
+    return g, entries, exits
+
+
+def parallel_paths(k: int, length: int) -> tuple[MultiGraph, int, int]:
+    """``k`` disjoint paths of the given ``length`` sharing endpoints.
+
+    Returns ``(graph, source_node, sink_node)``.  Max flow between the
+    endpoints is ``k``; queue gradients build independently along each path,
+    which makes the Property 1/2 certificates easy to visualise.
+    """
+    _require(k >= 1, f"need >= 1 path, got {k}")
+    _require(length >= 1, f"paths need length >= 1, got {length}")
+    # nodes: 0 = source endpoint, 1 = sink endpoint, then interior nodes
+    n = 2 + k * (length - 1)
+    g = MultiGraph(n)
+    nxt = 2
+    for _ in range(k):
+        prev = 0
+        for _ in range(length - 1):
+            g.add_edge(prev, nxt)
+            prev = nxt
+            nxt += 1
+        g.add_edge(prev, 1)
+    return g, 0, 1
+
+
+def theta_graph(lengths: Sequence[int]) -> tuple[MultiGraph, int, int]:
+    """Generalised theta graph: internally disjoint paths of given lengths
+    between two poles.  ``lengths[i] == 1`` contributes a parallel edge."""
+    _require(len(lengths) >= 1, "need at least one path")
+    g = MultiGraph(2)
+    for L in lengths:
+        _require(L >= 1, f"path lengths must be >= 1, got {L}")
+        prev = 0
+        for _ in range(L - 1):
+            (new,) = g.add_nodes(1)
+            g.add_edge(prev, new)
+            prev = new
+        g.add_edge(prev, 1)
+    return g, 0, 1
+
+
+def paper_figure_graph() -> tuple[MultiGraph, list[int], list[int]]:
+    """A small S-D multigraph in the spirit of the paper's Fig. 1.
+
+    Eight nodes, two sources, two sinks, one parallel edge, and an interior
+    bottleneck; used by the figure-construction benches (F1–F4).
+    Returns ``(graph, sources, sinks)``.
+    """
+    # 0, 1: sources    6, 7: sinks     2..5: relay mesh
+    g = MultiGraph(8)
+    g.add_edge(0, 2)
+    g.add_edge(0, 3)
+    g.add_edge(1, 3)
+    g.add_edge(1, 3)  # parallel edge — it's a multigraph
+    g.add_edge(2, 4)
+    g.add_edge(3, 4)
+    g.add_edge(3, 5)
+    g.add_edge(4, 5)
+    g.add_edge(4, 6)
+    g.add_edge(5, 7)
+    g.add_edge(5, 6)
+    return g, [0, 1], [6, 7]
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise GraphError(msg)

@@ -1,0 +1,15 @@
+"""Wireless-interference models — Conjecture 5's setting."""
+
+from repro.interference.matching import (
+    GreedyMatchingInterference,
+    InterferenceModel,
+    OracleMatchingInterference,
+)
+from repro.interference.distance2 import DistanceTwoInterference
+
+__all__ = [
+    "InterferenceModel",
+    "GreedyMatchingInterference",
+    "OracleMatchingInterference",
+    "DistanceTwoInterference",
+]

@@ -1,0 +1,21 @@
+"""Network model: S-D-networks (Section II) and R-generalized
+S-D-networks (Section IV, Definitions 5–8).
+
+A :class:`~repro.network.spec.NetworkSpec` is the immutable *description*
+of a network — multigraph + per-node injection/extraction rates + the
+generalized-model parameters (retention constant ``R`` and queue-length
+revelation policy).  The mutable runtime state (queues, time) lives in the
+simulation engine (:mod:`repro.core.engine`); trajectory recording lives in
+:mod:`repro.network.state`.
+"""
+
+from repro.network.spec import NetworkSpec, NodeRole, RevelationPolicy
+from repro.network.state import Trajectory, network_state
+
+__all__ = [
+    "NetworkSpec",
+    "NodeRole",
+    "RevelationPolicy",
+    "Trajectory",
+    "network_state",
+]

@@ -1,0 +1,136 @@
+"""Network-state tracking: the potential ``P_t`` and run trajectories.
+
+Definition 1 of the paper: ``P_t = Σ_{v ∈ V} q_t(v)²``.  The protocol is
+stable iff the sequence ``(P_t)`` is bounded (Definition 2).  Trajectories
+record ``P_t`` plus the per-step accounting the analysis needs (packets
+injected / delivered / lost / transmitted), with an optional full queue
+history for small runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["network_state", "StepStats", "Trajectory"]
+
+
+def network_state(queues: np.ndarray) -> int:
+    """The paper's ``P_t = Σ q_t(v)²`` for a queue vector.
+
+    Computed in Python ints via ``object`` dtype only when queues are huge;
+    the fast path uses int64 and checks for overflow (queues beyond ~3e9
+    would square past int64 — divergence experiments can get there).
+    """
+    q = np.asarray(queues)
+    if q.size == 0:
+        return 0
+    mx = int(np.abs(q).max())
+    if mx < 3_000_000_000:
+        return int(np.dot(q.astype(np.int64), q.astype(np.int64)))
+    return sum(int(x) * int(x) for x in q)
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Per-step accounting emitted by the engine."""
+
+    t: int
+    injected: int          # packets entering source queues this step
+    transmitted: int       # packets leaving a queue over a link (|E_t|)
+    lost: int              # transmitted but dropped in transit
+    delivered: int         # packets extracted by sinks this step
+    potential: int         # P_{t+1}: network state after the step
+    total_queued: int      # Σ q_{t+1}(v)
+    max_queue: int
+
+
+@dataclass
+class Trajectory:
+    """Recorded run: ``P_t`` series plus cumulative packet accounting.
+
+    ``potentials[0]`` is the state *before* the first step (``P_0``);
+    ``potentials[t]`` after step ``t-1``.  The conservation invariant
+
+        initial + injected == queued + delivered + lost
+
+    must hold at every step; :meth:`check_conservation` asserts it.
+    """
+
+    n: int
+    initial_queued: int = 0
+    potentials: list[int] = field(default_factory=list)
+    total_queued: list[int] = field(default_factory=list)
+    max_queues: list[int] = field(default_factory=list)
+    injected: list[int] = field(default_factory=list)
+    transmitted: list[int] = field(default_factory=list)
+    lost: list[int] = field(default_factory=list)
+    delivered: list[int] = field(default_factory=list)
+    queue_history: Optional[list[np.ndarray]] = None  # per-step snapshots, opt-in
+
+    @classmethod
+    def begin(cls, queues: np.ndarray, *, record_queues: bool = False) -> "Trajectory":
+        traj = cls(n=len(queues), initial_queued=int(queues.sum()))
+        traj.potentials.append(network_state(queues))
+        traj.total_queued.append(int(queues.sum()))
+        traj.max_queues.append(int(queues.max()) if len(queues) else 0)
+        if record_queues:
+            traj.queue_history = [queues.copy()]
+        return traj
+
+    def record(self, stats: StepStats, queues: Optional[np.ndarray] = None) -> None:
+        self.potentials.append(stats.potential)
+        self.total_queued.append(stats.total_queued)
+        self.max_queues.append(stats.max_queue)
+        self.injected.append(stats.injected)
+        self.transmitted.append(stats.transmitted)
+        self.lost.append(stats.lost)
+        self.delivered.append(stats.delivered)
+        if self.queue_history is not None:
+            if queues is None:
+                raise SimulationError("queue recording enabled but no queues passed")
+            self.queue_history.append(queues.copy())
+
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        return len(self.injected)
+
+    @property
+    def final_potential(self) -> int:
+        return self.potentials[-1]
+
+    @property
+    def peak_potential(self) -> int:
+        return max(self.potentials)
+
+    def potential_deltas(self) -> np.ndarray:
+        """``P_{t+1} - P_t`` series (length = steps)."""
+        p = self.potentials
+        return np.array([p[i + 1] - p[i] for i in range(len(p) - 1)], dtype=np.int64)
+
+    def cumulative(self, name: str) -> int:
+        series = getattr(self, name)
+        return int(sum(series))
+
+    def check_conservation(self) -> None:
+        """Assert injected = queued + delivered + lost at the end of the run."""
+        got = self.total_queued[-1] + self.cumulative("delivered") + self.cumulative("lost")
+        want = self.initial_queued + self.cumulative("injected")
+        if got != want:
+            raise SimulationError(
+                f"packet conservation violated: initial({self.initial_queued}) + "
+                f"injected({self.cumulative('injected')}) = {want}, but queued + "
+                f"delivered + lost = {got}"
+            )
+
+    def tail_mean_potential(self, fraction: float = 0.25) -> float:
+        """Mean of the last ``fraction`` of the ``P_t`` series (steady state)."""
+        if not (0 < fraction <= 1):
+            raise SimulationError(f"fraction must be in (0, 1], got {fraction}")
+        k = max(1, int(len(self.potentials) * fraction))
+        return float(np.mean(self.potentials[-k:]))

@@ -1,0 +1,249 @@
+"""Machine-readable inventory of the paper's claims.
+
+Every theorem, lemma, property, conjecture and load-bearing inline remark
+of *Stability of a localized and greedy routing algorithm* (IPPS 2010),
+as structured records: what the paper asserts, whether the paper proves
+it (and under which hypothesis), and which experiment of this repository
+exercises it.  The CLI exposes the table (``python -m repro claims``) and
+EXPERIMENTS.md is generated against it, so the documentation can never
+silently drift from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = ["ClaimStatus", "Claim", "CLAIMS", "claim_by_id", "claims_for_experiment"]
+
+
+class ClaimStatus(Enum):
+    """Epistemic status *in the paper*."""
+
+    PROVEN = "proven"                        # unconditional proof in the paper
+    PROVEN_UNDER_CONJECTURE = "proven under Conjecture 1"
+    CONJECTURED = "conjectured"
+    REMARK = "remark (asserted without proof)"
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checkable statement from the paper."""
+
+    claim_id: str
+    name: str
+    section: str
+    status: ClaimStatus
+    statement: str
+    experiment: Optional[str]   # experiment id that exercises it (None = structural)
+    notes: str = ""
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        claim_id="thm1",
+        name="Theorem 1",
+        section="II",
+        status=ClaimStatus.PROVEN_UNDER_CONJECTURE,
+        statement="If the S-D-network is feasible, LGG is stable; otherwise the "
+        "stored-packet count may diverge under any algorithm.",
+        experiment="e03",
+        notes="The unsaturated case is proven outright (Lemma 1); the saturated "
+        "case reduces to Conjecture 1 via Sections IV-V.",
+    ),
+    Claim(
+        claim_id="thm1-converse",
+        name="Theorem 1 (converse half)",
+        section="II",
+        status=ClaimStatus.PROVEN,
+        statement="With arrival rate above f*, packets accumulate behind a minimum "
+        "cut at rate at least (lambda - f*) per step, for every algorithm.",
+        experiment="e04",
+    ),
+    Claim(
+        claim_id="lem1",
+        name="Lemma 1",
+        section="III",
+        status=ClaimStatus.PROVEN,
+        statement="On an unsaturated S-D-network the state P_t is bounded by a "
+        "constant depending only on the network and arrival rate (n Y^2 + 5 n Delta^2).",
+        experiment="e01",
+    ),
+    Claim(
+        claim_id="prop1",
+        name="Property 1",
+        section="III",
+        status=ClaimStatus.PROVEN,
+        statement="P_{t+1} - P_t <= 5 n Delta^2 for all t (unsaturated case).",
+        experiment="e01",
+    ),
+    Claim(
+        claim_id="prop2",
+        name="Property 2",
+        section="III",
+        status=ClaimStatus.PROVEN,
+        statement="If P_t > n Y^2 with Y = (5 n f*/eps + 3n) Delta^2, then "
+        "P_{t+1} - P_t < -5 n Delta^2.",
+        experiment="e02",
+    ),
+    Claim(
+        claim_id="thm2",
+        name="Theorem 2",
+        section="V",
+        status=ClaimStatus.PROVEN_UNDER_CONJECTURE,
+        statement="For every R >= 0, LGG is stable on any feasible R-generalized "
+        "S-D-network; in particular on any feasible S-D-network.",
+        experiment="e06",
+    ),
+    Claim(
+        claim_id="prop3-5",
+        name="Properties 3 and 5",
+        section="V-A / Annex",
+        status=ClaimStatus.PROVEN,
+        statement="R-generalized growth bound: P_{t+1} - P_t <= 2|S∪D|(R+out_max)"
+        "out_max + Delta^2 (3n - 2|S∪D|) + 4|S∪D| Delta R.",
+        experiment="e06",
+    ),
+    Claim(
+        claim_id="prop4-6",
+        name="Properties 4 and 6",
+        section="V-A / Annex",
+        status=ClaimStatus.PROVEN,
+        statement="Above a large-enough threshold the R-generalized state strictly "
+        "decreases by more than the growth bound.",
+        experiment="e02",
+        notes="Checked in the classical instantiation; the generalized constants "
+        "are exercised by e06's growth check.",
+    ),
+    Claim(
+        claim_id="secVB",
+        name="Section V-B case",
+        section="V-B",
+        status=ClaimStatus.PROVEN,
+        statement="A feasible R-generalized network saturated only at the virtual "
+        "sink is stable under exact injection and no losses (via infinitely "
+        "bounded sets).",
+        experiment="e05",
+        notes="e05's baseline runs are exactly this setting.",
+    ),
+    Claim(
+        claim_id="secVC",
+        name="Section V-C induction",
+        section="V-C",
+        status=ClaimStatus.PROVEN,
+        statement="A saturated network with an interior min cut splits into "
+        "feasible generalized networks B' and A' whose stability implies the "
+        "whole network's.",
+        experiment="e07",
+    ),
+    Claim(
+        claim_id="conj1",
+        name="Conjecture 1",
+        section="V",
+        status=ClaimStatus.CONJECTURED,
+        statement="If LGG is stable under exact maximal injection with no losses, "
+        "it is stable under any dominated injection with losses.",
+        experiment="e05",
+    ),
+    Claim(
+        claim_id="conj2",
+        name="Conjecture 2",
+        section="VI",
+        status=ClaimStatus.CONJECTURED,
+        statement="Temporary arrival excess is harmless if later quiet intervals "
+        "let the excess drain (time-average feasibility).",
+        experiment="e08",
+    ),
+    Claim(
+        claim_id="conj3",
+        name="Conjecture 3",
+        section="VI",
+        status=ClaimStatus.CONJECTURED,
+        statement="Uniformly distributed arrivals with mean below the min S-D cut "
+        "keep LGG stable with high probability.",
+        experiment="e09",
+    ),
+    Claim(
+        claim_id="conj4",
+        name="Conjecture 4",
+        section="VI",
+        status=ClaimStatus.CONJECTURED,
+        statement="In a dynamic network whose topology always admits a feasible "
+        "flow, LGG is stable (at least in the unsaturated case).",
+        experiment="e10",
+    ),
+    Claim(
+        claim_id="conj5",
+        name="Conjecture 5",
+        section="VI",
+        status=ClaimStatus.CONJECTURED,
+        statement="With an oracle supplying an optimal compatible link set E_t "
+        "under wireless interference, LGG is stable.",
+        experiment="e11",
+    ),
+    Claim(
+        claim_id="rem-tiebreak",
+        name="Tie-break remark",
+        section="II",
+        status=ClaimStatus.REMARK,
+        statement="The choice among equal-queue neighbours has no impact on "
+        "system stability.",
+        experiment="e13",
+    ),
+    Claim(
+        claim_id="rem-loss",
+        name="Loss remark",
+        section="III",
+        status=ClaimStatus.REMARK,
+        statement="Packet losses only improve the protocol's stability.",
+        experiment="e14",
+    ),
+    Claim(
+        claim_id="fig1",
+        name="Figure 1",
+        section="II",
+        status=ClaimStatus.REMARK,
+        statement="The S-D-network model: multigraph, sources, sinks, queues.",
+        experiment="f01",
+    ),
+    Claim(
+        claim_id="fig2",
+        name="Figure 2",
+        section="II",
+        status=ClaimStatus.REMARK,
+        statement="The extended graph G* with virtual s* and d*.",
+        experiment="f02",
+    ),
+    Claim(
+        claim_id="fig3",
+        name="Figure 3",
+        section="IV",
+        status=ClaimStatus.REMARK,
+        statement="A minimum S-D-cut of G* with border sets S' and D'.",
+        experiment="f03",
+    ),
+    Claim(
+        claim_id="fig4",
+        name="Figure 4",
+        section="IV",
+        status=ClaimStatus.REMARK,
+        statement="The extended R-generalized network: nodes carrying both "
+        "virtual arcs.",
+        experiment="f04",
+    ),
+)
+
+
+def claim_by_id(claim_id: str) -> Claim:
+    for claim in CLAIMS:
+        if claim.claim_id == claim_id:
+            return claim
+    raise ReproError(f"unknown claim {claim_id!r}")
+
+
+def claims_for_experiment(exp_id: str) -> list[Claim]:
+    """All paper claims an experiment exercises."""
+    return [c for c in CLAIMS if c.experiment == exp_id]

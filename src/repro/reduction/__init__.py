@@ -1,0 +1,20 @@
+"""Section V-C induction machinery: splitting a saturated network along an
+interior minimum cut into the ``B'`` and ``A'`` generalized networks."""
+
+from repro.reduction.cutsplit import (
+    CutSplit,
+    section_v_case,
+    build_a_prime,
+    build_b_prime,
+    interior_min_cut,
+    split_along_cut,
+)
+
+__all__ = [
+    "CutSplit",
+    "interior_min_cut",
+    "build_b_prime",
+    "build_a_prime",
+    "split_along_cut",
+    "section_v_case",
+]

@@ -1,0 +1,267 @@
+"""The induction step of Section V-C, as executable constructions.
+
+Given a feasible R-generalized S-D-network ``G`` and a minimum cut
+``(A, B)`` of ``G*`` whose two sides both contain real network nodes, the
+paper's proof:
+
+1. views **B** as an R-generalized ``S'``-``D'``-network ``B'``:
+   every node ``v ∈ X`` (nodes of B adjacent to A) becomes an R-generalized
+   source with ``in_{B'}(v) = |Γ_A(v)| + in(v)`` and ``out_{B'}(v) =
+   out(v)`` (packets crossing the cut look like fresh injections; packets
+   sent back into A look like losses, which pseudo-sources absorb);
+2. assuming stability of ``B'`` with packet bound ``R_B``, views **A** as
+   an ``R_B``-generalized network ``A'``: every ``v ∈ Y`` (nodes of A
+   adjacent to B) becomes an ``R_B``-generalized destination with
+   ``out_{A'}(v) = |Γ_B(v)| + out(v)`` and ``in_{A'}(v) = in(v)`` (a full
+   neighbour in B behaves like an extraction opportunity that may retain up
+   to ``R_B`` packets and may "lie" about its queue).
+
+Both constructions are *feasible* whenever the original network is — the
+flow Φ restricted to each side certifies it — and the module verifies that
+claim with a real max-flow computation (:func:`split_along_cut` asserts
+it).  The E7 experiment then simulates all three networks and checks the
+bound chain ``R_B`` → bounded A → bounded G empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import InfeasibleNetworkError, SpecError
+from repro.flow import max_flow, min_cut
+from repro.flow.feasibility import classify_network
+from repro.flow.residual import FlowProblem
+from repro.network.spec import NetworkSpec
+
+__all__ = ["CutSplit", "interior_min_cut", "build_b_prime", "build_a_prime", "split_along_cut"]
+
+
+def interior_min_cut(spec: NetworkSpec) -> Optional[tuple[list[int], list[int]]]:
+    """Find a minimum cut of ``G*`` with base nodes on *both* sides.
+
+    Returns ``(A_nodes, B_nodes)`` — base-graph node lists, the virtual
+    nodes stripped — or ``None`` when every minimum cut is one of the two
+    trivial cuts (Section V's cases 1 and 2).
+
+    Method (Picard–Queyranne): in a max-flow residual graph, a node set
+    ``A ∋ s*, ∌ d*`` is the source side of a *minimum* cut iff no positive
+    residual arc leaves it.  The smallest such set containing a chosen base
+    node ``v`` is the residual-reachability closure of ``{s*, v}``; if an
+    interior min cut exists at all, some base node's closure avoids ``d*``
+    (any base node on the source side of that interior cut works, since
+    closures are monotone).  So scanning every base node is complete.
+    """
+    ext = spec.extended()
+    problem = FlowProblem.from_extended(ext)
+    result = max_flow(problem)
+    arrival = sum(ext.in_rates.values(), start=0)
+    if result.value < arrival:
+        raise InfeasibleNetworkError(
+            f"interior_min_cut requires a feasible network "
+            f"(max flow {result.value} < arrival {arrival})"
+        )
+    res = result.residual
+    n_total = problem.n
+    base_n = spec.n
+
+    def closure(seed_nodes: list[int]) -> np.ndarray:
+        seen = np.zeros(n_total, dtype=bool)
+        stack = list(seed_nodes)
+        for s in seed_nodes:
+            seen[s] = True
+        while stack:
+            u = stack.pop()
+            for a in res.adj[u]:
+                if res.residual[a] > 0:
+                    w = res.to[a]
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+        return seen
+
+    best: Optional[np.ndarray] = None
+    for v in range(base_n):
+        mask = closure([problem.source, v])
+        if mask[problem.sink]:
+            continue  # closure spills to d*: no min cut separates here
+        if mask[:base_n].any() and not mask[:base_n].all():
+            if best is None or mask.sum() < best.sum():
+                best = mask
+    if best is None:
+        return None
+    a_nodes = [v for v in range(base_n) if best[v]]
+    b_nodes = [v for v in range(base_n) if not best[v]]
+    return a_nodes, b_nodes
+
+
+def _border_degree(spec: NetworkSpec, inside: set[int], outside: set[int]) -> dict[int, int]:
+    """``|Γ_outside(v)|`` for every inside node with a neighbour outside."""
+    out: dict[int, int] = {}
+    for _, u, v in spec.graph.edges():
+        if u in inside and v in outside:
+            out[u] = out.get(u, 0) + 1
+        elif v in inside and u in outside:
+            out[v] = out.get(v, 0) + 1
+    return out
+
+
+@dataclass(frozen=True)
+class SideNetwork:
+    """One side of the split, as a standalone spec plus the node mapping."""
+
+    spec: NetworkSpec
+    mapping: dict[int, int]   # original node id -> id in the side network
+    border: tuple[int, ...]   # original ids of the border set (X or Y)
+
+
+def build_b_prime(spec: NetworkSpec, a_nodes: list[int], b_nodes: list[int]) -> SideNetwork:
+    """The ``B'`` network: B viewed as an R-generalized S'-D'-network."""
+    a_set, b_set = set(a_nodes), set(b_nodes)
+    _check_partition(spec, a_set, b_set)
+    sub, mapping = spec.graph.induced_subgraph(sorted(b_set))
+    gamma_a = _border_degree(spec, b_set, a_set)
+
+    in_rates: dict[int, int] = {}
+    out_rates: dict[int, int] = {}
+    for v in b_set:
+        nv = mapping[v]
+        extra = gamma_a.get(v, 0)
+        base_in = spec.in_rates.get(v, 0)
+        base_out = spec.out_rates.get(v, 0)
+        if extra or base_in:
+            in_rates[nv] = base_in + extra
+        if base_out:
+            out_rates[nv] = base_out
+    b_spec = NetworkSpec.generalized(
+        sub, in_rates, out_rates,
+        retention=spec.retention, revelation=spec.revelation,
+    )
+    return SideNetwork(spec=b_spec, mapping=mapping, border=tuple(sorted(gamma_a)))
+
+
+def build_a_prime(
+    spec: NetworkSpec, a_nodes: list[int], b_nodes: list[int], r_b: int
+) -> SideNetwork:
+    """The ``A'`` network: A viewed as an ``R_B``-generalized network."""
+    if r_b < 0:
+        raise SpecError(f"R_B must be >= 0, got {r_b}")
+    a_set, b_set = set(a_nodes), set(b_nodes)
+    _check_partition(spec, a_set, b_set)
+    sub, mapping = spec.graph.induced_subgraph(sorted(a_set))
+    gamma_b = _border_degree(spec, a_set, b_set)
+
+    in_rates: dict[int, int] = {}
+    out_rates: dict[int, int] = {}
+    for v in a_set:
+        nv = mapping[v]
+        extra = gamma_b.get(v, 0)
+        base_in = spec.in_rates.get(v, 0)
+        base_out = spec.out_rates.get(v, 0)
+        if base_in:
+            in_rates[nv] = base_in
+        if extra or base_out:
+            out_rates[nv] = base_out + extra
+    a_spec = NetworkSpec.generalized(
+        sub, in_rates, out_rates,
+        retention=max(r_b, spec.retention), revelation=spec.revelation,
+    )
+    return SideNetwork(spec=a_spec, mapping=mapping, border=tuple(sorted(gamma_b)))
+
+
+@dataclass(frozen=True)
+class CutSplit:
+    """Result of splitting a network along an interior min cut."""
+
+    original: NetworkSpec
+    a_nodes: tuple[int, ...]
+    b_nodes: tuple[int, ...]
+    b_prime: SideNetwork
+    a_prime: SideNetwork
+    b_feasible: bool
+    a_feasible: bool
+
+
+def split_along_cut(
+    spec: NetworkSpec,
+    *,
+    r_b: Optional[int] = None,
+    cut: Optional[tuple[list[int], list[int]]] = None,
+) -> CutSplit:
+    """Execute the full Section V-C construction.
+
+    ``cut`` defaults to :func:`interior_min_cut`; ``r_b`` (the bound on
+    packets stored in B) defaults to a placeholder of 0 — experiment E7
+    replaces it with the empirically measured bound before building
+    ``A'``.  Both side networks are checked for feasibility (Definition 3),
+    which the paper proves must hold; an infeasible side is a genuine
+    error and raises.
+    """
+    if cut is None:
+        cut = interior_min_cut(spec)
+        if cut is None:
+            raise InfeasibleNetworkError(
+                "no interior minimum cut: this network falls under Section V-A "
+                "(unsaturated) or V-B (saturated at d*), not V-C"
+            )
+    a_nodes, b_nodes = cut
+    b_side = build_b_prime(spec, a_nodes, b_nodes)
+    a_side = build_a_prime(spec, a_nodes, b_nodes, r_b if r_b is not None else 0)
+
+    b_report = classify_network(b_side.spec.extended())
+    a_report = classify_network(a_side.spec.extended())
+    if not b_report.feasible:
+        raise InfeasibleNetworkError(
+            "B' construction is infeasible — contradicts Section V-C.1 "
+            f"(arrival {b_report.arrival_rate} > max flow {b_report.max_flow_value})"
+        )
+    if not a_report.feasible:
+        raise InfeasibleNetworkError(
+            "A' construction is infeasible — contradicts Section V-C.2 "
+            f"(arrival {a_report.arrival_rate} > max flow {a_report.max_flow_value})"
+        )
+    return CutSplit(
+        original=spec,
+        a_nodes=tuple(a_nodes),
+        b_nodes=tuple(b_nodes),
+        b_prime=b_side,
+        a_prime=a_side,
+        b_feasible=b_report.feasible,
+        a_feasible=a_report.feasible,
+    )
+
+
+def section_v_case(spec: NetworkSpec) -> str:
+    """Which case of the paper's Section V proof applies to ``spec``.
+
+    Returns ``"V-A"`` (unsaturated: the only min cut of ``G*`` is the
+    trivial source cut), ``"V-B"`` (saturated at the virtual sink, no
+    interior cut: the Conjecture 1 base case), or ``"V-C"`` (an interior
+    min cut exists: the induction splits the network).  Raises
+    :class:`InfeasibleNetworkError` for infeasible networks — Section V
+    assumes feasibility.
+    """
+    from repro.flow.feasibility import classify_network, NetworkClass
+
+    report = classify_network(spec.extended())
+    if not report.feasible:
+        raise InfeasibleNetworkError(
+            "Section V assumes a feasible network; this one is infeasible"
+        )
+    if report.network_class is NetworkClass.UNSATURATED:
+        return "V-A"
+    if interior_min_cut(spec) is not None:
+        return "V-C"
+    return "V-B"
+
+
+def _check_partition(spec: NetworkSpec, a_set: set[int], b_set: set[int]) -> None:
+    if a_set & b_set:
+        raise SpecError(f"cut sides overlap: {sorted(a_set & b_set)}")
+    if a_set | b_set != set(range(spec.n)):
+        missing = set(range(spec.n)) - (a_set | b_set)
+        raise SpecError(f"cut sides do not cover the graph; missing {sorted(missing)}")
+    if not a_set or not b_set:
+        raise SpecError("both cut sides must be non-empty")

@@ -1,0 +1,87 @@
+"""Metrics and reporting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_series, format_table, summarize
+from repro.analysis.report import sparkline
+from repro.core import simulate_lgg
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+class TestSummarize:
+    def _result(self):
+        spec = NetworkSpec.classical(gen.path(4), {0: 1}, {3: 1})
+        return simulate_lgg(spec, horizon=200, seed=0)
+
+    def test_accounting_consistency(self):
+        m = summarize(self._result())
+        assert m.steps == 200
+        assert m.injected == 200
+        assert m.delivered + m.lost <= m.injected
+        assert m.delivery_ratio == m.delivered / m.injected
+        assert m.loss_ratio == 0.0
+        assert m.bounded
+
+    def test_throughput(self):
+        m = summarize(self._result())
+        assert m.throughput == pytest.approx(m.delivered / 200)
+
+    def test_queue_stats_positive(self):
+        m = summarize(self._result())
+        assert m.peak_total_queue >= m.tail_mean_queue >= 0
+        assert m.peak_potential >= 0
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "222" in lines[3]
+
+    def test_title(self):
+        assert format_table([{"x": 1}], title="T").splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_bool_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_float_rendering(self):
+        text = format_table([{"v": 0.123456}, {"v": 123456.7}, {"v": 0.0001}])
+        assert "0.123" in text
+        assert "1.23e+05" in text or "123457" in text or "1.235e+05" in text
+
+    def test_missing_keys_blank(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert text  # no KeyError
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(list(range(500)), width=40)) == 40
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(set(s)) == 1
+
+    def test_monotone_series_rises(self):
+        s = sparkline(list(range(8)))
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_format_series_annotations(self):
+        text = format_series("q", [1, 9, 3])
+        assert text.startswith("q:")
+        assert "min 1" in text and "max 9" in text and "last 3" in text
+
+    def test_format_series_empty(self):
+        assert "(empty)" in format_series("q", [])

@@ -1,0 +1,98 @@
+"""Burstiness-functional tests."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.analysis.burstiness import effective_rate, is_rate_sigma_bounded, max_excess
+from repro.errors import SimulationError
+
+
+class TestMaxExcess:
+    def test_constant_trace_at_rate(self):
+        assert max_excess([2] * 50, 2) == 0
+
+    def test_constant_trace_above_rate(self):
+        # each step adds 1 of excess: the whole trace is the worst window
+        assert max_excess([3] * 50, 2) == 50
+
+    def test_single_burst(self):
+        trace = [0] * 10 + [10] + [0] * 10
+        assert max_excess(trace, 1) == 9  # 10 arrive, 1 drains that step
+
+    def test_burst_with_compensation(self):
+        # 4 on / 4 off at instantaneous 4, rate 2: window = one on-phase
+        trace = ([4] * 4 + [0] * 4) * 5
+        assert max_excess(trace, 2) == 8  # 16 in, 8 drained during the phase
+
+    def test_fractional_rate(self):
+        # worst window is a single burst step: 1 - 1/2
+        assert max_excess([1, 0, 1, 0], Fraction(1, 2)) == Fraction(1, 2)
+
+    def test_empty_trace(self):
+        assert max_excess([], 1) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            max_excess([1], -1)
+
+    def test_kadane_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            trace = rng.integers(0, 5, size=30).tolist()
+            r = Fraction(int(rng.integers(0, 4)), int(rng.integers(1, 4)))
+            brute = max(
+                (
+                    Fraction(sum(trace[a:b])) - r * (b - a)
+                    for a in range(31)
+                    for b in range(a, 31)
+                ),
+            )
+            assert max_excess(trace, r) == max(brute, Fraction(0))
+
+
+class TestBoundednessPredicate:
+    def test_token_bucket_output_is_bounded_by_construction(self):
+        from repro.arrivals.token_bucket import TokenBucketArrivals
+        from repro.graphs import generators as gen
+        from repro.network import NetworkSpec
+
+        spec = NetworkSpec.generalized(gen.path(3), {0: 2}, {2: 2}, retention=0)
+        proc = TokenBucketArrivals(spec, rho=Fraction(2, 3), sigma=2)
+        rng = np.random.default_rng(1)
+        totals = [int(proc.sample(t, rng).sum()) for t in range(200)]
+        assert is_rate_sigma_bounded(totals, Fraction(2, 3), 2)
+
+    def test_unbounded_trace_detected(self):
+        assert not is_rate_sigma_bounded([3] * 100, 2, 50)
+
+    def test_effective_rate(self):
+        assert effective_rate([4, 0, 4, 0]) == pytest.approx(2.0)
+        with pytest.raises(SimulationError):
+            effective_rate([])
+
+
+class TestConjecture2Link:
+    def test_stable_burst_trace_has_small_excess(self):
+        """The e08 stable duty cycles are (f*, small σ)-bounded; the
+        divergent ones are not bounded at rate f* for any finite window."""
+        from repro.arrivals import BurstArrivals
+        from repro.graphs import generators as gen
+        from repro.network import NetworkSpec
+
+        g, entries, exits = gen.bottleneck_gadget(4, 4, 2)
+        spec = NetworkSpec.generalized(
+            g, {v: 1 for v in entries}, {v: 1 for v in exits}, retention=0
+        )
+        rng = np.random.default_rng(0)
+        f_star = 2
+
+        stable = BurstArrivals(spec, on=1, off=1)     # avg 2 = f*
+        totals = [int(stable.sample(t, rng).sum()) for t in range(200)]
+        assert max_excess(totals, f_star) <= 4
+
+        divergent = BurstArrivals(spec, on=3, off=1)  # avg 3 > f*
+        totals = [int(divergent.sample(t, rng).sum()) for t in range(200)]
+        # excess grows with the horizon: no finite sigma
+        assert max_excess(totals, f_star) >= 100

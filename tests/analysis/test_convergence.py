@@ -1,0 +1,87 @@
+"""Convergence / warmup analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import delivery_rate_series, standing_mass, warmup_time
+from repro.core import simulate_lgg
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+from repro.network.state import StepStats, Trajectory
+
+
+def traj_with_deliveries(delivered):
+    traj = Trajectory.begin(np.zeros(1, dtype=np.int64))
+    total = 0
+    for i, d in enumerate(delivered):
+        total += 0
+        traj.record(StepStats(t=i + 1, injected=d, transmitted=0, lost=0,
+                              delivered=d, potential=0, total_queued=0, max_queue=0))
+    return traj
+
+
+class TestDeliveryRateSeries:
+    def test_constant_series(self):
+        traj = traj_with_deliveries([2] * 100)
+        rates = delivery_rate_series(traj, window=10)
+        assert rates[50] == pytest.approx(2.0)
+
+    def test_window_validation(self):
+        with pytest.raises(SimulationError):
+            delivery_rate_series(traj_with_deliveries([1]), window=0)
+
+    def test_empty(self):
+        traj = Trajectory.begin(np.zeros(1, dtype=np.int64))
+        assert len(delivery_rate_series(traj)) == 0
+
+
+class TestWarmupTime:
+    def test_immediate_delivery(self):
+        traj = traj_with_deliveries([1] * 200)
+        assert warmup_time(traj, 1.0, window=20) == 0
+
+    def test_step_change_detected(self):
+        traj = traj_with_deliveries([0] * 100 + [1] * 200)
+        w = warmup_time(traj, 1.0, window=20)
+        assert 80 <= w <= 125  # around the transition, window-smoothed
+
+    def test_never_converges(self):
+        traj = traj_with_deliveries([0] * 200)
+        assert warmup_time(traj, 1.0) is None
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            warmup_time(traj_with_deliveries([1] * 10), 0.0)
+
+    def test_real_run_on_path(self):
+        n = 9
+        spec = NetworkSpec.classical(gen.path(n), {0: 1}, {n - 1: 1})
+        res = simulate_lgg(spec, horizon=1500, seed=0)
+        w = warmup_time(res.trajectory, 1.0)
+        assert w is not None
+        assert w >= n - 2  # cannot deliver before packets cross the chain
+
+
+class TestStandingMass:
+    def test_plateau_mass(self):
+        traj = Trajectory.begin(np.zeros(1, dtype=np.int64))
+        for i in range(100):
+            total = min(i, 40)
+            traj.record(StepStats(t=i + 1, injected=0, transmitted=0, lost=0,
+                                  delivered=0, potential=0, total_queued=total,
+                                  max_queue=0))
+        assert standing_mass(traj, fraction=0.1) == pytest.approx(40.0)
+
+    def test_fraction_validation(self):
+        traj = Trajectory.begin(np.zeros(1, dtype=np.int64))
+        with pytest.raises(SimulationError):
+            standing_mass(traj, fraction=0)
+
+    def test_longer_chain_stores_more(self):
+        masses = {}
+        for L in (4, 12):
+            spec = NetworkSpec.classical(gen.path(L + 1), {0: 1}, {L: 1})
+            res = simulate_lgg(spec, horizon=2500, seed=0)
+            masses[L] = standing_mass(res.trajectory)
+        assert masses[12] > 3 * masses[4]  # super-linear growth

@@ -1,0 +1,65 @@
+"""Fairness metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import jain_index, normalized_shares, per_source_throughput
+from repro.core import SimulationConfig
+from repro.core.packet_engine import PacketSimulator
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+class TestJainIndex:
+    def test_even_split(self):
+        assert jain_index([3, 3, 3]) == pytest.approx(1.0)
+
+    def test_monopoly(self):
+        assert jain_index([6, 0, 0]) == pytest.approx(1 / 3)
+
+    def test_intermediate(self):
+        # (1+2+3)^2 / (3 * 14) = 36/42
+        assert jain_index([1, 2, 3]) == pytest.approx(36 / 42)
+
+    def test_all_zero_is_vacuous(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            jain_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            jain_index([1, -1])
+
+
+class TestThroughputHelpers:
+    def run_sim(self):
+        g, entries, exits = gen.bottleneck_gadget(2, 2, 2)
+        spec = NetworkSpec.classical(g, {v: 1 for v in entries}, {v: 1 for v in exits})
+        sim = PacketSimulator(spec, config=SimulationConfig(horizon=500, seed=0))
+        sim.run()
+        return sim, spec
+
+    def test_per_source_throughput(self):
+        sim, spec = self.run_sim()
+        thr = per_source_throughput(sim)
+        assert set(thr) == set(spec.in_rates)
+        for v in thr.values():
+            assert 0.8 <= v <= 1.0  # rate-1 sources nearly fully served
+
+    def test_requires_run(self):
+        g, entries, exits = gen.bottleneck_gadget(2, 2, 2)
+        spec = NetworkSpec.classical(g, {v: 1 for v in entries}, {v: 1 for v in exits})
+        sim = PacketSimulator(spec)
+        with pytest.raises(SimulationError):
+            per_source_throughput(sim)
+
+    def test_normalized_shares(self):
+        shares = normalized_shares({0: 0.9, 1: 1.8}, {0: 1, 1: 2})
+        assert shares == {0: pytest.approx(0.9), 1: pytest.approx(0.9)}
+
+    def test_normalized_shares_missing_rate(self):
+        with pytest.raises(SimulationError):
+            normalized_shares({0: 0.5}, {1: 1})

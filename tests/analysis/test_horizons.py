@@ -1,0 +1,71 @@
+"""Horizon-selection tests."""
+
+import pytest
+
+from repro.analysis.horizons import max_source_sink_distance, suggest_horizon
+from repro.errors import SimulationError
+from repro.graphs import MultiGraph
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+class TestDistance:
+    def test_path_distance(self):
+        spec = NetworkSpec.classical(gen.path(7), {0: 1}, {6: 1})
+        assert max_source_sink_distance(spec) == 6
+
+    def test_nearest_sink_counts(self):
+        spec = NetworkSpec.classical(gen.path(7), {0: 1}, {1: 1, 6: 1})
+        assert max_source_sink_distance(spec) == 1
+
+    def test_multiple_sources_takes_worst(self):
+        spec = NetworkSpec.classical(gen.path(7), {0: 1, 5: 1}, {6: 1})
+        assert max_source_sink_distance(spec) == 6
+
+    def test_no_terminals(self):
+        spec = NetworkSpec.classical(gen.path(3), {}, {})
+        assert max_source_sink_distance(spec) == 0
+
+    def test_unreachable_sink_raises(self):
+        g = MultiGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        spec = NetworkSpec.classical(g, {0: 1}, {3: 1})
+        with pytest.raises(SimulationError):
+            max_source_sink_distance(spec)
+
+
+class TestSuggestHorizon:
+    def test_grows_quadratically(self):
+        short = NetworkSpec.classical(gen.path(5), {0: 1}, {4: 1})
+        long = NetworkSpec.classical(gen.path(17), {0: 1}, {16: 1})
+        h_short = suggest_horizon(short)
+        h_long = suggest_horizon(long)
+        assert h_long - 800 >= 10 * (h_short - 800)  # (16/4)^2 = 16x the d^2 term
+
+    def test_floor_and_cap(self):
+        tiny = NetworkSpec.classical(gen.path(2), {0: 1}, {1: 1})
+        assert suggest_horizon(tiny) >= 800
+        huge = NetworkSpec.classical(gen.path(1000), {0: 1}, {999: 1})
+        assert suggest_horizon(huge) == 200_000
+
+    def test_parameter_validation(self):
+        spec = NetworkSpec.classical(gen.path(3), {0: 1}, {2: 1})
+        with pytest.raises(SimulationError):
+            suggest_horizon(spec, warmup_factor=-1)
+        with pytest.raises(SimulationError):
+            suggest_horizon(spec, settle=0)
+
+    def test_suggested_horizon_outlasts_warmup(self):
+        """The point of the helper: a verdict at the suggested horizon is
+        fair even for the slow-converging chain workloads of E15."""
+        from repro.analysis.convergence import warmup_time
+        from repro.core import simulate_lgg
+
+        spec = NetworkSpec.classical(gen.path(13), {0: 1}, {12: 1})
+        horizon = suggest_horizon(spec)
+        res = simulate_lgg(spec, horizon=horizon, seed=0)
+        assert res.verdict.bounded
+        w = warmup_time(res.trajectory, 1.0)
+        assert w is not None
+        assert w < horizon / 2

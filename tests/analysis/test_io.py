@@ -1,0 +1,80 @@
+"""Trajectory persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.io import load_trajectory, save_trajectory, spec_fingerprint
+from repro.core import SimulationConfig, Simulator
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+def run_one(record_queues=False):
+    spec = NetworkSpec.classical(gen.path(4), {0: 1}, {3: 1})
+    cfg = SimulationConfig(horizon=80, seed=0, record_queues=record_queues)
+    sim = Simulator(spec, config=cfg)
+    res = sim.run()
+    return spec, res
+
+
+class TestRoundTrip:
+    def test_series_survive(self, tmp_path):
+        spec, res = run_one()
+        f = tmp_path / "run.npz"
+        save_trajectory(f, res.trajectory, spec=spec, meta={"seed": 0})
+        back, header = load_trajectory(f)
+        assert back.potentials == res.trajectory.potentials
+        assert back.total_queued == res.trajectory.total_queued
+        assert back.delivered == res.trajectory.delivered
+        assert back.initial_queued == res.trajectory.initial_queued
+        assert header["meta"] == {"seed": 0}
+
+    def test_conservation_after_reload(self, tmp_path):
+        spec, res = run_one()
+        f = tmp_path / "run.npz"
+        save_trajectory(f, res.trajectory)
+        back, _ = load_trajectory(f)
+        back.check_conservation()
+
+    def test_queue_history_round_trip(self, tmp_path):
+        spec, res = run_one(record_queues=True)
+        f = tmp_path / "run.npz"
+        save_trajectory(f, res.trajectory, spec=spec)
+        back, _ = load_trajectory(f)
+        assert back.queue_history is not None
+        assert len(back.queue_history) == len(res.trajectory.queue_history)
+        assert (back.queue_history[-1] == res.trajectory.queue_history[-1]).all()
+
+    def test_spec_fingerprint_contents(self):
+        spec, _ = run_one()
+        fp = spec_fingerprint(spec)
+        assert fp["n"] == 4
+        assert fp["in_rates"] == {"0": 1}
+        assert fp["edges"] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_fingerprint_in_header(self, tmp_path):
+        spec, res = run_one()
+        f = tmp_path / "run.npz"
+        save_trajectory(f, res.trajectory, spec=spec)
+        _, header = load_trajectory(f)
+        assert header["spec"]["retention"] == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SimulationError):
+            load_trajectory(tmp_path / "nope.npz")
+
+    def test_malformed_file_raises(self, tmp_path):
+        f = tmp_path / "bad.npz"
+        np.savez(f, potentials=np.arange(3))
+        with pytest.raises(SimulationError):
+            load_trajectory(f)
+
+    def test_verdict_recomputable_from_reload(self, tmp_path):
+        from repro.core.stability import assess_stability
+
+        spec, res = run_one()
+        f = tmp_path / "run.npz"
+        save_trajectory(f, res.trajectory)
+        back, _ = load_trajectory(f)
+        assert assess_stability(back).bounded == res.verdict.bounded

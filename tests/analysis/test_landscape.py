@@ -1,0 +1,63 @@
+"""Queue-landscape rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.landscape import height_profile, render_grid_landscape
+from repro.errors import SimulationError
+
+
+class TestRenderGrid:
+    def test_shape(self):
+        q = np.arange(12)
+        text = render_grid_landscape(q, 3, 4)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 4 for line in lines)
+
+    def test_zero_field_blank(self):
+        text = render_grid_landscape(np.zeros(6, dtype=int), 2, 3)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_peak_is_darkest(self):
+        q = np.zeros(9, dtype=int)
+        q[4] = 10
+        text = render_grid_landscape(q, 3, 3)
+        assert text.splitlines()[1][1] == "@"
+
+    def test_markers_override(self):
+        q = np.zeros(4, dtype=int)
+        text = render_grid_landscape(q, 2, 2, markers={0: "S", 3: "D"})
+        assert text.splitlines()[0][0] == "S"
+        assert text.splitlines()[1][1] == "D"
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            render_grid_landscape(np.zeros(5), 2, 3)
+
+    def test_bad_marker_rejected(self):
+        with pytest.raises(SimulationError):
+            render_grid_landscape(np.zeros(4), 2, 2, markers={0: "src"})
+
+
+class TestHeightProfile:
+    def test_profile_values(self):
+        q = np.array([5, 3, 1, 0])
+        assert height_profile(q, [0, 1, 2, 3]) == [5, 3, 1, 0]
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            height_profile(np.zeros(3), [5])
+
+    def test_lgg_builds_monotone_profile_on_path(self):
+        """After convergence the chain's heights decrease toward the sink."""
+        from repro.core import simulate_lgg
+        from repro.graphs import generators as gen
+        from repro.network import NetworkSpec
+
+        n = 8
+        spec = NetworkSpec.classical(gen.path(n), {0: 1}, {n - 1: 1})
+        res = simulate_lgg(spec, horizon=2000, seed=0)
+        profile = height_profile(res.final_queues, list(range(n)))
+        assert all(a >= b for a, b in zip(profile, profile[1:]))
+        assert profile[0] >= n - 2  # the hill reaches the source

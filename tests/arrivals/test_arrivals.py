@@ -1,0 +1,173 @@
+"""Arrival-process tests."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arrivals import (
+    BernoulliArrivals,
+    BurstArrivals,
+    DeterministicArrivals,
+    OnOffArrivals,
+    PoissonClippedArrivals,
+    RecordingArrivals,
+    ScaledArrivals,
+    TraceArrivals,
+    UniformArrivals,
+    dominates,
+)
+from repro.arrivals.trace import random_dominated_trace
+from repro.errors import SpecError
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+
+
+def spec(in_rate=2):
+    return NetworkSpec.generalized(gen.path(4), {0: in_rate, 1: 1}, {3: 3}, retention=0)
+
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+class TestDeterministic:
+    def test_full_injection(self):
+        proc = DeterministicArrivals(spec())
+        out = proc.sample(0, RNG())
+        assert out.tolist() == [2, 1, 0, 0]
+
+    def test_sample_is_a_copy(self):
+        proc = DeterministicArrivals(spec())
+        a = proc.sample(0, RNG())
+        a[0] = 99
+        assert proc.sample(1, RNG())[0] == 2
+
+
+class TestScaled:
+    def test_rate_one_is_full(self):
+        proc = ScaledArrivals(spec(), 1)
+        assert proc.sample(5, RNG()).tolist() == [2, 1, 0, 0]
+
+    def test_rate_zero_is_silent(self):
+        proc = ScaledArrivals(spec(), 0)
+        assert proc.sample(5, RNG()).sum() == 0
+
+    def test_half_rate_alternates(self):
+        proc = ScaledArrivals(spec(), Fraction(1, 2))
+        fired = [int(proc.sample(t, RNG()).sum() > 0) for t in range(10)]
+        assert sum(fired) == 5
+
+    def test_long_run_average_exact(self):
+        proc = ScaledArrivals(spec(), Fraction(2, 3))
+        total = sum(int(proc.sample(t, RNG()).sum()) for t in range(300))
+        assert total == int(Fraction(2, 3) * 300 * 3)  # 3 packets at full rate
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(SpecError):
+            ScaledArrivals(spec(), 1.5)
+
+
+class TestStochastic:
+    def test_bernoulli_all_or_nothing_per_source(self):
+        proc = BernoulliArrivals(spec(), 0.5)
+        rng = RNG(1)
+        for t in range(50):
+            out = proc.sample(t, rng)
+            assert out[0] in (0, 2)
+            assert out[1] in (0, 1)
+
+    def test_bernoulli_extremes(self):
+        assert BernoulliArrivals(spec(), 0.0).sample(0, RNG()).sum() == 0
+        assert BernoulliArrivals(spec(), 1.0).sample(0, RNG()).tolist() == [2, 1, 0, 0]
+
+    def test_uniform_within_bounds_and_mean(self):
+        proc = UniformArrivals(spec())
+        rng = RNG(2)
+        samples = np.array([proc.sample(t, rng) for t in range(4000)])
+        assert (samples[:, 0] <= 2).all()
+        assert (samples[:, 1] <= 1).all()
+        assert samples[:, 0].mean() == pytest.approx(1.0, abs=0.1)
+        assert proc.mean_rate() == pytest.approx(1.5)
+
+    def test_poisson_clipped(self):
+        proc = PoissonClippedArrivals(spec(), 0.5)
+        rng = RNG(3)
+        for t in range(100):
+            out = proc.sample(t, rng)
+            assert (out <= np.array([2, 1, 0, 0])).all()
+            assert (out >= 0).all()
+
+    def test_poisson_negative_intensity_rejected(self):
+        with pytest.raises(SpecError):
+            PoissonClippedArrivals(spec(), -0.1)
+
+
+class TestAdversarial:
+    def test_burst_pattern(self):
+        proc = BurstArrivals(spec(), on=2, off=3)
+        fires = [int(proc.sample(t, RNG()).sum() > 0) for t in range(10)]
+        assert fires == [1, 1, 0, 0, 0, 1, 1, 0, 0, 0]
+
+    def test_burst_average_rate(self):
+        proc = BurstArrivals(spec(), on=1, off=1)
+        assert proc.average_rate() == pytest.approx(1.5)  # 3 packets, half the time
+
+    def test_burst_validation(self):
+        with pytest.raises(SpecError):
+            BurstArrivals(spec(), on=0, off=0)
+
+    def test_onoff_stationary_rate(self):
+        proc = OnOffArrivals(spec(), p_on_to_off=0.2, p_off_to_on=0.2)
+        assert proc.stationary_rate() == pytest.approx(1.5)
+
+    def test_onoff_trajectory_mixes(self):
+        proc = OnOffArrivals(spec(), 0.3, 0.3)
+        rng = RNG(4)
+        states = [int(proc.sample(t, rng).sum() > 0) for t in range(200)]
+        assert 0 < sum(states) < 200
+
+
+class TestTraces:
+    def test_replay_then_zeros(self):
+        tr = TraceArrivals([np.array([1, 0]), np.array([0, 2])])
+        assert tr.sample(0, RNG()).tolist() == [1, 0]
+        assert tr.sample(1, RNG()).tolist() == [0, 2]
+        assert tr.sample(2, RNG()).tolist() == [0, 0]
+
+    def test_replay_loop(self):
+        tr = TraceArrivals([np.array([1]), np.array([2])], after="loop")
+        assert tr.sample(5, RNG()).tolist() == [2]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SpecError):
+            TraceArrivals([])
+
+    def test_inconsistent_shapes_rejected(self):
+        with pytest.raises(SpecError):
+            TraceArrivals([np.array([1]), np.array([1, 2])])
+
+    def test_recording_wrapper(self):
+        rec = RecordingArrivals(DeterministicArrivals(spec()))
+        rng = RNG()
+        for t in range(5):
+            rec.sample(t, rng)
+        assert len(rec.trace) == 5
+        assert rec.trace[0].tolist() == [2, 1, 0, 0]
+
+    def test_dominates(self):
+        big = [np.array([2, 1]), np.array([1, 1])]
+        small = [np.array([1, 1]), np.array([1, 0])]
+        assert dominates(big, small)
+        assert not dominates(small, big)
+
+    def test_dominates_length_mismatch(self):
+        big = [np.array([2, 2]), np.array([2, 2])]
+        small = [np.array([1, 1])]
+        assert dominates(big, small)   # padding with zeros
+        assert not dominates(small, big)
+
+    def test_random_dominated_trace(self):
+        full = [np.array([3, 2]) for _ in range(20)]
+        sub = random_dominated_trace(full, RNG(5), keep_prob=0.5)
+        assert dominates(full, sub)
+        assert sum(int(s.sum()) for s in sub) < sum(int(f.sum()) for f in full)

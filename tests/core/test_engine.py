@@ -1,0 +1,202 @@
+"""Simulation engine tests: step semantics, conservation, modes."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import BernoulliArrivals, TraceArrivals
+from repro.core import (
+    ExtractionMode,
+    LGGPolicy,
+    SimulationConfig,
+    Simulator,
+    simulate_lgg,
+)
+from repro.core.engine import LinkCapacityMode
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.loss import BernoulliLoss, NoLoss
+from repro.network import NetworkSpec, RevelationPolicy
+
+
+def path_spec(n=4, in_rate=1, out_rate=1):
+    return NetworkSpec.classical(gen.path(n), {0: in_rate}, {n - 1: out_rate})
+
+
+class TestBasicStepping:
+    def test_single_step_injects(self):
+        sim = Simulator(path_spec())
+        stats = sim.step()
+        assert stats.injected == 1
+        assert sim.queues[0] >= 0
+        assert sim.queues.sum() == 1  # nothing delivered yet
+
+    def test_pipeline_reaches_sink(self):
+        sim = Simulator(path_spec())
+        for _ in range(50):
+            sim.step()
+        res = sim.result()
+        assert res.delivered > 0
+        res.trajectory.check_conservation()
+
+    def test_steady_state_path_delivers_at_arrival_rate(self):
+        res = simulate_lgg(path_spec(), horizon=400, seed=0)
+        # after warmup, deliver ~1 packet/step
+        assert res.delivered >= 350
+        assert res.verdict.bounded
+
+    def test_initial_queues(self):
+        sim = Simulator(path_spec(), initial_queues=np.array([5, 0, 0, 0]))
+        assert sim.trajectory.initial_queued == 5
+        res = sim.run(100)
+        res.trajectory.check_conservation()
+
+    def test_initial_queue_validation(self):
+        with pytest.raises(SimulationError):
+            Simulator(path_spec(), initial_queues=np.array([1, 2]))
+        with pytest.raises(SimulationError):
+            Simulator(path_spec(), initial_queues=np.array([-1, 0, 0, 0]))
+
+    def test_determinism_same_seed(self):
+        a = simulate_lgg(path_spec(), horizon=200, seed=7)
+        b = simulate_lgg(path_spec(), horizon=200, seed=7)
+        assert a.trajectory.potentials == b.trajectory.potentials
+        assert (a.final_queues == b.final_queues).all()
+
+    def test_queue_nonnegativity_always(self):
+        cfg = SimulationConfig(horizon=300, seed=3, validate_every_step=True)
+        g, srcs, snks = gen.paper_figure_graph()
+        spec = NetworkSpec.classical(g, {s: 1 for s in srcs}, {d: 1 for d in snks})
+        Simulator(spec, config=cfg).run()
+
+
+class TestInjectionValidation:
+    def test_classical_requires_exact_injection(self):
+        spec = path_spec()
+        cfg = SimulationConfig(arrivals=BernoulliArrivals(spec, 0.5), seed=0)
+        sim = Simulator(spec, config=cfg)
+        with pytest.raises(SimulationError):
+            for _ in range(50):
+                sim.step()
+
+    def test_generalized_accepts_underinjection(self):
+        spec = NetworkSpec.generalized(gen.path(4), {0: 1}, {3: 1}, retention=0)
+        cfg = SimulationConfig(arrivals=BernoulliArrivals(spec, 0.5), seed=0, horizon=100)
+        res = Simulator(spec, config=cfg).run()
+        assert res.trajectory.cumulative("injected") < 100
+
+    def test_overinjection_rejected(self):
+        spec = NetworkSpec.generalized(gen.path(3), {0: 1}, {2: 1}, retention=0)
+        bad = TraceArrivals([np.array([5, 0, 0])])
+        sim = Simulator(spec, config=SimulationConfig(arrivals=bad))
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_negative_injection_rejected(self):
+        spec = NetworkSpec.generalized(gen.path(3), {0: 1}, {2: 1}, retention=0)
+        bad = TraceArrivals([np.array([-1, 0, 0])])
+        sim = Simulator(spec, config=SimulationConfig(arrivals=bad))
+        with pytest.raises(SimulationError):
+            sim.step()
+
+
+class TestLosses:
+    def test_no_loss_default(self):
+        res = simulate_lgg(path_spec(), horizon=100, seed=0)
+        assert res.lost == 0
+
+    def test_bernoulli_loss_accounted(self):
+        cfg = SimulationConfig(horizon=400, seed=1, losses=BernoulliLoss(0.3))
+        res = Simulator(path_spec(), config=cfg).run()
+        assert res.lost > 0
+        res.trajectory.check_conservation()
+
+    def test_total_loss_delivers_nothing(self):
+        cfg = SimulationConfig(horizon=100, seed=1, losses=BernoulliLoss(1.0))
+        res = Simulator(path_spec(), config=cfg).run()
+        assert res.delivered == 0
+        # everything injected was eventually lost or sits at the source
+        assert res.lost + int(res.final_queues.sum()) == 100
+
+
+class TestExtractionModes:
+    def gen_spec(self, R):
+        return NetworkSpec.generalized(gen.path(3), {0: 1}, {2: 2}, retention=R)
+
+    def test_greedy_extracts_min_out_q(self):
+        spec = self.gen_spec(R=3)
+        cfg = SimulationConfig(horizon=200, seed=0, extraction=ExtractionMode.GREEDY)
+        res = Simulator(spec, config=cfg).run()
+        assert res.verdict.bounded
+
+    def test_mandatory_minimum_retains_R(self):
+        spec = self.gen_spec(R=3)
+        cfg = SimulationConfig(horizon=300, seed=0, extraction=ExtractionMode.MANDATORY_MINIMUM)
+        res = Simulator(spec, config=cfg).run()
+        # the sink hoards up to R packets but the network must stay bounded
+        assert res.verdict.bounded
+        assert res.final_queues[2] <= 3 + 2  # R plus at most out slack
+
+    def test_random_mode_stays_in_band(self):
+        spec = self.gen_spec(R=2)
+        cfg = SimulationConfig(horizon=300, seed=5, extraction=ExtractionMode.RANDOM,
+                               validate_every_step=True)
+        res = Simulator(spec, config=cfg).run()
+        res.trajectory.check_conservation()
+
+
+class TestRevelation:
+    def make(self, pol):
+        spec = NetworkSpec.generalized(
+            gen.path(4), {0: 1}, {3: 1}, retention=4, revelation=pol
+        )
+        return Simulator(spec, config=SimulationConfig(horizon=300, seed=2))
+
+    @pytest.mark.parametrize("pol", list(RevelationPolicy))
+    def test_all_policies_run_and_conserve(self, pol):
+        res = self.make(pol).run()
+        res.trajectory.check_conservation()
+
+    def test_lying_changes_dynamics(self):
+        a = self.make(RevelationPolicy.TRUTHFUL).run()
+        b = self.make(RevelationPolicy.ALWAYS_R).run()
+        # ALWAYS_R repels neighbours' packets; trajectories must differ
+        assert a.trajectory.potentials != b.trajectory.potentials
+
+
+class TestLinkCapacity:
+    """Two adjacent loaded liars both claim q = 0, so each sees the other as
+    lower and selects the shared link — a genuine conflict."""
+
+    def liar_pair(self, mode):
+        spec = NetworkSpec.generalized(
+            gen.path(2), {0: 1, 1: 1}, {0: 1, 1: 1},
+            retention=9, revelation=RevelationPolicy.ZERO,
+        )
+        cfg = SimulationConfig(horizon=30, seed=0, link_capacity=mode,
+                               validate_every_step=True)
+        sim = Simulator(spec, config=cfg, initial_queues=np.array([3, 3]))
+        return sim.run()
+
+    def test_per_link_blocks_double_use(self):
+        res = self.liar_pair(LinkCapacityMode.PER_LINK)
+        assert max(res.trajectory.transmitted) <= 1
+
+    def test_per_direction_allows_both(self):
+        res = self.liar_pair(LinkCapacityMode.PER_DIRECTION)
+        assert max(res.trajectory.transmitted) == 2
+
+
+class TestEventRecording:
+    def test_events_off_by_default(self):
+        sim = Simulator(path_spec())
+        sim.step()
+        assert sim.events == []
+
+    def test_events_recorded(self):
+        cfg = SimulationConfig(horizon=10, seed=0, record_events=True)
+        sim = Simulator(path_spec(), config=cfg)
+        sim.run()
+        assert len(sim.events) == 10
+        ev = sim.events[0]
+        assert ev.q_start.tolist() == [0, 0, 0, 0]
+        assert ev.injections.tolist() == [1, 0, 0, 0]

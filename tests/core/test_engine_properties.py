@@ -1,0 +1,121 @@
+"""Property-based engine tests: invariants over randomized networks and
+configurations (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExtractionMode,
+    SimulationConfig,
+    Simulator,
+    TieBreak,
+)
+from repro.graphs import generators as gen
+from repro.loss import BernoulliLoss
+from repro.network import NetworkSpec, RevelationPolicy
+
+
+@st.composite
+def random_specs(draw):
+    """A random connected network with random terminals, possibly generalized."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(3, 14))
+    p = draw(st.floats(0.2, 0.8))
+    g = gen.random_gnp(n, p, seed=seed, ensure_connected=True)
+    rng = np.random.default_rng(seed)
+    nodes = rng.permutation(n)
+    k_src = draw(st.integers(1, 2))
+    k_snk = draw(st.integers(1, 2))
+    in_rates = {int(nodes[i]): int(rng.integers(1, 3)) for i in range(k_src)}
+    out_rates = {int(nodes[-(i + 1)]): int(rng.integers(1, 4)) for i in range(k_snk)}
+    if set(in_rates) & set(out_rates):
+        generalized = True
+    else:
+        generalized = draw(st.booleans())
+    if generalized:
+        return NetworkSpec.generalized(
+            g, in_rates, out_rates,
+            retention=draw(st.integers(0, 5)),
+            revelation=draw(st.sampled_from(list(RevelationPolicy))),
+        )
+    return NetworkSpec.classical(g, in_rates, out_rates)
+
+
+@st.composite
+def random_configs(draw):
+    return SimulationConfig(
+        horizon=draw(st.integers(20, 120)),
+        seed=draw(st.integers(0, 2**31 - 1)),
+        tiebreak=draw(st.sampled_from(list(TieBreak))),
+        extraction=draw(st.sampled_from(list(ExtractionMode))),
+        losses=BernoulliLoss(draw(st.floats(0.0, 0.6))),
+        validate_every_step=True,
+    )
+
+
+class TestUniversalInvariants:
+    @given(random_specs(), random_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_and_nonnegativity(self, spec, config):
+        sim = Simulator(spec, config=config)
+        for _ in range(config.horizon):
+            sim.step()
+            assert (sim.queues >= 0).all()
+        sim.trajectory.check_conservation()
+
+    @given(random_specs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, spec, seed):
+        cfg = lambda: SimulationConfig(horizon=60, seed=seed)
+        a = Simulator(spec, config=cfg()).run()
+        b = Simulator(spec, config=cfg()).run()
+        assert a.trajectory.potentials == b.trajectory.potentials
+        assert (a.final_queues == b.final_queues).all()
+
+    @given(random_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_queue_change_bounded_by_degree_and_rates(self, spec):
+        """Per-step per-node queue change is at most deg(v) + in(v) and at
+        least -(deg(v) + out(v)) — the paper's |Δq| <= Δ argument."""
+        sim = Simulator(spec, config=SimulationConfig(horizon=50, seed=1))
+        degs = spec.graph.degrees()
+        in_vec = spec.in_vector()
+        out_vec = spec.out_vector()
+        prev = sim.queues.copy()
+        for _ in range(50):
+            sim.step()
+            change = sim.queues - prev
+            assert (change <= degs + in_vec).all()
+            assert (change >= -(degs + out_vec)).all()
+            prev = sim.queues.copy()
+
+    @given(random_specs())
+    @settings(max_examples=20, deadline=None)
+    def test_lyapunov_identity_universal(self, spec):
+        from repro.core import lyapunov
+
+        cfg = SimulationConfig(horizon=40, seed=2, record_events=True,
+                               record_queues=True)
+        sim = Simulator(spec, config=cfg)
+        sim.run()
+        qh = sim.trajectory.queue_history
+        for ev, qb, qa in zip(sim.events, qh, qh[1:]):
+            assert lyapunov.potential_identity_residual(qb, qa) == 0
+            assert lyapunov.delta_from_events(ev) == lyapunov.delta_from_snapshots(qb, qa)
+
+
+class TestPacketEngineProperty:
+    @given(random_specs(), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_packet_engine_always_in_sync(self, spec, seed):
+        from repro.core import PacketSimulator
+
+        cfg = SimulationConfig(horizon=40, seed=seed, losses=BernoulliLoss(0.2))
+        sim = PacketSimulator(spec, config=cfg)
+        for _ in range(40):
+            sim.step()
+            sim.check_sync()
+        stats = sim.packet_stats()
+        assert stats.delivered + stats.lost + stats.in_flight == len(sim.packets)

@@ -1,0 +1,112 @@
+"""Packet-level engine tests: bookkeeping sync, latency semantics,
+differential equivalence with the array engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig, Simulator
+from repro.core.packet_engine import PacketSimulator
+from repro.graphs import generators as gen
+from repro.loss import BernoulliLoss
+from repro.network import NetworkSpec
+
+
+def path_spec(n=5):
+    return NetworkSpec.classical(gen.path(n), {0: 1}, {n - 1: 1})
+
+
+class TestBookkeeping:
+    def test_fifo_mirrors_queues_every_step(self):
+        sim = PacketSimulator(path_spec(), config=SimulationConfig(seed=0))
+        for _ in range(100):
+            sim.step()
+            sim.check_sync()
+
+    def test_initial_queues_tracked(self):
+        sim = PacketSimulator(
+            path_spec(), config=SimulationConfig(seed=0),
+            initial_queues=np.array([3, 0, 0, 0, 0]),
+        )
+        assert len(sim.packets) == 3
+        sim.check_sync()
+
+    def test_outcome_partition(self):
+        cfg = SimulationConfig(seed=1, losses=BernoulliLoss(0.2))
+        sim = PacketSimulator(path_spec(), config=cfg)
+        for _ in range(300):
+            sim.step()
+        stats = sim.packet_stats()
+        assert stats.delivered + stats.lost + stats.in_flight == len(sim.packets)
+        assert stats.lost > 0
+
+    def test_sync_with_losses_and_grid(self):
+        g = gen.grid(3, 3)
+        spec = NetworkSpec.classical(g, {0: 1}, {8: 2})
+        cfg = SimulationConfig(seed=2, losses=BernoulliLoss(0.15))
+        sim = PacketSimulator(spec, config=cfg)
+        for _ in range(200):
+            sim.step()
+            sim.check_sync()
+
+
+class TestLatencySemantics:
+    def test_path_latency_at_least_hop_count(self):
+        n = 6
+        sim = PacketSimulator(path_spec(n), config=SimulationConfig(seed=0))
+        for _ in range(400):
+            sim.step()
+        stats = sim.packet_stats()
+        assert stats.delivered > 0
+        # a packet needs at least n-1 hops => latency >= n-1 steps
+        assert stats.p50_latency >= n - 1
+        assert stats.mean_hops >= n - 1
+
+    def test_hops_at_least_path_length_and_parity(self):
+        """LGG is not loop-free: while the gradient oscillates a packet can
+        bounce backwards, so hops may exceed the path length — but every
+        delivered packet's hop count has the distance's parity and is at
+        least the distance."""
+        n = 5
+        sim = PacketSimulator(path_spec(n), config=SimulationConfig(seed=0))
+        for _ in range(300):
+            sim.step()
+        backtracked = 0
+        for p in sim.packets:
+            if p.delivered_at is not None:
+                assert p.hops >= n - 1
+                assert (p.hops - (n - 1)) % 2 == 0  # detours come in back-forth pairs
+                backtracked += p.hops > n - 1
+
+    def test_per_source_accounting(self):
+        g, entries, exits = gen.bottleneck_gadget(2, 2, 2)
+        spec = NetworkSpec.classical(g, {v: 1 for v in entries}, {v: 1 for v in exits})
+        sim = PacketSimulator(spec, config=SimulationConfig(seed=0))
+        for _ in range(400):
+            sim.step()
+        stats = sim.packet_stats()
+        assert set(stats.per_source_delivered) <= set(entries)
+        assert sum(stats.per_source_delivered.values()) == stats.delivered
+
+    def test_latency_percentiles_ordered(self):
+        sim = PacketSimulator(path_spec(), config=SimulationConfig(seed=3))
+        for _ in range(300):
+            sim.step()
+        s = sim.packet_stats()
+        assert s.p50_latency <= s.p95_latency <= s.max_latency
+        assert 0 < s.mean_latency <= s.max_latency
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_queue_trajectories_identical_to_array_engine(self, seed):
+        g, sources, sinks = gen.paper_figure_graph()
+        spec = NetworkSpec.classical(
+            g, {v: 1 for v in sources}, {v: 2 for v in sinks}
+        )
+        cfg = dict(horizon=250, seed=seed, losses=BernoulliLoss(0.1))
+        a = Simulator(spec, config=SimulationConfig(**cfg)).run()
+        b = PacketSimulator(spec, config=SimulationConfig(**cfg)).run()
+        assert a.trajectory.potentials == b.trajectory.potentials
+        assert (a.final_queues == b.final_queues).all()
+        assert a.delivered == b.delivered
+        assert a.lost == b.lost

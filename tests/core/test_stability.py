@@ -1,0 +1,80 @@
+"""Stability-verdict and divergence-rate tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_lgg
+from repro.core.stability import assess_stability, divergence_rate
+from repro.errors import SimulationError
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+from repro.network.state import StepStats, Trajectory
+
+
+def synthetic_trajectory(series):
+    traj = Trajectory.begin(np.zeros(1, dtype=np.int64))
+    for i, total in enumerate(series):
+        traj.record(
+            StepStats(t=i + 1, injected=0, transmitted=0, lost=0, delivered=0,
+                      potential=int(total) ** 2, total_queued=int(total),
+                      max_queue=int(total))
+        )
+    return traj
+
+
+class TestVerdicts:
+    def test_flat_series_bounded(self):
+        v = assess_stability(synthetic_trajectory([5] * 100))
+        assert v.bounded and not v.divergent
+        assert v.slope == pytest.approx(0.0)
+
+    def test_linear_growth_divergent(self):
+        v = assess_stability(synthetic_trajectory(range(200)))
+        assert v.divergent
+        assert v.slope == pytest.approx(1.0, abs=0.01)
+
+    def test_ramp_to_plateau_bounded(self):
+        series = list(range(50)) + [50] * 150
+        v = assess_stability(synthetic_trajectory(series))
+        assert v.bounded
+
+    def test_noisy_plateau_bounded(self):
+        rng = np.random.default_rng(0)
+        series = 40 + rng.integers(-5, 6, size=300)
+        v = assess_stability(synthetic_trajectory(series))
+        assert v.bounded
+
+    def test_slow_divergence_detected(self):
+        series = [int(0.2 * t) for t in range(500)]
+        v = assess_stability(synthetic_trajectory(series))
+        assert v.divergent
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SimulationError):
+            assess_stability(synthetic_trajectory([1, 2]))
+
+
+class TestDivergenceRate:
+    def test_linear_rate_recovered(self):
+        r = divergence_rate(synthetic_trajectory([3 * t for t in range(100)]))
+        assert r == pytest.approx(3.0, abs=0.01)
+
+    def test_bad_fraction(self):
+        with pytest.raises(SimulationError):
+            divergence_rate(synthetic_trajectory([1] * 20), tail_fraction=0)
+
+
+class TestEndToEnd:
+    def test_feasible_network_verdict(self):
+        g, s, d = gen.parallel_paths(2, 3)
+        spec = NetworkSpec.classical(g, {s: 2}, {d: 2})
+        assert simulate_lgg(spec, horizon=800, seed=0).verdict.bounded
+
+    def test_infeasible_network_verdict_and_rate(self):
+        # arrival 3, bottleneck 1 -> diverge at ~2 packets/step
+        g, entries, exits = gen.bottleneck_gadget(3, 3, 1)
+        spec = NetworkSpec.classical(g, {v: 1 for v in entries}, {v: 1 for v in exits})
+        res = simulate_lgg(spec, horizon=800, seed=0)
+        assert res.verdict.divergent
+        rate = divergence_rate(res.trajectory)
+        assert rate == pytest.approx(2.0, abs=0.3)

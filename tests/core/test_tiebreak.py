@@ -1,0 +1,57 @@
+"""Tie-break key tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.tiebreak import TieBreak, tie_keys
+
+
+def keys_for(strategy, receivers, edge_ids, slots=10, rng=None):
+    return tie_keys(strategy, np.asarray(receivers, dtype=np.int64),
+                    np.asarray(edge_ids, dtype=np.int64), rng,
+                    num_edge_slots=slots)
+
+
+class TestDeterministicStrategies:
+    def test_id_order_sorts_by_node_then_edge(self):
+        k = keys_for(TieBreak.QUEUE_THEN_ID, [2, 1, 1], [0, 1, 2])
+        # receiver 1 entries come before receiver 2; edge 1 before edge 2
+        order = np.argsort(k)
+        assert order.tolist() == [1, 2, 0]
+
+    def test_reversed_is_negated(self):
+        a = keys_for(TieBreak.QUEUE_THEN_ID, [3, 1], [0, 1])
+        b = keys_for(TieBreak.QUEUE_THEN_REVERSED_ID, [3, 1], [0, 1])
+        assert (a == -b).all()
+
+    def test_keys_unique_per_half_edge(self):
+        receivers = [1, 1, 2, 2, 3]
+        edges = [0, 1, 0, 2, 1]
+        k = keys_for(TieBreak.QUEUE_THEN_ID, receivers, edges)
+        assert len(set(k.tolist())) == len(receivers)
+
+
+class TestRandomStrategy:
+    def test_requires_one_permutation_draw(self):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        a = keys_for(TieBreak.QUEUE_THEN_RANDOM, [1, 2], [0, 1], rng=rng1)
+        b = keys_for(TieBreak.QUEUE_THEN_RANDOM, [1, 2], [0, 1], rng=rng2)
+        assert (a == b).all()
+
+    def test_different_calls_differ(self):
+        rng = np.random.default_rng(9)
+        a = keys_for(TieBreak.QUEUE_THEN_RANDOM, list(range(8)), list(range(8)), rng=rng)
+        b = keys_for(TieBreak.QUEUE_THEN_RANDOM, list(range(8)), list(range(8)), rng=rng)
+        assert not (a == b).all()
+
+    def test_same_edge_same_key(self):
+        # the random permutation is a function of the edge id
+        rng = np.random.default_rng(3)
+        k = keys_for(TieBreak.QUEUE_THEN_RANDOM, [1, 2], [5, 5], rng=rng)
+        assert k[0] == k[1]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            tie_keys("bogus", np.zeros(1, dtype=np.int64),
+                     np.zeros(1, dtype=np.int64), None, num_edge_slots=1)

@@ -1,0 +1,53 @@
+"""Sweep scaffolding tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exp.sweeps import SweepCell, run_sweep
+
+
+def echo_cell(seed, **params):
+    return {"seed": seed, **params, "ok": params.get("x", 0) > 1}
+
+
+class TestRunSweep:
+    def test_grid_order_and_shape(self):
+        cells = run_sweep({"x": [1, 2], "y": ["a", "b"]}, echo_cell, repeats=3)
+        assert len(cells) == 4
+        assert cells[0].params == {"x": 1, "y": "a"}
+        assert cells[-1].params == {"x": 2, "y": "b"}
+        assert all(len(c.rows) == 3 for c in cells)
+
+    def test_seeds_reproducible_and_distinct(self):
+        a = run_sweep({"x": [1, 2]}, echo_cell, repeats=2, seed=5)
+        b = run_sweep({"x": [1, 2]}, echo_cell, repeats=2, seed=5)
+        assert [r["seed"] for c in a for r in c.rows] == [
+            r["seed"] for c in b for r in c.rows
+        ]
+        seeds = [r["seed"] for c in a for r in c.rows]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_seed_changes_with_master(self):
+        a = run_sweep({"x": [1]}, echo_cell, seed=1)
+        b = run_sweep({"x": [1]}, echo_cell, seed=2)
+        assert a[0].rows[0]["seed"] != b[0].rows[0]["seed"]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_sweep({}, echo_cell)
+        with pytest.raises(ExperimentError):
+            run_sweep({"x": [1]}, echo_cell, repeats=0)
+
+
+class TestSweepCell:
+    def test_fraction_and_mean(self):
+        cell = SweepCell(params={}, rows=({"ok": True, "v": 1}, {"ok": False, "v": 3}))
+        assert cell.fraction("ok") == 0.5
+        assert cell.mean("v") == 2.0
+
+    def test_empty_cell_rejected(self):
+        cell = SweepCell(params={}, rows=())
+        with pytest.raises(ExperimentError):
+            cell.fraction("ok")
+        with pytest.raises(ExperimentError):
+            cell.mean("v")

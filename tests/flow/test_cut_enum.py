@@ -1,0 +1,115 @@
+"""Min-cut enumeration (Picard–Queyranne) tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import max_flow
+from repro.flow.cut_enum import count_min_cuts, enumerate_min_cuts
+from repro.flow.residual import FlowProblem
+from repro.graphs import build_extended_graph
+from repro.graphs import generators as gen
+
+
+def problem(n, arcs, s, t):
+    tails, heads, caps = zip(*arcs) if arcs else ((), (), ())
+    return FlowProblem(n=n, tails=list(tails), heads=list(heads),
+                       capacities=list(caps), source=s, sink=t)
+
+
+def brute_force_min_cuts(p):
+    """All min cuts by trying every node bipartition (tiny n only)."""
+    best = None
+    cuts = []
+    others = [v for v in range(p.n) if v not in (p.source, p.sink)]
+    for r in range(len(others) + 1):
+        for extra in itertools.combinations(others, r):
+            side = {p.source, *extra}
+            cap = sum(
+                c for u, v, c in zip(p.tails, p.heads, p.capacities)
+                if u in side and v not in side
+            )
+            cuts.append((frozenset(side), cap))
+    value = max_flow(p).value
+    return {side for side, cap in cuts if cap == value}
+
+
+class TestKnownFamilies:
+    def test_single_bottleneck_unique(self):
+        p = problem(3, [(0, 1, 5), (1, 2, 1)], 0, 2)
+        fam = enumerate_min_cuts(p)
+        assert fam.complete
+        assert len(fam) == 1
+
+    def test_series_bottlenecks_count(self):
+        # unit path of k edges: k distinct min cuts (one per edge)
+        for k in (2, 3, 5):
+            arcs = [(i, i + 1, 1) for i in range(k)]
+            p = problem(k + 1, arcs, 0, k)
+            assert count_min_cuts(p) == k
+
+    def test_two_independent_bottleneck_pairs(self):
+        # two parallel 2-edge unit paths: cuts = choose 1 of 2 per path = 4
+        arcs = [(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 1)]
+        p = problem(4, arcs, 0, 3)
+        assert count_min_cuts(p) == 4
+
+    def test_every_cut_has_flow_capacity(self):
+        arcs = [(0, 1, 2), (1, 2, 2), (0, 2, 1), (2, 3, 3)]
+        p = problem(4, arcs, 0, 3)
+        fam = enumerate_min_cuts(p)
+        value = max_flow(p).value
+        for cut in fam.cuts:
+            assert cut.capacity == value
+            assert cut.side[0] and not cut.side[3]
+
+    def test_limit_truncation(self):
+        arcs = [(i, i + 1, 1) for i in range(10)]
+        p = problem(11, arcs, 0, 10)
+        fam = enumerate_min_cuts(p, limit=3)
+        assert len(fam) == 3
+        assert not fam.complete
+
+    def test_limit_validation(self):
+        p = problem(2, [(0, 1, 1)], 0, 1)
+        with pytest.raises(FlowError):
+            enumerate_min_cuts(p, limit=0)
+
+
+class TestBruteForceDifferential:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 7))
+        arcs = []
+        for _ in range(int(rng.integers(2, 12))):
+            u, v = rng.integers(0, n, size=2)
+            if u != v:
+                arcs.append((int(u), int(v), int(rng.integers(1, 4))))
+        p = problem(n, arcs, 0, n - 1)
+        fam = enumerate_min_cuts(p, limit=2048)
+        assert fam.complete
+        got = {frozenset(int(v) for v in np.nonzero(cut.side)[0]) for cut in fam.cuts}
+        assert got == brute_force_min_cuts(p)
+
+
+class TestSectionVUsage:
+    def test_saturated_path_family_contains_both_trivial_cuts(self):
+        ext = build_extended_graph(gen.path(3), {0: 1}, {2: 1})
+        p = FlowProblem.from_extended(ext)
+        fam = enumerate_min_cuts(p)
+        sizes = sorted(int(cut.side.sum()) for cut in fam.cuts)
+        # trivial source cut {s*} and the complement-of-{d*} cut bracket
+        assert sizes[0] == 1
+        assert sizes[-1] == p.n - 1
+
+    def test_unsaturated_network_unique_trivial_cut(self):
+        g, s, d = gen.parallel_paths(2, 3)
+        ext = build_extended_graph(g, {s: 1}, {d: 2})
+        p = FlowProblem.from_extended(ext)
+        fam = enumerate_min_cuts(p)
+        assert fam.complete
+        assert len(fam) == 1
+        assert int(fam.cuts[0].side.sum()) == 1  # A = {s*}

@@ -1,0 +1,116 @@
+"""Flow path-decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.flow import decompose_paths, edge_flow_from_result, feasible_flow
+from repro.graphs import MultiGraph, build_extended_graph
+from repro.graphs import generators as gen
+
+
+def decomposed(graph, in_rates, out_rates):
+    ext = build_extended_graph(graph, in_rates, out_rates)
+    result = feasible_flow(ext)
+    return ext, result, decompose_paths(ext, result)
+
+
+class TestEdgeFlow:
+    def test_path_network_uses_every_edge(self):
+        ext, result, dec = decomposed(gen.path(4), {0: 1}, {3: 1})
+        assert result.value == 1
+        assert len(dec.edge_flow) == 3
+        for eid, (u, v, amt) in dec.edge_flow.items():
+            assert amt == 1
+            assert v == u + 1  # oriented source-to-sink
+
+    def test_antiparallel_cancellation(self):
+        # force a circulation opportunity: triangle with source/sink on one edge
+        g = gen.cycle(3)
+        ext, result, dec = decomposed(g, {0: 2}, {1: 2})
+        # direct edge 0-1 plus the 0-2-1 detour: no edge may carry flow both ways
+        for eid, (u, v, amt) in dec.edge_flow.items():
+            assert amt > 0
+
+    def test_zero_flow_network(self):
+        g = MultiGraph(3)
+        g.add_edge(0, 1)  # sink node 2 is isolated
+        ext = build_extended_graph(g, {0: 1}, {2: 1})
+        result = feasible_flow(ext)
+        assert result.value == 0
+        dec = decompose_paths(ext, result)
+        assert dec.paths == ()
+        assert dec.value == 0
+
+
+class TestPathDecomposition:
+    def test_paths_partition_flow_value(self):
+        g, s, d = gen.parallel_paths(3, 3)
+        ext, result, dec = decomposed(g, {s: 3}, {d: 3})
+        assert result.value == 3
+        assert dec.value == 3
+        assert len(dec.paths) == 3
+        for p in dec.paths:
+            assert p.source == s
+            assert p.sink == d
+            assert p.value == 1
+            assert len(p.nodes) == 4  # s, two interior, d
+
+    def test_paths_start_at_sources_end_at_sinks(self):
+        g, sources, sinks = gen.paper_figure_graph()
+        ext, result, dec = decomposed(
+            g, {v: 1 for v in sources}, {v: 2 for v in sinks}
+        )
+        assert result.value == 2
+        for p in dec.paths:
+            assert p.source in sources
+            assert p.sink in sinks
+
+    def test_per_source_and_sink_accounting(self):
+        g, sources, sinks = gen.paper_figure_graph()
+        ext, result, dec = decomposed(
+            g, {v: 1 for v in sources}, {v: 2 for v in sinks}
+        )
+        per_src = dec.per_source()
+        assert sum(per_src.values()) == result.value
+        for s, amt in per_src.items():
+            assert amt <= 1  # in(s) = 1
+        per_snk = dec.per_sink()
+        assert sum(per_snk.values()) == result.value
+
+    def test_path_hops_are_consistent(self):
+        g, sources, sinks = gen.paper_figure_graph()
+        ext, result, dec = decomposed(
+            g, {v: 1 for v in sources}, {v: 2 for v in sinks}
+        )
+        for p in dec.paths:
+            assert len(p.edge_dirs) == len(p.nodes) - 1
+            for (eid, u, v), a, b in zip(p.edge_dirs, p.nodes, p.nodes[1:]):
+                assert (u, v) == (a, b)
+                assert g.has_edge_id(eid)
+                uu, vv = g.edge_endpoints(eid)
+                assert {u, v} == {uu, vv}
+
+    def test_multigraph_parallel_paths_each_edge(self):
+        g = MultiGraph(2)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        ext, result, dec = decomposed(g, {0: 2}, {1: 2})
+        assert result.value == 2
+        assert len(dec.paths) == 2
+        used = sorted(p.edge_dirs[0][0] for p in dec.paths)
+        assert used == [0, 1]  # both parallel edges carry one unit
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_networks_decompose_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        g = gen.random_gnp(12, 0.3, seed=seed, ensure_connected=True)
+        nodes = rng.permutation(12)
+        sources = {int(nodes[0]): 1, int(nodes[1]): 1}
+        sinks = {int(nodes[2]): 2, int(nodes[3]): 1}
+        ext = build_extended_graph(g, sources, sinks)
+        result = feasible_flow(ext)
+        dec = decompose_paths(ext, result)
+        assert dec.value == result.value
+        # per-edge usage never exceeds capacity 1
+        for eid, (u, v, amt) in dec.edge_flow.items():
+            assert 0 < amt <= 1

@@ -1,0 +1,138 @@
+"""Tests for the G* construction (Fig. 2 / Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import MultiGraph, build_extended_graph
+from repro.graphs.extended import ArcKind
+from repro.graphs import generators as gen
+
+
+def small_net():
+    g = MultiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    return g
+
+
+class TestBuildExtendedGraph:
+    def test_virtual_node_ids(self):
+        g = small_net()
+        ext = build_extended_graph(g, {0: 1}, {3: 1})
+        assert ext.s_star == 4
+        assert ext.d_star == 5
+        assert ext.n == 6
+        assert ext.n_base == 4
+
+    def test_edge_arcs_doubled(self):
+        g = small_net()
+        ext = build_extended_graph(g, {0: 1}, {3: 1})
+        fwd = ext.arcs_of_kind(ArcKind.EDGE_FWD)
+        bwd = ext.arcs_of_kind(ArcKind.EDGE_BWD)
+        assert len(fwd) == g.m
+        assert len(bwd) == g.m
+        # each fwd/bwd pair shares a base edge ref and has opposite direction
+        for f, b in zip(fwd, bwd):
+            assert ext.refs[f] == ext.refs[b]
+            assert ext.tails[f] == ext.heads[b]
+            assert ext.heads[f] == ext.tails[b]
+
+    def test_source_and_sink_arcs(self):
+        g = small_net()
+        ext = build_extended_graph(g, {0: 2, 1: 3}, {3: 4})
+        src = ext.arcs_of_kind(ArcKind.SOURCE)
+        snk = ext.arcs_of_kind(ArcKind.SINK)
+        assert len(src) == 2
+        assert len(snk) == 1
+        i = ext.source_arc_of(0)
+        assert ext.tails[i] == ext.s_star
+        assert ext.heads[i] == 0
+        assert ext.capacities[i] == 2
+        j = ext.sink_arc_of(3)
+        assert ext.tails[j] == 3
+        assert ext.heads[j] == ext.d_star
+        assert ext.capacities[j] == 4
+
+    def test_zero_rates_dropped(self):
+        g = small_net()
+        ext = build_extended_graph(g, {0: 1, 1: 0}, {3: 1})
+        assert len(ext.arcs_of_kind(ArcKind.SOURCE)) == 1
+        with pytest.raises(GraphError):
+            ext.source_arc_of(1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(GraphError):
+            build_extended_graph(small_net(), {0: -1}, {3: 1})
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(GraphError):
+            build_extended_graph(small_net(), {9: 1}, {3: 1})
+
+    def test_node_with_both_in_and_out(self):
+        """R-generalized nodes (Fig. 4) carry both a source and a sink arc."""
+        g = small_net()
+        ext = build_extended_graph(g, {1: 2}, {1: 3})
+        assert ext.source_arc_of(1) is not None
+        assert ext.sink_arc_of(1) is not None
+
+    def test_source_scale_applies_only_to_in(self):
+        g = small_net()
+        ext = build_extended_graph(g, {0: 2}, {3: 5}, source_scale=1.5)
+        assert ext.capacities[ext.source_arc_of(0)] == 3.0
+        assert ext.capacities[ext.sink_arc_of(3)] == 5
+
+    def test_total_injection(self):
+        ext = build_extended_graph(small_net(), {0: 2, 1: 3}, {3: 1})
+        assert ext.total_injection() == 5
+
+    def test_parallel_edges_each_get_arc_pair(self):
+        g = MultiGraph(2)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        ext = build_extended_graph(g, {0: 1}, {1: 1})
+        assert len(ext.arcs_of_kind(ArcKind.EDGE_FWD)) == 2
+
+    def test_edge_capacity_override(self):
+        g = small_net()
+        ext = build_extended_graph(g, {0: 1}, {3: 1}, edge_capacity=7)
+        f = ext.arcs_of_kind(ArcKind.EDGE_FWD)[0]
+        assert ext.capacities[f] == 7
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        from repro.graphs import from_networkx, to_networkx
+
+        g, _, _ = gen.paper_figure_graph()
+        nxg = to_networkx(g)
+        back, label_map = from_networkx(nxg)
+        assert back == g
+        assert label_map == {i: i for i in range(g.n)}
+
+    def test_from_networkx_simple_graph(self):
+        import networkx as nx
+
+        from repro.graphs import from_networkx
+
+        nxg = nx.path_graph(4)
+        g, label_map = from_networkx(nxg)
+        assert g.n == 4
+        assert g.m == 3
+
+    def test_from_networkx_drops_self_loops(self):
+        import networkx as nx
+
+        from repro.graphs import from_networkx
+
+        nxg = nx.MultiGraph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g, _ = from_networkx(nxg)
+        assert g.m == 1
+
+    def test_from_networkx_rejects_directed(self):
+        import networkx as nx
+
+        from repro.graphs import from_networkx
+
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(0, 1)]))

@@ -1,0 +1,163 @@
+"""Tests for topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        g = gen.path(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degrees().tolist() == [1, 2, 2, 2, 1]
+
+    def test_path_single_node(self):
+        g = gen.path(1)
+        assert (g.n, g.m) == (1, 0)
+
+    def test_cycle(self):
+        g = gen.cycle(5)
+        assert (g.n, g.m) == (5, 5)
+        assert all(d == 2 for d in g.degrees())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            gen.cycle(2)
+
+    def test_complete(self):
+        g = gen.complete(5)
+        assert g.m == 10
+        assert all(d == 4 for d in g.degrees())
+
+    def test_star(self):
+        g = gen.star(6)
+        assert g.degree(0) == 6
+        assert all(g.degree(v) == 1 for v in range(1, 7))
+
+    def test_grid(self):
+        g = gen.grid(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.max_degree() == 4
+        assert g.is_connected()
+
+    def test_torus_regular(self):
+        g = gen.torus(3, 4)
+        assert all(d == 4 for d in g.degrees())
+
+    def test_torus_2xk_has_parallel_wrap(self):
+        g = gen.torus(2, 3)
+        # every column wrap duplicates a mesh edge -> multigraph degree 4 anyway
+        assert all(d == 4 for d in g.degrees())
+
+    def test_binary_tree(self):
+        g = gen.binary_tree(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert g.is_connected()
+
+    def test_binary_tree_depth_zero(self):
+        g = gen.binary_tree(0)
+        assert (g.n, g.m) == (1, 0)
+
+    def test_barbell(self):
+        g = gen.barbell(4, 2)
+        assert g.n == 10
+        assert g.is_connected()
+        # bridge interior nodes have degree 2
+        assert g.degree(4) == 2
+        assert g.degree(5) == 2
+
+    def test_barbell_zero_bridge(self):
+        g = gen.barbell(3, 0)
+        assert g.n == 6
+        assert g.is_connected()
+
+
+class TestGadgets:
+    def test_bottleneck_gadget_structure(self):
+        g, entries, exits = gen.bottleneck_gadget(3, 2, 4)
+        assert g.n == 3 + 2 + 2
+        assert len(entries) == 3
+        assert len(exits) == 2
+        left_hub, right_hub = 3, 4
+        assert g.edge_multiplicity(left_hub, right_hub) == 4
+
+    def test_parallel_paths(self):
+        g, s, d = gen.parallel_paths(3, 4)
+        assert s == 0 and d == 1
+        assert g.degree(s) == 3
+        assert g.degree(d) == 3
+        assert g.is_connected()
+
+    def test_parallel_paths_length_one_is_parallel_edges(self):
+        g, s, d = gen.parallel_paths(5, 1)
+        assert g.n == 2
+        assert g.edge_multiplicity(s, d) == 5
+
+    def test_theta_graph(self):
+        g, s, d = gen.theta_graph([1, 2, 3])
+        assert g.degree(s) == 3
+        assert g.degree(d) == 3
+        assert g.n == 2 + 0 + 1 + 2
+
+    def test_paper_figure_graph(self):
+        g, sources, sinks = gen.paper_figure_graph()
+        assert g.n == 8
+        assert sources == [0, 1]
+        assert sinks == [6, 7]
+        assert g.edge_multiplicity(1, 3) == 2
+        assert g.is_connected()
+
+
+class TestRandomTopologies:
+    def test_gnp_reproducible(self):
+        a = gen.random_gnp(20, 0.3, seed=7)
+        b = gen.random_gnp(20, 0.3, seed=7)
+        assert a == b
+
+    def test_gnp_seed_changes_graph(self):
+        a = gen.random_gnp(30, 0.3, seed=1)
+        b = gen.random_gnp(30, 0.3, seed=2)
+        assert a != b
+
+    def test_gnp_ensure_connected(self):
+        for seed in range(5):
+            g = gen.random_gnp(25, 0.02, seed=seed, ensure_connected=True)
+            assert g.is_connected()
+
+    def test_gnp_p_zero_connected_is_tree_sized(self):
+        g = gen.random_gnp(10, 0.0, seed=0, ensure_connected=True)
+        assert g.m == 9
+
+    def test_gnp_p_one_is_complete(self):
+        g = gen.random_gnp(6, 1.0, seed=0)
+        assert g.m == 15
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(GraphError):
+            gen.random_gnp(5, 1.5)
+
+    def test_random_regular_degrees(self):
+        g = gen.random_regular(12, 3, seed=3)
+        assert all(d == 3 for d in g.degrees())
+
+    def test_random_regular_parity_rejected(self):
+        with pytest.raises(GraphError):
+            gen.random_regular(5, 3, seed=0)
+
+    def test_random_geometric_radius_full(self):
+        g = gen.random_geometric(8, 2.0, seed=0)  # radius > diag -> complete
+        assert g.m == 8 * 7 // 2
+
+    def test_random_multigraph_edge_count(self):
+        g = gen.random_multigraph(5, 40, seed=0)
+        assert g.m == 40
+        assert g.n == 5
+
+    def test_random_multigraph_no_self_loops(self):
+        g = gen.random_multigraph(3, 200, seed=1)
+        for _, u, v in g.edges():
+            assert u != v

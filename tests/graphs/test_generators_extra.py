@@ -1,0 +1,96 @@
+"""Tests for the second wave of topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import generators as gen
+
+
+class TestWheel:
+    def test_structure(self):
+        g = gen.wheel(5)
+        assert g.n == 6
+        assert g.m == 10  # 5 spokes + 5 rim edges
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 3 for v in range(1, 6))
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            gen.wheel(2)
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("dim", [0, 1, 2, 3, 4])
+    def test_counts(self, dim):
+        g = gen.hypercube(dim)
+        assert g.n == 2**dim
+        assert g.m == dim * 2 ** (dim - 1) if dim else g.m == 0
+        assert all(d == dim for d in g.degrees()) or dim == 0
+
+    def test_connected(self):
+        assert gen.hypercube(4).is_connected()
+
+    def test_neighbors_differ_by_one_bit(self):
+        g = gen.hypercube(3)
+        for _, u, v in g.edges():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_dim_bound(self):
+        with pytest.raises(GraphError):
+            gen.hypercube(17)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        g = gen.caterpillar(3, 2)
+        assert g.n == 3 + 6
+        assert g.m == 2 + 6
+        assert not any(g.degree(v) == 0 for v in range(g.n))
+
+    def test_no_legs_is_path(self):
+        assert gen.caterpillar(4, 0) == gen.path(4)
+
+    def test_single_spine(self):
+        g = gen.caterpillar(1, 3)
+        assert g.degree(0) == 3
+
+
+class TestRandomTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 25])
+    def test_is_a_tree(self, n):
+        g = gen.random_tree(n, seed=3)
+        assert g.m == n - 1 if n > 1 else g.m == 0
+        assert g.is_connected()
+
+    def test_reproducible(self):
+        assert gen.random_tree(12, seed=5) == gen.random_tree(12, seed=5)
+
+    def test_seeds_differ(self):
+        trees = {tuple(sorted((u, v) for _, u, v in gen.random_tree(10, seed=s).edges()))
+                 for s in range(8)}
+        assert len(trees) > 1
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = gen.ring_of_cliques(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 6 + 3  # clique edges + ring links
+        assert g.is_connected()
+
+    def test_interior_cut_width_one(self):
+        """Every inter-clique link is a width-1 min cut for cross traffic."""
+        from repro.flow import feasible_flow
+        from repro.graphs import build_extended_graph
+
+        g = gen.ring_of_cliques(4, 3)
+        # source in clique 0, sink in clique 2 (opposite): two ring paths
+        ext = build_extended_graph(g, {0: 2}, {7: 2})
+        assert feasible_flow(ext).value == 2  # one unit around each side
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            gen.ring_of_cliques(2, 3)
+        with pytest.raises(GraphError):
+            gen.ring_of_cliques(3, 1)

@@ -1,0 +1,102 @@
+"""Node-exclusive interference (Conjecture 5 machinery) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig, Simulator
+from repro.graphs import generators as gen
+from repro.interference import GreedyMatchingInterference, OracleMatchingInterference
+from repro.network import NetworkSpec
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def is_matching(senders, receivers, keep):
+    nodes = list(senders[keep]) + list(receivers[keep])
+    return len(nodes) == len(set(nodes))
+
+
+def candidates(*triples):
+    e, s, r = zip(*triples)
+    return (np.array(e, dtype=np.int64), np.array(s, dtype=np.int64),
+            np.array(r, dtype=np.int64))
+
+
+MODELS = [GreedyMatchingInterference(), OracleMatchingInterference()]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=["greedy", "oracle"])
+class TestMatchingProperty:
+    def test_empty_input(self, model):
+        e = np.empty(0, dtype=np.int64)
+        q = np.zeros(3, dtype=np.int64)
+        assert len(model.filter(e, e, e, q, q, RNG())) == 0
+
+    def test_conflicting_pair_resolved(self, model):
+        # two transmissions sharing node 1
+        e, s, r = candidates((0, 0, 1), (1, 1, 2))
+        q = np.array([5, 3, 0])
+        keep = model.filter(e, s, r, q, q, RNG())
+        assert keep.sum() == 1
+        assert is_matching(s, r, keep)
+
+    def test_disjoint_pairs_all_kept(self, model):
+        e, s, r = candidates((0, 0, 1), (1, 2, 3))
+        q = np.array([5, 0, 5, 0])
+        keep = model.filter(e, s, r, q, q, RNG())
+        assert keep.sum() == 2
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_candidates_form_matching(self, model, seed):
+        rng = np.random.default_rng(seed)
+        n = 12
+        k = 20
+        s = rng.integers(0, n, size=k)
+        r = (s + 1 + rng.integers(0, n - 1, size=k)) % n
+        e = np.arange(k)
+        q = rng.integers(0, 10, size=n)
+        keep = model.filter(e, s.astype(np.int64), r.astype(np.int64), q, q, rng)
+        assert is_matching(s, r, keep)
+
+
+class TestWeightMaximisation:
+    def test_oracle_beats_conflict_chain(self):
+        # path conflict chain: (0-1 w=1), (1-2 w=10), (2-3 w=1)
+        # greedy takes the middle one (w=10); optimum takes the two ends
+        # only when their sum exceeds it — here 2 < 10 so both agree; flip
+        # the weights to make them differ:
+        # (0-1 w=6), (1-2 w=10), (2-3 w=6): greedy keeps 10, oracle keeps 12
+        e, s, r = candidates((0, 0, 1), (1, 1, 2), (2, 2, 3))
+        q = np.array([6, 10, 6, 0])
+        rev = np.array([0, 0, 0, 0])
+        greedy = GreedyMatchingInterference().filter(e, s, r, q, rev, RNG())
+        oracle = OracleMatchingInterference().filter(e, s, r, q, rev, RNG())
+
+        def weight(keep):
+            return int((q[s[keep]] - rev[r[keep]]).sum())
+
+        assert weight(oracle) == 12
+        assert weight(greedy) == 10
+
+    def test_greedy_is_half_approximation_here(self):
+        e, s, r = candidates((0, 0, 1), (1, 1, 2), (2, 2, 3))
+        q = np.array([6, 10, 6, 0])
+        rev = np.zeros(4, dtype=np.int64)
+        greedy = GreedyMatchingInterference().filter(e, s, r, q, rev, RNG())
+        oracle = OracleMatchingInterference().filter(e, s, r, q, rev, RNG())
+        wg = int((q[s[greedy]] - rev[r[greedy]]).sum())
+        wo = int((q[s[oracle]] - rev[r[oracle]]).sum())
+        assert wg * 2 >= wo
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("model", MODELS, ids=["greedy", "oracle"])
+    def test_lgg_under_interference_runs(self, model):
+        g, s, d = gen.parallel_paths(2, 3)
+        spec = NetworkSpec.classical(g, {s: 1}, {d: 2})
+        cfg = SimulationConfig(horizon=400, seed=0, interference=model,
+                               validate_every_step=True)
+        res = Simulator(spec, config=cfg).run()
+        res.trajectory.check_conservation()
+        # at most one transmission touches each node per step
+        assert max(res.trajectory.transmitted) <= spec.n // 2

@@ -1,0 +1,101 @@
+"""Loss-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.loss import (
+    AdversarialEdgeLoss,
+    BernoulliLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    TargetedNodeLoss,
+)
+
+RNG = lambda s=0: np.random.default_rng(s)
+
+
+def tx(k):
+    """k transmissions over edges 0..k-1 from node i to node i+1."""
+    return (np.arange(k), np.arange(k), np.arange(k) + 1)
+
+
+class TestNoLoss:
+    def test_nothing_lost(self):
+        e, s, r = tx(5)
+        assert not NoLoss().sample(e, s, r, 0, RNG()).any()
+
+
+class TestBernoulli:
+    def test_extremes(self):
+        e, s, r = tx(10)
+        assert not BernoulliLoss(0.0).sample(e, s, r, 0, RNG()).any()
+        assert BernoulliLoss(1.0).sample(e, s, r, 0, RNG()).all()
+
+    def test_rate_statistics(self):
+        e, s, r = tx(1000)
+        lost = BernoulliLoss(0.3).sample(e, s, r, 0, RNG(1))
+        assert 0.25 < lost.mean() < 0.35
+
+    def test_bad_probability(self):
+        with pytest.raises(SpecError):
+            BernoulliLoss(1.5)
+
+
+class TestGilbertElliott:
+    def test_good_state_by_default(self):
+        ge = GilbertElliottLoss(0.0, 0.0, p_loss_bad=1.0, p_loss_good=0.0)
+        e, s, r = tx(5)
+        assert not ge.sample(e, s, r, 0, RNG()).any()
+
+    def test_bursty_losses(self):
+        # always transitions to bad after first use, never recovers
+        ge = GilbertElliottLoss(1.0, 0.0, p_loss_bad=1.0, p_loss_good=0.0)
+        e = np.zeros(1, dtype=np.int64)
+        s = np.zeros(1, dtype=np.int64)
+        r = np.ones(1, dtype=np.int64)
+        rng = RNG(2)
+        first = ge.sample(e, s, r, 0, rng)[0]
+        later = [ge.sample(e, s, r, t, rng)[0] for t in range(1, 10)]
+        assert not first          # good on first use
+        assert all(later)         # bad forever after
+
+    def test_channels_independent(self):
+        ge = GilbertElliottLoss(1.0, 0.0)
+        e = np.array([7])
+        s = np.array([0])
+        r = np.array([1])
+        rng = RNG(3)
+        ge.sample(e, s, r, 0, rng)          # edge 7 goes bad
+        other = ge.sample(np.array([8]), s, r, 1, rng)
+        assert not other[0]                  # edge 8 still good
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            GilbertElliottLoss(2.0, 0.5)
+
+
+class TestAdversarialEdge:
+    def test_targets_only_listed_edges(self):
+        model = AdversarialEdgeLoss([1, 3])
+        e, s, r = tx(5)
+        assert model.sample(e, s, r, 0, RNG()).tolist() == [False, True, False, True, False]
+
+
+class TestTargetedNode:
+    def test_full_jam(self):
+        model = TargetedNodeLoss([2])
+        e, s, r = tx(5)  # receivers 1..5
+        assert model.sample(e, s, r, 0, RNG()).tolist() == [False, True, False, False, False]
+
+    def test_partial_jam_statistics(self):
+        model = TargetedNodeLoss([1], p=0.5)
+        e = np.zeros(2000, dtype=np.int64)
+        s = np.zeros(2000, dtype=np.int64)
+        r = np.ones(2000, dtype=np.int64)
+        lost = model.sample(e, s, r, 0, RNG(4))
+        assert 0.4 < lost.mean() < 0.6
+
+    def test_bad_probability(self):
+        with pytest.raises(SpecError):
+            TargetedNodeLoss([0], p=-0.1)

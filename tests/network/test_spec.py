@@ -1,0 +1,113 @@
+"""NetworkSpec (S-D and R-generalized models) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.graphs import MultiGraph
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec, NodeRole, RevelationPolicy
+
+
+def path_spec(**kw):
+    return NetworkSpec.classical(gen.path(4), {0: 1}, {3: 2}, **kw)
+
+
+class TestClassicalConstruction:
+    def test_basic(self):
+        spec = path_spec()
+        assert spec.sources == [0]
+        assert spec.destinations == [3]
+        assert spec.terminals == [0, 3]
+        assert spec.arrival_rate == 1
+        assert spec.retention == 0
+        assert spec.exact_injection
+        assert not spec.is_generalized
+
+    def test_zero_rates_normalised_away(self):
+        spec = NetworkSpec.classical(gen.path(3), {0: 1, 1: 0}, {2: 1})
+        assert spec.in_rates == {0: 1}
+
+    def test_overlapping_source_sink_rejected(self):
+        with pytest.raises(SpecError):
+            NetworkSpec.classical(gen.path(3), {0: 1}, {0: 1, 2: 1})
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SpecError):
+            NetworkSpec.classical(gen.path(3), {0: -1}, {2: 1})
+
+    def test_non_integer_rate_rejected(self):
+        with pytest.raises(SpecError):
+            NetworkSpec.classical(gen.path(3), {0: 1.5}, {2: 1})
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(SpecError):
+            NetworkSpec.classical(gen.path(3), {7: 1}, {2: 1})
+
+    def test_numpy_integer_rates_accepted(self):
+        spec = NetworkSpec.classical(gen.path(3), {0: np.int64(2)}, {2: np.int64(2)})
+        assert spec.in_rates == {0: 2}
+
+
+class TestGeneralizedConstruction:
+    def test_basic(self):
+        spec = NetworkSpec.generalized(gen.path(4), {0: 2}, {3: 2}, retention=5)
+        assert spec.retention == 5
+        assert not spec.exact_injection
+        assert spec.is_generalized
+
+    def test_node_with_both_rates(self):
+        spec = NetworkSpec.generalized(gen.path(4), {1: 3, 0: 1}, {1: 2, 3: 1}, retention=1)
+        # in(1)=3 > out(1)=2 -> source; node 3: out only -> destination
+        assert 1 in spec.sources
+        assert 3 in spec.destinations
+        assert spec.role(1) is NodeRole.SOURCE
+
+    def test_balanced_node_is_destination(self):
+        # Definition 7: in <= out -> destination
+        spec = NetworkSpec.generalized(gen.path(3), {1: 2}, {1: 2}, retention=0)
+        assert spec.role(1) is NodeRole.DESTINATION
+        assert spec.destinations == [1]
+        assert spec.sources == []
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(SpecError):
+            NetworkSpec.generalized(gen.path(3), {0: 1}, {2: 1}, retention=-1)
+
+    def test_zero_retention_generalized_still_pseudo(self):
+        spec = NetworkSpec.generalized(gen.path(3), {0: 1}, {2: 1}, retention=0)
+        assert spec.is_generalized  # pseudo-sources may underinject
+
+
+class TestDerivedViews:
+    def test_roles(self):
+        spec = path_spec()
+        assert spec.role(0) is NodeRole.SOURCE
+        assert spec.role(1) is NodeRole.RELAY
+        assert spec.role(3) is NodeRole.DESTINATION
+
+    def test_vectors(self):
+        spec = path_spec()
+        assert spec.in_vector().tolist() == [1, 0, 0, 0]
+        assert spec.out_vector().tolist() == [0, 0, 0, 2]
+
+    def test_extended_graph(self):
+        spec = path_spec()
+        ext = spec.extended()
+        assert ext.in_rates == {0: 1}
+        assert ext.out_rates == {3: 2}
+
+    def test_extended_with_scale(self):
+        spec = path_spec()
+        ext = spec.extended(source_scale=2)
+        assert ext.capacities[ext.source_arc_of(0)] == 2
+
+    def test_with_retention(self):
+        spec = path_spec().with_retention(7)
+        assert spec.retention == 7
+        assert spec.in_rates == {0: 1}
+
+    def test_with_rates(self):
+        spec = path_spec().with_rates(in_rates={1: 4})
+        assert spec.in_rates == {1: 4}
+        assert spec.out_rates == {3: 2}

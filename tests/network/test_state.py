@@ -1,0 +1,100 @@
+"""P_t potential and trajectory-recording tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import SimulationError
+from repro.network.state import StepStats, Trajectory, network_state
+
+
+class TestNetworkState:
+    def test_zero_queues(self):
+        assert network_state(np.zeros(5, dtype=np.int64)) == 0
+
+    def test_known_value(self):
+        assert network_state(np.array([1, 2, 3])) == 14
+
+    def test_empty(self):
+        assert network_state(np.array([], dtype=np.int64)) == 0
+
+    def test_huge_queues_no_overflow(self):
+        q = np.array([4_000_000_000, 4_000_000_000], dtype=np.int64)
+        assert network_state(q) == 2 * 4_000_000_000**2
+
+    @given(hnp.arrays(np.int64, st.integers(0, 30), elements=st.integers(0, 10**6)))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_python_sum(self, q):
+        assert network_state(q) == sum(int(x) ** 2 for x in q)
+
+
+def make_stats(t, potential=0, total=0, **kw):
+    defaults = dict(injected=0, transmitted=0, lost=0, delivered=0, max_queue=0)
+    defaults.update(kw)
+    return StepStats(t=t, potential=potential, total_queued=total, **defaults)
+
+
+class TestTrajectory:
+    def test_begin_records_initial_state(self):
+        q = np.array([2, 0, 1], dtype=np.int64)
+        traj = Trajectory.begin(q)
+        assert traj.initial_queued == 3
+        assert traj.potentials == [5]
+        assert traj.max_queues == [2]
+        assert traj.steps == 0
+
+    def test_record_appends(self):
+        traj = Trajectory.begin(np.zeros(2, dtype=np.int64))
+        traj.record(make_stats(1, potential=4, total=2, injected=2))
+        assert traj.steps == 1
+        assert traj.final_potential == 4
+        assert traj.cumulative("injected") == 2
+
+    def test_potential_deltas(self):
+        traj = Trajectory.begin(np.zeros(2, dtype=np.int64))
+        traj.record(make_stats(1, potential=4, total=2, injected=2))
+        traj.record(make_stats(2, potential=1, total=1, injected=0, delivered=1))
+        assert traj.potential_deltas().tolist() == [4, -3]
+
+    def test_conservation_ok(self):
+        traj = Trajectory.begin(np.array([1, 0], dtype=np.int64))
+        traj.record(make_stats(1, potential=1, total=2, injected=1))
+        traj.record(make_stats(2, potential=0, total=1, injected=1, delivered=1, lost=1))
+        traj.check_conservation()  # 1 + 2 == 1 + 1 + 1
+
+    def test_conservation_violation_detected(self):
+        traj = Trajectory.begin(np.zeros(2, dtype=np.int64))
+        traj.record(make_stats(1, potential=0, total=5, injected=1))
+        with pytest.raises(SimulationError):
+            traj.check_conservation()
+
+    def test_queue_history_recording(self):
+        q = np.array([1, 1], dtype=np.int64)
+        traj = Trajectory.begin(q, record_queues=True)
+        traj.record(make_stats(1, potential=4, total=2), np.array([2, 0], dtype=np.int64))
+        assert len(traj.queue_history) == 2
+        assert traj.queue_history[1].tolist() == [2, 0]
+
+    def test_queue_history_requires_queues(self):
+        traj = Trajectory.begin(np.zeros(2, dtype=np.int64), record_queues=True)
+        with pytest.raises(SimulationError):
+            traj.record(make_stats(1))
+
+    def test_tail_mean(self):
+        traj = Trajectory.begin(np.zeros(1, dtype=np.int64))
+        for i in range(1, 9):
+            traj.record(make_stats(i, potential=i, total=i, injected=1))
+        # potentials = [0,1..8]; last quarter (2 entries): (7+8)/2
+        assert traj.tail_mean_potential(0.25) == pytest.approx(7.5)
+
+    def test_tail_mean_bad_fraction(self):
+        traj = Trajectory.begin(np.zeros(1, dtype=np.int64))
+        with pytest.raises(SimulationError):
+            traj.tail_mean_potential(0.0)
+
+    def test_peak_potential(self):
+        traj = Trajectory.begin(np.array([3], dtype=np.int64))
+        traj.record(make_stats(1, potential=1, total=1))
+        assert traj.peak_potential == 9

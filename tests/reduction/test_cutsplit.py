@@ -1,0 +1,126 @@
+"""Section V-C cut-decomposition tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig, Simulator, simulate_lgg
+from repro.errors import InfeasibleNetworkError, SpecError
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+from repro.reduction import (
+    build_a_prime,
+    build_b_prime,
+    interior_min_cut,
+    split_along_cut,
+)
+
+
+def bridge_spec():
+    """Barbell: sources in the left clique, sinks in the right, a 1-wide
+    bridge forming the interior min cut; arrival rate 1 saturates it."""
+    g = gen.barbell(3, 2)  # nodes 0-2 left clique, 3-4 bridge, 5-7 right clique
+    return NetworkSpec.classical(g, {0: 1}, {7: 1})
+
+
+class TestInteriorMinCut:
+    def test_bridge_cut_found(self):
+        cut = interior_min_cut(bridge_spec())
+        assert cut is not None
+        a_nodes, b_nodes = cut
+        assert 0 in a_nodes       # the source stays on the s* side
+        assert 7 in b_nodes       # the sink on the d* side
+        assert set(a_nodes) | set(b_nodes) == set(range(8))
+
+    def test_no_interior_cut_on_unsaturated(self):
+        g, s, d = gen.parallel_paths(2, 3)
+        spec = NetworkSpec.classical(g, {s: 1}, {d: 2})
+        assert interior_min_cut(spec) is None
+
+    def test_infeasible_rejected(self):
+        g, entries, exits = gen.bottleneck_gadget(3, 3, 1)
+        spec = NetworkSpec.classical(g, {v: 1 for v in entries}, {v: 1 for v in exits})
+        with pytest.raises(InfeasibleNetworkError):
+            interior_min_cut(spec)
+
+
+class TestBPrime:
+    def test_border_nodes_become_sources(self):
+        spec = bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        side = build_b_prime(spec, a_nodes, b_nodes)
+        # every border node gained injection capacity = its degree into A
+        assert len(side.border) >= 1
+        for v in side.border:
+            nv = side.mapping[v]
+            assert side.spec.in_rates.get(nv, 0) >= 1
+
+    def test_original_sink_kept(self):
+        spec = bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        side = build_b_prime(spec, a_nodes, b_nodes)
+        nv = side.mapping[7]
+        assert side.spec.out_rates.get(nv, 0) == 1
+
+    def test_partition_validation(self):
+        spec = bridge_spec()
+        with pytest.raises(SpecError):
+            build_b_prime(spec, [0, 1], [1, 2])  # overlap
+        with pytest.raises(SpecError):
+            build_b_prime(spec, [0], [1])  # not covering
+
+
+class TestAPrime:
+    def test_border_nodes_become_destinations(self):
+        spec = bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        side = build_a_prime(spec, a_nodes, b_nodes, r_b=10)
+        for v in side.border:
+            nv = side.mapping[v]
+            assert side.spec.out_rates.get(nv, 0) >= 1
+        assert side.spec.retention == 10
+
+    def test_original_source_kept(self):
+        spec = bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        side = build_a_prime(spec, a_nodes, b_nodes, r_b=0)
+        nv = side.mapping[0]
+        assert side.spec.in_rates.get(nv, 0) == 1
+
+    def test_negative_rb_rejected(self):
+        spec = bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        with pytest.raises(SpecError):
+            build_a_prime(spec, a_nodes, b_nodes, r_b=-1)
+
+
+class TestSplitAlongCut:
+    def test_both_sides_feasible(self):
+        split = split_along_cut(bridge_spec(), r_b=5)
+        assert split.b_feasible
+        assert split.a_feasible
+
+    def test_unsaturated_network_raises(self):
+        g, s, d = gen.parallel_paths(2, 3)
+        spec = NetworkSpec.classical(g, {s: 1}, {d: 2})
+        with pytest.raises(InfeasibleNetworkError):
+            split_along_cut(spec)
+
+    def test_explicit_cut_accepted(self):
+        spec = bridge_spec()
+        split = split_along_cut(spec, r_b=3, cut=([0, 1, 2, 3], [4, 5, 6, 7]))
+        assert split.a_nodes == (0, 1, 2, 3)
+
+    def test_induction_chain_simulates_bounded(self):
+        """The paper's induction, executed: B' bounded -> measure R_B ->
+        A' (with that retention) bounded -> and G itself bounded."""
+        spec = bridge_spec()
+        cut = interior_min_cut(spec)
+        b_side = build_b_prime(spec, *cut)
+        res_b = simulate_lgg(b_side.spec, horizon=600, seed=0)
+        assert res_b.verdict.bounded
+        r_b = int(max(res_b.trajectory.total_queued))
+        a_side = build_a_prime(spec, *cut, r_b=r_b)
+        res_a = simulate_lgg(a_side.spec, horizon=600, seed=0)
+        assert res_a.verdict.bounded
+        res_g = simulate_lgg(spec, horizon=600, seed=0)
+        assert res_g.verdict.bounded

@@ -1,0 +1,145 @@
+"""Extended Section V-C coverage: generalized inputs, multi-source bridges,
+rate bookkeeping of the constructions."""
+
+import pytest
+
+from repro.core import simulate_lgg
+from repro.errors import InfeasibleNetworkError
+from repro.flow import classify_network
+from repro.graphs import MultiGraph
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec, RevelationPolicy
+from repro.reduction import build_a_prime, build_b_prime, interior_min_cut, split_along_cut
+
+
+def double_bridge_spec():
+    """Two sources through a 2-wide interior cut to two sinks."""
+    g, entries, exits = gen.bottleneck_gadget(2, 2, 2)
+    return NetworkSpec.classical(
+        g, {v: 1 for v in entries}, {v: 1 for v in exits}
+    )
+
+
+class TestRateBookkeeping:
+    def test_b_prime_border_gains_cut_degree(self):
+        spec = double_bridge_spec()
+        cut = interior_min_cut(spec)
+        assert cut is not None
+        a_nodes, b_nodes = cut
+        side = build_b_prime(spec, a_nodes, b_nodes)
+        # total injection of B' = original injections in B + cut width
+        cut_width = sum(
+            1 for _, u, v in spec.graph.edges()
+            if (u in set(a_nodes)) != (v in set(a_nodes))
+        )
+        orig_in_b = sum(spec.in_rates.get(v, 0) for v in b_nodes)
+        assert sum(side.spec.in_rates.values()) == orig_in_b + cut_width
+
+    def test_a_prime_border_gains_cut_degree(self):
+        spec = double_bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        side = build_a_prime(spec, a_nodes, b_nodes, r_b=4)
+        cut_width = sum(
+            1 for _, u, v in spec.graph.edges()
+            if (u in set(a_nodes)) != (v in set(a_nodes))
+        )
+        orig_out_a = sum(spec.out_rates.get(v, 0) for v in a_nodes)
+        assert sum(side.spec.out_rates.values()) == orig_out_a + cut_width
+
+    def test_mappings_are_bijective(self):
+        spec = double_bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        b_side = build_b_prime(spec, a_nodes, b_nodes)
+        a_side = build_a_prime(spec, a_nodes, b_nodes, r_b=0)
+        assert sorted(b_side.mapping) == sorted(b_nodes)
+        assert sorted(a_side.mapping) == sorted(a_nodes)
+        assert len(set(b_side.mapping.values())) == len(b_nodes)
+        assert len(set(a_side.mapping.values())) == len(a_nodes)
+
+    def test_retention_propagates(self):
+        spec = double_bridge_spec()
+        a_nodes, b_nodes = interior_min_cut(spec)
+        a_side = build_a_prime(spec, a_nodes, b_nodes, r_b=17)
+        assert a_side.spec.retention == 17
+        b_side = build_b_prime(spec, a_nodes, b_nodes)
+        assert b_side.spec.retention == spec.retention
+
+
+class TestGeneralizedInput:
+    def test_generalized_network_splits(self):
+        """The induction runs on R-generalized input too (as Section V-C
+        needs: the recursion produces generalized networks)."""
+        g = gen.barbell(3, 2)
+        spec = NetworkSpec.generalized(
+            g, {0: 1}, {7: 1}, retention=2, revelation=RevelationPolicy.ALWAYS_R
+        )
+        split = split_along_cut(spec, r_b=6)
+        assert split.b_feasible and split.a_feasible
+        # children keep the lying policy
+        assert split.b_prime.spec.revelation is RevelationPolicy.ALWAYS_R
+        res = simulate_lgg(split.b_prime.spec, horizon=500, seed=0)
+        assert res.verdict.bounded
+
+
+class TestRecursiveDescent:
+    def test_two_level_induction(self):
+        """Apply the split to its own A' output — the paper's recursion."""
+        g = gen.barbell(4, 3)  # long bridge: room for nested cuts
+        spec = NetworkSpec.classical(g, {0: 1}, {g.n - 1: 1})
+        cut = interior_min_cut(spec)
+        assert cut is not None
+        a_side = build_a_prime(spec, *cut, r_b=10)
+        inner = interior_min_cut(a_side.spec)
+        if inner is not None:  # the inner network may be V-A/V-B shaped
+            inner_split = split_along_cut(a_side.spec, r_b=10, cut=inner)
+            assert inner_split.a_feasible and inner_split.b_feasible
+
+    def test_all_side_networks_simulate_bounded(self):
+        spec = double_bridge_spec()
+        split = split_along_cut(spec, r_b=12)
+        for side in (split.b_prime, split.a_prime):
+            res = simulate_lgg(side.spec, horizon=800, seed=1)
+            assert res.verdict.bounded
+
+
+class TestSectionVCase:
+    def test_unsaturated_is_va(self):
+        from repro.graphs import generators as gen
+        from repro.reduction import section_v_case
+
+        g, s, d = gen.parallel_paths(2, 3)
+        spec = NetworkSpec.classical(g, {s: 1}, {d: 2})
+        assert section_v_case(spec) == "V-A"
+
+    def test_saturated_sink_is_vb(self):
+        from repro.graphs import generators as gen
+        from repro.reduction import section_v_case
+
+        # K4 with in = out = 2: every interior cut has capacity >= 3, so the
+        # only extra min cut is the one at the virtual sink — Section V-B
+        spec = NetworkSpec.classical(gen.complete(4), {0: 2}, {3: 2})
+        assert section_v_case(spec) == "V-B"
+
+    def test_unit_path_single_edge_is_vc(self):
+        from repro.graphs import generators as gen
+        from repro.reduction import section_v_case
+
+        # even a 2-node unit path is V-C: its single edge is an interior
+        # min cut of value 1 = the arrival rate
+        spec = NetworkSpec.classical(gen.path(2), {0: 1}, {1: 1})
+        assert section_v_case(spec) == "V-C"
+
+    def test_interior_cut_is_vc(self):
+        from repro.graphs import generators as gen
+        from repro.reduction import section_v_case
+
+        spec = NetworkSpec.classical(gen.barbell(3, 2), {0: 1}, {7: 1})
+        assert section_v_case(spec) == "V-C"
+
+    def test_infeasible_rejected(self):
+        from repro.graphs import generators as gen
+        from repro.reduction import section_v_case
+
+        spec = NetworkSpec.classical(gen.path(3), {0: 2}, {2: 2})
+        with pytest.raises(InfeasibleNetworkError):
+            section_v_case(spec)

@@ -1,0 +1,61 @@
+"""CLI front-end tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("e01", "e14", "f01", "f04"):
+            assert exp_id in out
+
+
+class TestRun:
+    def test_run_single(self, capsys):
+        assert main(["run", "f01"]) == 0
+        out = capsys.readouterr().out
+        assert "claim held: YES" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "zzz"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_path_network(self, capsys):
+        assert main(["simulate", "--topology", "path", "--n", "5",
+                     "--horizon", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "bounded: True" in out
+
+    def test_grid_default_sink(self, capsys):
+        assert main(["simulate", "--topology", "grid", "--rows", "3",
+                     "--cols", "3", "--out-rate", "2", "--horizon", "200"]) == 0
+        assert "delivered" in capsys.readouterr().out
+
+    def test_gnp_topology(self, capsys):
+        assert main(["simulate", "--topology", "gnp", "--n", "10", "--p", "0.4",
+                     "--out-rate", "3", "--horizon", "150", "--seed", "1"]) == 0
+
+
+class TestClassify:
+    def test_saturated_path(self, capsys):
+        assert main(["classify", "--topology", "path", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "class: saturated" in out
+
+    def test_infeasible(self, capsys):
+        assert main(["classify", "--topology", "path", "--n", "4",
+                     "--in-rate", "3", "--out-rate", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "class: infeasible" in out
+
+    def test_complete_unsaturated(self, capsys):
+        assert main(["classify", "--topology", "complete", "--n", "5",
+                     "--in-rate", "1", "--out-rate", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "class: unsaturated" in out
+        assert "epsilon" in out

@@ -1,0 +1,59 @@
+"""Additional CLI coverage: run-all, more topologies, failure paths."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunAll:
+    def test_run_two_figures(self, capsys):
+        # 'all' is exercised per-experiment elsewhere; here check multiple
+        # sequential runs accumulate output correctly
+        assert main(["run", "f01"]) == 0
+        assert main(["run", "f02"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("claim held: YES") == 2
+
+
+class TestSimulateTopologies:
+    def test_cycle(self, capsys):
+        assert main(["simulate", "--topology", "cycle", "--n", "6",
+                     "--out-rate", "2", "--horizon", "150"]) == 0
+        assert "bounded" in capsys.readouterr().out
+
+    def test_complete(self, capsys):
+        assert main(["simulate", "--topology", "complete", "--n", "6",
+                     "--out-rate", "3", "--horizon", "150"]) == 0
+
+    def test_explicit_sink(self, capsys):
+        assert main(["simulate", "--topology", "path", "--n", "6",
+                     "--sink", "3", "--horizon", "100"]) == 0
+
+
+class TestModuleEntryPoints:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "e01" in proc.stdout
+
+    def test_experiment_module_main(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.exp.f01_model_figure", "--seed", "1"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0
+        assert "claim held: YES" in proc.stdout
+
+    def test_console_script_equivalent(self):
+        proc = subprocess.run(
+            [sys.executable, "-c", "from repro.cli import main; raise SystemExit(main(['claims']))"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "Theorem 1" in proc.stdout

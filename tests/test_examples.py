@@ -1,0 +1,58 @@
+"""Example-script checks.
+
+``quickstart.py`` runs end to end (it is the README's advertised entry
+point and fast); the heavier scenario scripts are compile-checked and
+smoke-checked for importable dependencies so a bit-rotted example cannot
+ship silently.  The full scripts are exercised manually / in docs runs.
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestInventory:
+    def test_expected_examples_present(self):
+        assert ALL_EXAMPLES == [
+            "adversarial_storm.py",
+            "capacity_planning.py",
+            "gradient_landscape.py",
+            "monte_carlo_region.py",
+            "quickstart.py",
+            "saturated_gridlock.py",
+            "sensor_data_gathering.py",
+            "wireless_interference.py",
+        ]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "Theorem 1 reproduced" in proc.stdout
+
+
+def test_saturated_gridlock_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "saturated_gridlock.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "induction chain holds" in proc.stdout

@@ -1,0 +1,74 @@
+"""Paper-claim inventory consistency tests.
+
+These pin the documentation to the code: every claim that names an
+experiment must name a *registered* experiment, and every validation
+experiment must be claimed by some paper artifact (the two extension
+experiments are exempt by design).
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exp import REGISTRY
+from repro.paperdata import CLAIMS, ClaimStatus, claim_by_id, claims_for_experiment
+
+
+EXTENSION_EXPERIMENTS = {"e12", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22"}  # ours, not the paper's
+
+
+class TestInventoryShape:
+    def test_unique_ids(self):
+        ids = [c.claim_id for c in CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_all_referenced_experiments_exist(self):
+        for claim in CLAIMS:
+            if claim.experiment is not None:
+                assert claim.experiment in REGISTRY, claim.claim_id
+
+    def test_every_paper_experiment_is_claimed(self):
+        claimed = {c.experiment for c in CLAIMS if c.experiment}
+        for exp_id in REGISTRY:
+            if exp_id in EXTENSION_EXPERIMENTS:
+                continue
+            assert exp_id in claimed, f"{exp_id} exercises no recorded claim"
+
+    def test_conjectures_present(self):
+        conjectures = [c for c in CLAIMS if c.status is ClaimStatus.CONJECTURED]
+        assert len(conjectures) == 5  # Conjectures 1-5
+
+    def test_theorems_conditional_on_conjecture1(self):
+        assert claim_by_id("thm1").status is ClaimStatus.PROVEN_UNDER_CONJECTURE
+        assert claim_by_id("thm2").status is ClaimStatus.PROVEN_UNDER_CONJECTURE
+
+    def test_figures_covered(self):
+        for fid in ("fig1", "fig2", "fig3", "fig4"):
+            assert claim_by_id(fid).experiment == f"f0{fid[-1]}"
+
+
+class TestLookups:
+    def test_claim_by_id(self):
+        c = claim_by_id("conj1")
+        assert c.name == "Conjecture 1"
+        assert c.experiment == "e05"
+
+    def test_unknown_claim(self):
+        with pytest.raises(ReproError):
+            claim_by_id("thm99")
+
+    def test_claims_for_experiment(self):
+        got = claims_for_experiment("e06")
+        assert {c.claim_id for c in got} == {"thm2", "prop3-5"}
+
+    def test_claims_for_extension_empty(self):
+        assert claims_for_experiment("e15") == []
+
+
+class TestCLI:
+    def test_claims_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "Conjecture 1" in out
+        assert "proven under Conjecture 1" in out
