@@ -20,6 +20,15 @@ class ArrivalProcess(Protocol):
     Implementations must be *deterministic given (t, rng state)* so that a
     seeded run is reproducible, and must never inject more than the spec's
     ``in(v)`` at any node (the engine enforces this).
+
+    Batched backend: a process may additionally expose
+    ``sample_batch(t, rngs) -> int64[R, n]``, which MUST be equivalent to
+    ``[self.sample(t, rngs[r]) for r in range(R)]`` — same values, same
+    per-replica draw pattern — so that batched ensemble runs stay
+    bit-identical to scalar runs.  Draw-free processes can return a
+    broadcast without touching ``rngs`` (the big win); stochastic ones
+    loop per replica.  Stateful processes should *not* implement it and
+    should be passed to the ensemble as per-replica instances instead.
     """
 
     def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:

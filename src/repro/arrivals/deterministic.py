@@ -22,6 +22,10 @@ class DeterministicArrivals:
     def sample(self, t: int, rng: np.random.Generator) -> np.ndarray:
         return self._vec.copy()
 
+    def sample_batch(self, t: int, rngs) -> np.ndarray:
+        """Draw-free: one broadcast for all replicas (``rngs`` untouched)."""
+        return np.tile(self._vec, (len(rngs), 1))
+
 
 class ScaledArrivals:
     """Inject ``round_mode(rate · in(v))`` per step for a fixed rate ≤ 1.

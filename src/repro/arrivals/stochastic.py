@@ -28,6 +28,10 @@ class BernoulliArrivals:
         out[idx] = self._vec[idx]
         return out
 
+    def sample_batch(self, t: int, rngs) -> np.ndarray:
+        """Per-replica draws — bit-identical to ``sample`` on each ``rngs[r]``."""
+        return np.stack([self.sample(t, rng) for rng in rngs])
+
 
 class UniformArrivals:
     """Uniform integer injections on ``[0, in(v)]`` — Conjecture 3's
@@ -44,6 +48,10 @@ class UniformArrivals:
                 0, self._vec[self._active] + 1, size=len(self._active)
             )
         return out
+
+    def sample_batch(self, t: int, rngs) -> np.ndarray:
+        """Per-replica draws — bit-identical to ``sample`` on each ``rngs[r]``."""
+        return np.stack([self.sample(t, rng) for rng in rngs])
 
     def mean_rate(self) -> float:
         """Long-run expected injections per step, ``Σ in(v) / 2``."""

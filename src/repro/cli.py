@@ -18,11 +18,11 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis import summarize
-from repro.core import simulate_lgg
+from repro.core import ExtractionMode, simulate_lgg
 from repro.errors import ReproError
 from repro.flow import classify_network
 from repro.graphs import generators as gen
-from repro.network import NetworkSpec
+from repro.network import NetworkSpec, RevelationPolicy
 
 __all__ = ["main", "build_parser"]
 
@@ -40,9 +40,20 @@ def _spec_from_args(args) -> NetworkSpec:
         g = gen.random_gnp(args.n, args.p, seed=args.seed, ensure_connected=True)
     else:  # pragma: no cover - argparse restricts choices
         raise ReproError(f"unknown topology {args.topology}")
-    return NetworkSpec.classical(
-        g, {args.source: args.in_rate}, {args.sink: args.out_rate}
-    )
+    in_rates = {args.source: args.in_rate}
+    out_rates = {args.sink: args.out_rate}
+    if getattr(args, "retention", None) is not None:
+        return NetworkSpec.generalized(
+            g, in_rates, out_rates,
+            retention=args.retention,
+            revelation=RevelationPolicy(getattr(args, "revelation", "truthful")),
+        )
+    if getattr(args, "revelation", "truthful") != "truthful":
+        raise ReproError(
+            "non-truthful revelation requires the generalized model; "
+            "pass --retention"
+        )
+    return NetworkSpec.classical(g, in_rates, out_rates)
 
 
 def _add_spec_args(p: argparse.ArgumentParser) -> None:
@@ -81,6 +92,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cls = sub.add_parser("classify", help="Definitions 3-4 classification")
     _add_spec_args(p_cls)
+
+    p_ens = sub.add_parser(
+        "ensemble", help="batched Monte-Carlo replicas (vectorized pipeline)"
+    )
+    _add_spec_args(p_ens)
+    p_ens.add_argument("--horizon", type=int, default=1000)
+    p_ens.add_argument("--replicas", type=int, default=16)
+    p_ens.add_argument("--loss-p", type=float, default=0.0, dest="loss_p")
+    p_ens.add_argument("--extraction",
+                       choices=[m.value for m in ExtractionMode],
+                       default=ExtractionMode.GREEDY.value)
+    p_ens.add_argument("--revelation",
+                       choices=[p.value for p in RevelationPolicy],
+                       default=RevelationPolicy.TRUTHFUL.value)
+    p_ens.add_argument("--retention", type=int, default=None,
+                       help="generalized-model retention R (enables lying "
+                            "revelation policies and pseudo-sources)")
+    p_ens.add_argument("--activation-prob", type=float, default=1.0,
+                       dest="activation_prob")
+    p_ens.add_argument("--uniform-arrivals", action="store_true",
+                       dest="uniform_arrivals",
+                       help="uniform [0, in(v)] injections (needs --retention)")
 
     return parser
 
@@ -144,6 +177,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"delivered: {m.delivered}/{m.injected} "
                   f"(throughput {m.throughput:.3f}/step)")
             print(f"peak queue: {m.peak_total_queue}  tail mean: {m.tail_mean_queue:.1f}")
+            return 0
+
+        if args.command == "ensemble":
+            from repro.core import SimulationConfig
+            from repro.core.ensemble import EnsembleSimulator
+
+            spec = _spec_from_args(args)
+            config = SimulationConfig(
+                extraction=ExtractionMode(args.extraction),
+                activation_prob=args.activation_prob,
+            )
+            ens = EnsembleSimulator(
+                spec,
+                args.replicas,
+                seed=args.seed,
+                config=config,
+                loss_p=args.loss_p,
+                uniform_arrivals=args.uniform_arrivals,
+            )
+            res = ens.run(args.horizon)
+            final_totals = res.final_queues.sum(axis=1)
+            print(f"network: {spec}")
+            print(f"replicas: {res.replicas}  horizon: {args.horizon}")
+            print(f"bounded fraction: {res.bounded_fraction:.3f}")
+            print(f"delivered (mean/replica): {res.delivered.mean():.1f}  "
+                  f"lost: {res.lost.mean():.1f}")
+            print(f"final total queue: min {final_totals.min()}  "
+                  f"mean {final_totals.mean():.1f}  max {final_totals.max()}")
             return 0
 
         if args.command == "classify":

@@ -14,8 +14,17 @@ from repro.core.policies import (
     ShortestPathPolicy,
     TransmissionPolicy,
 )
+from repro.core.pipeline import (
+    DEFAULT_PIPELINE,
+    STAGE_NAMES,
+    Stage,
+    StagePipeline,
+    StageTiming,
+    StepState,
+)
 from repro.core.engine import (
     ExtractionMode,
+    LinkCapacityMode,
     SimulationConfig,
     SimulationResult,
     Simulator,
@@ -37,7 +46,14 @@ __all__ = [
     "BackpressurePolicy",
     "RandomForwardingPolicy",
     "ShortestPathPolicy",
+    "DEFAULT_PIPELINE",
+    "STAGE_NAMES",
+    "Stage",
+    "StagePipeline",
+    "StageTiming",
+    "StepState",
     "ExtractionMode",
+    "LinkCapacityMode",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",

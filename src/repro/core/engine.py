@@ -16,6 +16,12 @@ One step of the S-D-network, in the paper's order:
 5. **extraction** — sinks remove packets (``min(out(d), q)`` classically;
    at least ``min(out, q - R)`` and at most ``out`` when R-generalized).
 
+Since the stage-pipeline refactor these semantics live as composable
+stage objects in :mod:`repro.core.pipeline`; :class:`Simulator` is a thin
+scalar-backend composition over :data:`~repro.core.pipeline.DEFAULT_PIPELINE`
+(and :class:`~repro.core.ensemble.EnsembleSimulator` is the batched one —
+same stages, same semantics, ``(R, n)`` arrays).
+
 Queue snapshots are taken at step *boundaries* (after extraction, before
 the next injection); ``P_t`` and all Lyapunov certificates use those
 boundary snapshots.
@@ -23,20 +29,28 @@ boundary snapshots.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from enum import Enum
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro._rng import SeedLike, as_generator
 from repro.core.lgg_fast import HalfEdges
-from repro.core.policies import LGGPolicy, StepContext, TransmissionPolicy
+from repro.core.pipeline import (
+    DEFAULT_PIPELINE,
+    ExtractionMode,
+    LinkCapacityMode,
+    StagePipeline,
+    StageTiming,
+    StepEvents,
+    StepState,
+)
+from repro.core.policies import LGGPolicy, TransmissionPolicy
 from repro.core.stability import StabilityVerdict, assess_stability
 from repro.core.tiebreak import TieBreak
-from repro.errors import SimulationError, SpecError
-from repro.network.spec import NetworkSpec, RevelationPolicy
-from repro.network.state import StepStats, Trajectory, network_state
+from repro.errors import SimulationError
+from repro.network.spec import NetworkSpec
+from repro.network.state import StepStats, Trajectory
 
 __all__ = [
     "ExtractionMode",
@@ -47,37 +61,6 @@ __all__ = [
     "Simulator",
     "simulate_lgg",
 ]
-
-
-class ExtractionMode(Enum):
-    """How much an R-generalized destination extracts (within Def. 7's band).
-
-    * ``GREEDY`` — extract ``min(out, q)``: the classical sink behaviour,
-      and the most helpful compliant choice.
-    * ``MANDATORY_MINIMUM`` — extract only ``min(out, max(q - R, 0))``: the
-      least helpful compliant choice; stability must survive it.
-    * ``RANDOM`` — uniform between the two bounds each step.
-
-    For ``R = 0`` all three coincide with the classical ``min(out, q)``.
-    """
-
-    GREEDY = "greedy"
-    MANDATORY_MINIMUM = "mandatory_minimum"
-    RANDOM = "random"
-
-
-class LinkCapacityMode(Enum):
-    """Per-step capacity of an undirected link.
-
-    The paper says "each link can transmit at most 1 packet"; with truthful
-    revelation LGG can never select both directions (the gradient test is
-    strict), but lying terminals can.  ``PER_LINK`` (default, the paper's
-    model) keeps only the stronger-gradient direction; ``PER_DIRECTION``
-    allows one packet each way (a common relaxation, exposed for ablation).
-    """
-
-    PER_LINK = "per_link"
-    PER_DIRECTION = "per_direction"
 
 
 @dataclass
@@ -100,24 +83,7 @@ class SimulationConfig:
     record_events: bool = False             # keep per-step StepEvents (Lyapunov analysis)
     activation_prob: float = 1.0            # P(node participates as sender per step);
                                             # < 1 models asynchronous / duty-cycled nodes
-
-
-@dataclass(frozen=True)
-class StepEvents:
-    """Full per-step event record (opt-in via ``record_events``).
-
-    ``q_start`` is the boundary snapshot *before* injection; the Lyapunov
-    decomposition of Eq. (3) is recomputable from these fields alone.
-    """
-
-    t: int
-    q_start: np.ndarray
-    injections: np.ndarray
-    edge_ids: np.ndarray
-    senders: np.ndarray
-    receivers: np.ndarray
-    lost_mask: np.ndarray
-    extractions: np.ndarray
+    profile_stages: bool = False            # accumulate per-stage wall-clock timings
 
 
 @dataclass
@@ -140,7 +106,13 @@ class SimulationResult:
 
 
 class Simulator:
-    """Reusable stepping simulator for one network spec.
+    """Reusable stepping simulator for one network spec (scalar backend).
+
+    Each :meth:`step` runs the shared stage pipeline
+    (:data:`repro.core.pipeline.DEFAULT_PIPELINE`) over this simulator's
+    ``(n,)`` queue vector; the batched
+    :class:`~repro.core.ensemble.EnsembleSimulator` runs the *same* stages
+    over an ``(R, n)`` matrix.
 
     >>> from repro.graphs import generators
     >>> from repro.network import NetworkSpec
@@ -151,6 +123,8 @@ class Simulator:
     >>> result.verdict.bounded
     True
     """
+
+    pipeline: StagePipeline = DEFAULT_PIPELINE
 
     def __init__(
         self,
@@ -191,6 +165,7 @@ class Simulator:
         self._half = HalfEdges.from_graph(spec.graph)
         self.trajectory = Trajectory.begin(self.queues, record_queues=self.config.record_queues)
         self.events: list[StepEvents] = []
+        self.stage_timings: dict[str, StageTiming] = {}
 
         arr = self.config.arrivals
         if arr is None:
@@ -223,124 +198,14 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> StepStats:
         """Execute one synchronous network step; returns its statistics."""
-        spec, q, rng = self.spec, self.queues, self.rng
-        q_start = q.copy() if self.config.record_events else None
-
-        # 0. dynamic topology
-        if self.topology is not None and self.topology.apply(spec.graph, self.t):
-            self._half = HalfEdges.from_graph(spec.graph)
-            self.policy.on_topology_change(spec, self._half)
-
-        # 1. injection
-        inj = np.asarray(self.arrivals.sample(self.t, rng), dtype=np.int64)
-        if inj.shape != (spec.n,):
-            raise SimulationError(f"arrival process returned shape {inj.shape}")
-        if (inj < 0).any():
-            raise SimulationError("arrival process injected negative packets")
-        if (inj > self._in_vec).any():
-            raise SimulationError("arrival process exceeded in(v) for some node")
-        if spec.exact_injection and not np.array_equal(inj, self._in_vec):
-            raise SimulationError(
-                "classical S-D-network requires exact injection in(s) per step; "
-                "use NetworkSpec.generalized for pseudo-sources"
-            )
-        q += inj
-        self._on_inject(inj)
-        injected = int(inj.sum())
-
-        # 2. revelation
-        revealed = self._reveal(q)
-
-        # 3. transmission selection
-        ctx = StepContext(
-            spec=spec, half=self._half, queues=q, revealed=revealed, t=self.t, rng=rng
-        )
-        eids, snd, rcv = self.policy.select(ctx)
-        eids = np.asarray(eids, dtype=np.int64)
-        snd = np.asarray(snd, dtype=np.int64)
-        rcv = np.asarray(rcv, dtype=np.int64)
-
-        # 3b. asynchronous operation: only awake nodes transmit this step
-        p_act = self.config.activation_prob
-        if p_act < 1.0 and len(snd):
-            awake = rng.random(spec.n) < p_act
-            keep = awake[snd]
-            eids, snd, rcv = eids[keep], snd[keep], rcv[keep]
-
-        # 4. validate budgets (a policy may never send packets it lacks)
-        if len(snd):
-            counts = np.bincount(snd, minlength=spec.n)
-            if (counts > q).any():
-                bad = int(np.nonzero(counts > q)[0][0])
-                raise SimulationError(
-                    f"policy overdrew node {bad}: {counts[bad]} sends > queue {q[bad]}"
-                )
-
-        # 5. link capacity
-        eids, snd, rcv = self._enforce_link_capacity(eids, snd, rcv, q)
-
-        # 6. interference
-        if self.interference is not None and len(eids):
-            keep = self.interference.filter(eids, snd, rcv, q, revealed, rng)
-            eids, snd, rcv = eids[keep], snd[keep], rcv[keep]
-
-        transmitted = len(eids)
-
-        # 7. losses
-        if self.losses is not None and transmitted:
-            lost_mask = np.asarray(
-                self.losses.sample(eids, snd, rcv, self.t, rng), dtype=bool
-            )
-            if lost_mask.shape != (transmitted,):
-                raise SimulationError("loss model returned a mask of wrong shape")
-        else:
-            lost_mask = np.zeros(transmitted, dtype=bool)
-        lost = int(lost_mask.sum())
-
-        # 8. apply transmissions: sender always pays; only survivors arrive
-        if transmitted:
-            np.subtract.at(q, snd, 1)
-            survivors = rcv[~lost_mask]
-            if len(survivors):
-                np.add.at(q, survivors, 1)
-            self._on_transmit(snd, rcv, lost_mask)
-
-        # 9. extraction
-        ext = self._extract_amounts(q, rng)
-        q -= ext
-        self._on_extract(ext)
-        delivered = int(ext.sum())
-
-        if self.config.validate_every_step and (q < 0).any():
-            raise SimulationError("negative queue after step — engine invariant broken")
-
+        st = StepState(t=self.t)
         if self.config.record_events:
-            self.events.append(
-                StepEvents(
-                    t=self.t,
-                    q_start=q_start,
-                    injections=inj.copy(),
-                    edge_ids=eids.copy(),
-                    senders=snd.copy(),
-                    receivers=rcv.copy(),
-                    lost_mask=lost_mask.copy(),
-                    extractions=ext.copy(),
-                )
-            )
-
-        self.t += 1
-        stats = StepStats(
-            t=self.t,
-            injected=injected,
-            transmitted=transmitted,
-            lost=lost,
-            delivered=delivered,
-            potential=network_state(q),
-            total_queued=int(q.sum()),
-            max_queue=int(q.max()) if len(q) else 0,
+            st.q_start = self.queues.copy()
+        self.pipeline.run(
+            self, st, backend="scalar",
+            timings=self.stage_timings if self.config.profile_stages else None,
         )
-        self.trajectory.record(stats, q if self.config.record_queues else None)
-        return stats
+        return st.stats
 
     # ------------------------------------------------------------------
     # hooks for packet-level subclasses (queues array is already updated
@@ -355,71 +220,6 @@ class Simulator:
 
     def _on_extract(self, extractions: np.ndarray) -> None:  # noqa: B027
         pass
-
-    # ------------------------------------------------------------------
-    def _reveal(self, q: np.ndarray) -> np.ndarray:
-        """Declared queue lengths per Definition 7(ii)."""
-        pol = self.spec.revelation
-        R = self.spec.retention
-        if pol is RevelationPolicy.TRUTHFUL or R == 0:
-            return q
-        revealed = q.copy()
-        liars = self._terminal_mask & (q <= R)
-        if not liars.any():
-            return revealed
-        idx = np.nonzero(liars)[0]
-        if pol is RevelationPolicy.ALWAYS_R:
-            revealed[idx] = R
-        elif pol is RevelationPolicy.ZERO:
-            revealed[idx] = 0
-        elif pol is RevelationPolicy.RANDOM:
-            revealed[idx] = self.rng.integers(0, R + 1, size=len(idx))
-        else:  # pragma: no cover - enum is closed
-            raise SpecError(f"unknown revelation policy {pol!r}")
-        return revealed
-
-    def _enforce_link_capacity(
-        self,
-        eids: np.ndarray,
-        snd: np.ndarray,
-        rcv: np.ndarray,
-        q: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        if len(eids) == 0:
-            return eids, snd, rcv
-        if self.config.link_capacity is LinkCapacityMode.PER_DIRECTION:
-            # each (edge, direction) at most once
-            key = eids * 2 + (snd < rcv)
-        else:
-            key = eids
-        uniq, counts = np.unique(key, return_counts=True)
-        if (counts == 1).all():
-            return eids, snd, rcv
-        # conflict resolution: keep the transmission with the larger sender
-        # queue (stronger gradient), tie-broken by lower sender id
-        order = np.lexsort((snd, -q[snd], key))
-        keep_sorted = np.ones(len(order), dtype=bool)
-        key_sorted = key[order]
-        keep_sorted[1:] = key_sorted[1:] != key_sorted[:-1]
-        keep = np.zeros(len(order), dtype=bool)
-        keep[order[keep_sorted]] = True
-        return eids[keep], snd[keep], rcv[keep]
-
-    def _extract_amounts(self, q: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        out = self._out_vec
-        greedy = np.minimum(out, np.maximum(q, 0))
-        mode = self.config.extraction
-        R = self.spec.retention
-        if mode is ExtractionMode.GREEDY or R == 0:
-            return greedy
-        mandated = np.minimum(out, np.maximum(q - R, 0))
-        if mode is ExtractionMode.MANDATORY_MINIMUM:
-            return mandated
-        if mode is ExtractionMode.RANDOM:
-            span = greedy - mandated
-            extra = (rng.random(len(q)) * (span + 1)).astype(np.int64)
-            return mandated + np.minimum(extra, span)
-        raise SpecError(f"unknown extraction mode {mode!r}")  # pragma: no cover
 
 
 def simulate_lgg(

@@ -2,50 +2,84 @@
 
 Monte-Carlo experiments (Conjecture 3's "with high probability", the E17
 confusion matrix, seed-sensitivity sweeps) re-run the same network dozens
-of times.  Per the hpc-parallel guidance, the replica loop is the obvious
-axis to vectorize: :class:`EnsembleSimulator` steps ``R`` replicas as a
-single ``(R, n)`` queue matrix — one composite-key argsort per step for
-*all* replicas' Algorithm 1 decisions.
+of times.  :class:`EnsembleSimulator` is the *batched backend* of the
+shared stage pipeline (:mod:`repro.core.pipeline`): it steps ``R``
+replicas as a single ``(R, n)`` queue matrix — one composite-key argsort
+per step for all replicas' Algorithm 1 decisions — while running exactly
+the same stage objects as the scalar :class:`~repro.core.engine.Simulator`.
 
-Scope (checked at construction, widened as needed): LGG policy, truthful
-revelation, greedy extraction, per-link capacity never contested (truthful
-LGG guarantees it), static topology, no interference; arrivals are either
-exact classical injection, :class:`~repro.arrivals.stochastic.UniformArrivals`
--style batched processes (anything exposing ``sample_batch``), or replica-
-independent draws of a per-replica process list; losses are ``None`` or
-i.i.d. Bernoulli.
+Since the pipeline refactor the batched path supports the *full* model
+knob set: every :class:`~repro.core.pipeline.ExtractionMode`, lying
+:class:`~repro.network.spec.RevelationPolicy` terminals,
+``activation_prob < 1``, every tie-break strategy, arbitrary arrival
+processes and loss models (via per-replica instances or the
+``sample_batch`` protocol), and per-link capacity contention.  Still
+scalar-only: interference models, dynamic topology, non-LGG policies and
+per-step event records — those are rejected at construction.
 
-Semantics are identical to :class:`~repro.core.engine.Simulator` per
-replica — the differential test runs both on deterministic workloads and
-compares trajectories exactly.
+Randomness is **per replica**: each replica owns an independent generator
+(``seeds=[s_0, …]`` or spawned from ``seed``), and every stochastic stage
+replays the scalar engine's draw pattern against it.  A batched run with
+``seeds=[s_0, …, s_{R-1}]`` is bit-identical, per replica, to ``R``
+scalar runs seeded ``s_r`` — the differential test matrix in
+``tests/core/test_pipeline.py`` asserts exact trajectory equality across
+the whole knob product.
+
+Stateful components (e.g. :class:`~repro.loss.models.GilbertElliottLoss`)
+must not be shared across replicas: pass a *factory* (``lambda: model()``
+/ ``lambda spec: process(spec)``) or a list of ``R`` instances.  A single
+shared instance is fine for stateless models.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Union
+
 import numpy as np
 
-from repro._rng import SeedLike, as_generator
+from repro._rng import SeedLike, as_generator, spawn
+from repro.core.engine import SimulationConfig, SimulationResult
 from repro.core.lgg_fast import HalfEdges
+from repro.core.pipeline import DEFAULT_PIPELINE, StagePipeline, StageTiming, StepState
 from repro.core.stability import StabilityVerdict, assess_stability
 from repro.errors import SimulationError
-from repro.network.spec import NetworkSpec, RevelationPolicy
-from repro.network.state import Trajectory
+from repro.network.spec import NetworkSpec
+from repro.network.state import Trajectory, network_state_rows
 
 __all__ = ["EnsembleResult", "EnsembleSimulator"]
 
 
+def _stack(rows: list[np.ndarray], replicas: int) -> np.ndarray:
+    if rows:
+        return np.stack(rows)
+    return np.zeros((0, replicas), dtype=np.int64)
+
+
 @dataclass(frozen=True)
 class EnsembleResult:
-    """Outcome of an ensemble run."""
+    """Outcome of an ensemble run.
 
-    total_queued: np.ndarray     # (T+1, R)
-    potentials: np.ndarray       # (T+1, R) int64
-    delivered: np.ndarray        # (T, R)
-    injected: np.ndarray         # (T, R)
-    lost: np.ndarray             # (T, R)
-    final_queues: np.ndarray     # (R, n)
+    Per-step accounting lives in the ``*_series`` matrices (step × replica);
+    the cumulative ``delivered`` / ``lost`` / ``injected`` / ``transmitted``
+    properties mirror :class:`~repro.core.engine.SimulationResult`'s
+    counters, one entry per replica, so analysis code can treat both result
+    types uniformly — or call :meth:`replica` to get a replica's slice *as*
+    a :class:`~repro.core.engine.SimulationResult`.
+    """
+
+    spec: NetworkSpec
+    config: SimulationConfig
+    total_queued: np.ndarray        # (T+1, R)
+    potentials: np.ndarray          # (T+1, R) int64
+    max_queues: np.ndarray          # (T+1, R)
+    injected_series: np.ndarray     # (T, R)
+    transmitted_series: np.ndarray  # (T, R)
+    lost_series: np.ndarray         # (T, R)
+    delivered_series: np.ndarray    # (T, R)
+    final_queues: np.ndarray        # (R, n)
     verdicts: tuple[StabilityVerdict, ...]
+    queue_history: Optional[np.ndarray] = field(default=None, repr=False)  # (T+1, R, n)
 
     @property
     def replicas(self) -> int:
@@ -55,9 +89,86 @@ class EnsembleResult:
     def bounded_fraction(self) -> float:
         return sum(v.bounded for v in self.verdicts) / len(self.verdicts)
 
+    # -- SimulationResult-style cumulative reporting, one entry per replica
+    @property
+    def delivered(self) -> np.ndarray:
+        """Cumulative packets delivered per replica, ``(R,)`` int64."""
+        return self.delivered_series.sum(axis=0).astype(np.int64)
+
+    @property
+    def lost(self) -> np.ndarray:
+        """Cumulative packets lost in transit per replica, ``(R,)`` int64."""
+        return self.lost_series.sum(axis=0).astype(np.int64)
+
+    @property
+    def injected(self) -> np.ndarray:
+        """Cumulative packets injected per replica, ``(R,)`` int64."""
+        return self.injected_series.sum(axis=0).astype(np.int64)
+
+    @property
+    def transmitted(self) -> np.ndarray:
+        """Cumulative link transmissions per replica, ``(R,)`` int64."""
+        return self.transmitted_series.sum(axis=0).astype(np.int64)
+
+    # -- per-replica views ------------------------------------------------
+    def trajectory(self, r: int) -> Trajectory:
+        """Replica ``r``'s column materialised as a full trajectory."""
+        return Trajectory.from_series(
+            self.spec.n,
+            potentials=self.potentials[:, r],
+            total_queued=self.total_queued[:, r],
+            max_queues=self.max_queues[:, r],
+            injected=self.injected_series[:, r],
+            transmitted=self.transmitted_series[:, r],
+            lost=self.lost_series[:, r],
+            delivered=self.delivered_series[:, r],
+            queue_history=(
+                None if self.queue_history is None else self.queue_history[:, r]
+            ),
+        )
+
+    def replica(self, r: int) -> SimulationResult:
+        """Replica ``r`` as a scalar-engine result (for ``summarize`` etc.)."""
+        return SimulationResult(
+            spec=self.spec,
+            config=self.config,
+            trajectory=self.trajectory(r),
+            final_queues=self.final_queues[r].copy(),
+            verdict=self.verdicts[r],
+        )
+
+
+ProcessLike = Union[None, object, Sequence[object], Callable]
+
 
 class EnsembleSimulator:
-    """Run ``replicas`` independent copies of one LGG network in lockstep."""
+    """Run ``replicas`` independent copies of one LGG network in lockstep.
+
+    Parameters
+    ----------
+    spec, replicas:
+        The network and the ensemble width ``R``.
+    seed / seeds:
+        Either one master ``seed`` (per-replica generators are spawned
+        from it) or an explicit ``seeds`` list of length ``R``.  With
+        ``seeds=[s_0, …]`` replica ``r`` reproduces the scalar
+        ``Simulator`` run seeded ``s_r`` bit-for-bit.
+    config:
+        A full :class:`~repro.core.engine.SimulationConfig`; all knobs are
+        honoured except interference / topology / record_events (scalar
+        backend only — rejected here) and ``seed`` (superseded by
+        ``seed``/``seeds`` above).
+    arrivals, losses:
+        Override ``config``'s processes: a single (stateless) instance
+        shared by all replicas, a list of ``R`` instances, or a factory
+        (``callable`` taking the spec — or nothing — and returning a fresh
+        instance per replica).
+    loss_p, uniform_arrivals:
+        Back-compat conveniences: i.i.d. Bernoulli losses and uniform
+        ``[0, in(v)]`` injections.
+    """
+
+    pipeline: StagePipeline = DEFAULT_PIPELINE
 
     def __init__(
         self,
@@ -65,13 +176,16 @@ class EnsembleSimulator:
         replicas: int,
         *,
         seed: SeedLike = None,
+        seeds: Optional[Sequence[SeedLike]] = None,
+        config: Optional[SimulationConfig] = None,
+        arrivals: ProcessLike = None,
+        losses: ProcessLike = None,
         loss_p: float = 0.0,
         uniform_arrivals: bool = False,
+        initial_queues: Optional[np.ndarray] = None,
     ) -> None:
         if replicas < 1:
             raise SimulationError(f"need >= 1 replica, got {replicas}")
-        if spec.revelation is not RevelationPolicy.TRUTHFUL:
-            raise SimulationError("EnsembleSimulator supports truthful revelation only")
         if not (0.0 <= loss_p <= 1.0):
             raise SimulationError(f"loss_p must be in [0, 1], got {loss_p}")
         if uniform_arrivals and spec.exact_injection:
@@ -80,137 +194,157 @@ class EnsembleSimulator:
             )
         self.spec = spec
         self.R = replicas
-        self.rng = as_generator(seed)
-        self.loss_p = float(loss_p)
-        self.uniform = bool(uniform_arrivals)
+        self.config = config or SimulationConfig()
+        if not (0.0 <= self.config.activation_prob <= 1.0):
+            raise SimulationError(
+                f"activation_prob must be in [0, 1], got {self.config.activation_prob}"
+            )
+        for name in ("interference", "topology"):
+            if getattr(self.config, name) is not None:
+                raise SimulationError(
+                    f"the batched backend does not support {name} models; "
+                    "use the scalar Simulator"
+                )
+        if self.config.record_events:
+            raise SimulationError(
+                "per-step event records are scalar-only; use the Simulator"
+            )
+
+        if seeds is not None:
+            if len(seeds) != replicas:
+                raise SimulationError(
+                    f"seeds has {len(seeds)} entries for {replicas} replicas"
+                )
+            self.rngs = [as_generator(s) for s in seeds]
+        else:
+            self.rngs = spawn(seed, replicas)
         self.t = 0
 
         n = spec.n
-        self.Q = np.zeros((replicas, n), dtype=np.int64)
+        if initial_queues is not None:
+            q0 = np.asarray(initial_queues, dtype=np.int64)
+            if q0.shape == (n,):
+                self.Q = np.tile(q0, (replicas, 1))
+            elif q0.shape == (replicas, n):
+                self.Q = q0.copy()
+            else:
+                raise SimulationError(
+                    f"initial_queues shape {q0.shape} != ({n},) or ({replicas}, {n})"
+                )
+            if (self.Q < 0).any():
+                raise SimulationError("initial queue lengths must be non-negative")
+        else:
+            self.Q = np.zeros((replicas, n), dtype=np.int64)
+
         self._in_vec = spec.in_vector()
         self._out_vec = spec.out_vector()
+        self._terminal_mask = np.zeros(n, dtype=bool)
+        for v in spec.terminals:
+            self._terminal_mask[v] = True
         self._half = HalfEdges.from_graph(spec.graph)
-        h = self._half
-        # static composite-key ingredients
-        self._base_keys = (
-            h.receivers.astype(np.int64) * (h.num_edge_slots + 1)
-            + h.edge_ids.astype(np.int64)
-        )
         self._row = np.arange(replicas)[:, None]
 
-        self.total_hist: list[np.ndarray] = [self.Q.sum(axis=1)]
-        self.pot_hist: list[np.ndarray] = [self._potentials()]
-        self.delivered_hist: list[np.ndarray] = []
-        self.injected_hist: list[np.ndarray] = []
-        self.lost_hist: list[np.ndarray] = []
+        self.arrivals = self._resolve_processes(
+            arrivals if arrivals is not None else self.config.arrivals,
+            legacy=uniform_arrivals, kind="arrival",
+        )
+        self.losses = self._resolve_processes(
+            losses if losses is not None else self.config.losses,
+            legacy=loss_p > 0.0, kind="loss", loss_p=loss_p,
+        )
 
-    def _potentials(self) -> np.ndarray:
-        q = self.Q
-        return np.einsum("rn,rn->r", q, q)
+        self.stage_timings: dict[str, StageTiming] = {}
+        self.total_hist: list[np.ndarray] = [self.Q.sum(axis=1)]
+        self.pot_hist: list[np.ndarray] = [network_state_rows(self.Q)]
+        self.max_hist: list[np.ndarray] = [
+            self.Q.max(axis=1) if n else np.zeros(replicas, dtype=np.int64)
+        ]
+        self.injected_hist: list[np.ndarray] = []
+        self.transmitted_hist: list[np.ndarray] = []
+        self.lost_hist: list[np.ndarray] = []
+        self.delivered_hist: list[np.ndarray] = []
+        self.queue_hist: Optional[list[np.ndarray]] = (
+            [self.Q.copy()] if self.config.record_queues else None
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_processes(self, given, *, legacy: bool, kind: str, loss_p: float = 0.0):
+        """Normalise a process spec to ``None`` / single instance / list."""
+        if given is None and legacy:
+            if kind == "arrival":
+                from repro.arrivals.stochastic import UniformArrivals
+
+                return UniformArrivals(self.spec)  # stateless: safe to share
+            from repro.loss.models import BernoulliLoss
+
+            return BernoulliLoss(loss_p)           # stateless: safe to share
+        if given is None:
+            return None
+        if callable(given) and not hasattr(given, "sample"):
+            try:
+                return [given(self.spec) for _ in range(self.R)]
+            except TypeError:
+                return [given() for _ in range(self.R)]
+        if isinstance(given, (list, tuple)):
+            items = list(given)
+            if len(items) != self.R:
+                raise SimulationError(
+                    f"{kind} process list has {len(items)} entries for "
+                    f"{self.R} replicas"
+                )
+            return items
+        return given
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        Q, h, R = self.Q, self._half, self.R
+        """Advance every replica by one synchronous network step."""
+        st = StepState(t=self.t)
+        self.pipeline.run(
+            self, st, backend="batched",
+            timings=self.stage_timings if self.config.profile_stages else None,
+        )
 
-        # 1. injection (classical exact, or batched uniform)
-        if self.uniform:
-            inj = self.rng.integers(0, self._in_vec + 1, size=(R, self.spec.n))
-        else:
-            inj = np.broadcast_to(self._in_vec, (R, self.spec.n))
-        Q += inj
-        self.injected_hist.append(inj.sum(axis=1).astype(np.int64))
-
-        if h.size:
-            # 2. Algorithm 1, all replicas at once
-            QS = Q[:, h.senders]          # (R, H) sender true queues
-            QR = Q[:, h.receivers]        # (R, H) receiver queues (truthful)
-            # composite sort key per row: (sender, q_recv, tie) — strictly
-            # hierarchical because each component is bounded
-            m_bound = int(QR.max()) + 2
-            k_bound = h.num_edge_slots + 1
-            if h.senders.max(initial=0) * m_bound * k_bound * k_bound > 2**62:
-                raise SimulationError("composite sort key would overflow int64")
-            keys = (
-                h.senders.astype(np.int64) * (m_bound * k_bound * k_bound)
-                + QR * (k_bound * k_bound)
-                + self._base_keys
-            )
-            order = np.argsort(keys, axis=1, kind="stable")
-            s_sorted = h.senders[order]                 # (R, H)
-            rank = np.arange(h.size)[None, :] - h.indptr[s_sorted]
-            qs_sorted = np.take_along_axis(QS, order, axis=1)
-            qr_sorted = np.take_along_axis(QR, order, axis=1)
-            chosen = (qs_sorted > qr_sorted) & (rank < qs_sorted)
-
-            # 3. losses (i.i.d. Bernoulli over selected transmissions)
-            if self.loss_p > 0:
-                lost = chosen & (self.rng.random(chosen.shape) < self.loss_p)
-            else:
-                lost = np.zeros_like(chosen)
-            arrived = chosen & ~lost
-
-            # 4. apply: senders pay for every selection, receivers gain
-            # only the survivors
-            snd_sorted = s_sorted
-            rcv_sorted = h.receivers[order]
-            flat_q = Q.ravel()
-            if chosen.any():
-                idx_snd = (self._row * self.spec.n + snd_sorted)[chosen]
-                np.subtract.at(flat_q, idx_snd, 1)
-            if arrived.any():
-                idx_rcv = (self._row * self.spec.n + rcv_sorted)[arrived]
-                np.add.at(flat_q, idx_rcv, 1)
-            self.lost_hist.append(lost.sum(axis=1).astype(np.int64))
-        else:
-            self.lost_hist.append(np.zeros(R, dtype=np.int64))
-
-        # 5. extraction (greedy)
-        ext = np.minimum(self._out_vec, Q)
-        Q -= ext
-        self.delivered_hist.append(ext.sum(axis=1).astype(np.int64))
-
-        self.total_hist.append(Q.sum(axis=1))
-        self.pot_hist.append(self._potentials())
-        self.t += 1
-
-    # ------------------------------------------------------------------
-    def run(self, horizon: int) -> EnsembleResult:
-        for _ in range(horizon):
+    def run(self, horizon: Optional[int] = None) -> EnsembleResult:
+        steps = self.config.horizon if horizon is None else horizon
+        for _ in range(steps):
             self.step()
         return self.result()
 
     def result(self) -> EnsembleResult:
         total = np.stack(self.total_hist)       # (T+1, R)
         pots = np.stack(self.pot_hist)
-        delivered = (
-            np.stack(self.delivered_hist) if self.delivered_hist
-            else np.zeros((0, self.R), dtype=np.int64)
-        )
-        injected = (
-            np.stack(self.injected_hist) if self.injected_hist
-            else np.zeros((0, self.R), dtype=np.int64)
-        )
-        lost = (
-            np.stack(self.lost_hist) if self.lost_hist
-            else np.zeros((0, self.R), dtype=np.int64)
-        )
+        maxes = np.stack(self.max_hist)
+        injected = _stack(self.injected_hist, self.R)
+        transmitted = _stack(self.transmitted_hist, self.R)
+        lost = _stack(self.lost_hist, self.R)
+        delivered = _stack(self.delivered_hist, self.R)
         verdicts = []
         for r in range(self.R):
-            traj = Trajectory(n=self.spec.n, initial_queued=int(total[0, r]))
-            traj.potentials = [int(x) for x in pots[:, r]]
-            traj.total_queued = [int(x) for x in total[:, r]]
-            traj.max_queues = [0] * len(traj.potentials)
-            traj.injected = [int(x) for x in injected[:, r]]
-            traj.transmitted = [0] * delivered.shape[0]
-            traj.lost = [int(x) for x in lost[:, r]]
-            traj.delivered = [int(x) for x in delivered[:, r]]
+            traj = Trajectory.from_series(
+                self.spec.n,
+                potentials=pots[:, r],
+                total_queued=total[:, r],
+                max_queues=maxes[:, r],
+                injected=injected[:, r],
+                transmitted=transmitted[:, r],
+                lost=lost[:, r],
+                delivered=delivered[:, r],
+            )
+            traj.check_conservation()
             verdicts.append(assess_stability(traj))
         return EnsembleResult(
+            spec=self.spec,
+            config=self.config,
             total_queued=total,
             potentials=pots,
-            delivered=delivered,
-            injected=injected,
-            lost=lost,
+            max_queues=maxes,
+            injected_series=injected,
+            transmitted_series=transmitted,
+            lost_series=lost,
+            delivered_series=delivered,
             final_queues=self.Q.copy(),
             verdicts=tuple(verdicts),
+            queue_history=(
+                np.stack(self.queue_hist) if self.queue_hist is not None else None
+            ),
         )

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.tiebreak import TieBreak, tie_keys
 from repro.graphs.multigraph import MultiGraph
 
-__all__ = ["HalfEdges", "lgg_select_fast"]
+__all__ = ["HalfEdges", "lgg_select_fast", "lgg_select_fast_batched"]
 
 
 @dataclass(frozen=True)
@@ -96,3 +96,71 @@ def lgg_select_fast(
     sel = order[chosen]
     # `sel` preserves the lexsort order, matching the reference output
     return half.edge_ids[sel], half.senders[sel], half.receivers[sel]
+
+
+def lgg_select_fast_batched(
+    half: HalfEdges,
+    queues: np.ndarray,
+    revealed: np.ndarray,
+    *,
+    tiebreak: TieBreak = TieBreak.QUEUE_THEN_ID,
+    rngs: list[np.random.Generator] | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Algorithm 1 for ``R`` replicas at once on an ``(R, n)`` queue matrix.
+
+    One stable composite-key argsort replaces ``R`` per-replica lexsorts:
+    the key packs (sender, revealed receiver queue, tie key) into a single
+    int64 so that row ``r``'s sorted order is *exactly* the order
+    :func:`lgg_select_fast` would produce for replica ``r`` — including the
+    tie-break strategy, whose key is reused verbatim (``QUEUE_THEN_RANDOM``
+    draws one permutation per replica from ``rngs[r]``, mirroring the
+    scalar per-step draw).
+
+    Returns ``(edge_ids, senders, receivers, mask)``, all ``(R, H)``: the
+    half-edge arrays sorted per replica plus the boolean selection mask.
+    Restricting row ``r`` to ``mask[r]`` yields replica ``r``'s selected
+    transmissions in scalar engine order.
+    """
+    from repro.core.tiebreak import tie_keys
+
+    H = half.size
+    R = queues.shape[0]
+    if H == 0:
+        empty = np.empty((R, 0), dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), np.empty((R, 0), dtype=bool)
+
+    q_send = queues[:, half.senders]      # (R, H) true sender queues
+    q_recv = revealed[:, half.receivers]  # (R, H) revealed receiver queues
+
+    if tiebreak is TieBreak.QUEUE_THEN_RANDOM:
+        if rngs is None:
+            raise ValueError("QUEUE_THEN_RANDOM tie-break needs per-replica rngs")
+        tie = np.stack([
+            tie_keys(tiebreak, half.receivers, half.edge_ids, g,
+                     num_edge_slots=half.num_edge_slots)
+            for g in rngs
+        ])
+    else:
+        tie = tie_keys(tiebreak, half.receivers, half.edge_ids, None,
+                       num_edge_slots=half.num_edge_slots)
+    # shift ties to [0, B_t) — a constant offset preserves their order
+    tie = tie - tie.min()
+    b_tie = int(tie.max()) + 1
+    b_q = int(q_recv.max()) + 2
+    if (int(half.senders.max(initial=0)) + 1) * b_q * b_tie > 2**62:
+        from repro.errors import SimulationError
+
+        raise SimulationError("composite sort key would overflow int64")
+    keys = (
+        half.senders.astype(np.int64) * (b_q * b_tie)
+        + q_recv * b_tie
+        + tie
+    )
+    order = np.argsort(keys, axis=1, kind="stable")
+
+    s_sorted = half.senders[order]                       # (R, H)
+    rank = np.arange(H, dtype=np.int64)[None, :] - half.indptr[s_sorted]
+    qs = np.take_along_axis(q_send, order, axis=1)
+    qr = np.take_along_axis(q_recv, order, axis=1)
+    mask = (qs > qr) & (rank < qs)
+    return half.edge_ids[order], s_sorted, half.receivers[order], mask

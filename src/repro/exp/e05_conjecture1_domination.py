@@ -20,7 +20,6 @@ mass no larger (up to noise) than the maximal run's.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro._rng import as_generator
 from repro.arrivals import TraceArrivals

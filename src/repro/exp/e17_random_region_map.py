@@ -14,7 +14,6 @@ quadratic in the worst source-sink distance, per E15's build-up law
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro._rng import as_generator, derive_seed
 from repro.core import simulate_lgg

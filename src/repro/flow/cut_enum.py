@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import FlowError
 from repro.flow.maxflow import max_flow
-from repro.flow.mincut import MinCut, min_cut
+from repro.flow.mincut import MinCut
 from repro.flow.residual import FlowProblem, FlowResult
 
 __all__ = ["CutFamily", "enumerate_min_cuts", "count_min_cuts"]

@@ -24,7 +24,18 @@ __all__ = [
 
 
 class LossModel(Protocol):
-    """``sample(edge_ids, senders, receivers, t, rng) -> bool[k]``."""
+    """``sample(edge_ids, senders, receivers, t, rng) -> bool[k]``.
+
+    Batched backend: a model may additionally expose
+    ``sample_batch(edge_ids, senders, receivers, selected, t, rngs)``
+    over ``(R, H)`` half-edge matrices (``selected`` is the boolean
+    transmission mask; the return is a lost-mask ⊆ ``selected``).  It MUST
+    be equivalent to calling ``sample`` per replica on the masked entries
+    with that replica's generator — draw-free models can vectorise across
+    replicas outright; stochastic ones loop.  Stateful models should *not*
+    implement it and should be given to the ensemble as per-replica
+    instances instead.
+    """
 
     def sample(
         self,
@@ -43,6 +54,9 @@ class NoLoss:
     def sample(self, edge_ids, senders, receivers, t, rng) -> np.ndarray:
         return np.zeros(len(edge_ids), dtype=bool)
 
+    def sample_batch(self, edge_ids, senders, receivers, selected, t, rngs) -> np.ndarray:
+        return np.zeros(selected.shape, dtype=bool)
+
 
 class BernoulliLoss:
     """Independent loss with probability ``p`` per transmission."""
@@ -56,6 +70,17 @@ class BernoulliLoss:
         if self.p == 0.0:
             return np.zeros(len(edge_ids), dtype=bool)
         return rng.random(len(edge_ids)) < self.p
+
+    def sample_batch(self, edge_ids, senders, receivers, selected, t, rngs) -> np.ndarray:
+        """Per-replica draws over the selected entries, mirroring ``sample``."""
+        out = np.zeros(selected.shape, dtype=bool)
+        if self.p == 0.0:
+            return out
+        for r, rng in enumerate(rngs):
+            idx = np.nonzero(selected[r])[0]
+            if len(idx):  # the engine skips the model when nothing transmitted
+                out[r, idx] = rng.random(len(idx)) < self.p
+        return out
 
 
 class GilbertElliottLoss:
@@ -120,6 +145,12 @@ class AdversarialEdgeLoss:
 
     def sample(self, edge_ids, senders, receivers, t, rng) -> np.ndarray:
         return np.array([int(e) in self._edges for e in edge_ids], dtype=bool)
+
+    def sample_batch(self, edge_ids, senders, receivers, selected, t, rngs) -> np.ndarray:
+        """Draw-free: vectorised across all replicas at once."""
+        sabotaged = np.isin(edge_ids, np.fromiter(self._edges, dtype=np.int64,
+                                                  count=len(self._edges)))
+        return sabotaged & selected
 
 
 class TargetedNodeLoss:

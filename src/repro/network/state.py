@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["network_state", "StepStats", "Trajectory"]
+__all__ = ["network_state", "network_state_rows", "StepStats", "Trajectory"]
 
 
 def network_state(queues: np.ndarray) -> int:
@@ -33,6 +33,22 @@ def network_state(queues: np.ndarray) -> int:
     if mx < 3_000_000_000:
         return int(np.dot(q.astype(np.int64), q.astype(np.int64)))
     return sum(int(x) * int(x) for x in q)
+
+
+def network_state_rows(Q: np.ndarray) -> np.ndarray:
+    """Row-wise ``P_t`` for an ``(R, n)`` queue matrix (batched backend).
+
+    Values match :func:`network_state` of each row exactly; the big-int
+    fallback kicks in at the same queue-magnitude threshold.
+    """
+    Q = np.asarray(Q)
+    if Q.size == 0:
+        return np.zeros(Q.shape[0], dtype=np.int64)
+    mx = int(np.abs(Q).max())
+    if mx < 3_000_000_000:
+        q64 = Q.astype(np.int64)
+        return np.einsum("rn,rn->r", q64, q64)
+    return np.array([network_state(row) for row in Q], dtype=object)
 
 
 @dataclass(frozen=True)
@@ -94,6 +110,38 @@ class Trajectory:
             if queues is None:
                 raise SimulationError("queue recording enabled but no queues passed")
             self.queue_history.append(queues.copy())
+
+    @classmethod
+    def from_series(
+        cls,
+        n: int,
+        *,
+        potentials,
+        total_queued,
+        max_queues,
+        injected,
+        transmitted,
+        lost,
+        delivered,
+        queue_history=None,
+    ) -> "Trajectory":
+        """Build a trajectory from pre-recorded per-step series.
+
+        Used by the batched backend to materialise one replica's column of
+        its ``(T, R)`` history matrices as a first-class trajectory (the
+        boundary series have length ``T+1``, the per-step ones ``T``).
+        """
+        traj = cls(n=n, initial_queued=int(total_queued[0]))
+        traj.potentials = [int(x) for x in potentials]
+        traj.total_queued = [int(x) for x in total_queued]
+        traj.max_queues = [int(x) for x in max_queues]
+        traj.injected = [int(x) for x in injected]
+        traj.transmitted = [int(x) for x in transmitted]
+        traj.lost = [int(x) for x in lost]
+        traj.delivered = [int(x) for x in delivered]
+        if queue_history is not None:
+            traj.queue_history = [np.asarray(q).copy() for q in queue_history]
+        return traj
 
     # ------------------------------------------------------------------
     @property

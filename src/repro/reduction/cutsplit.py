@@ -31,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import InfeasibleNetworkError, SpecError
-from repro.flow import max_flow, min_cut
+from repro.flow import max_flow
 from repro.flow.feasibility import classify_network
 from repro.flow.residual import FlowProblem
 from repro.network.spec import NetworkSpec

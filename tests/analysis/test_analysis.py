@@ -1,6 +1,5 @@
 """Metrics and reporting tests."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import format_series, format_table, summarize

@@ -1,6 +1,5 @@
 """Fairness metric tests."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.fairness import jain_index, normalized_shares, per_source_throughput

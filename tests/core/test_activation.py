@@ -1,6 +1,5 @@
 """Asynchronous-operation (activation_prob) engine tests."""
 
-import numpy as np
 import pytest
 
 from repro.core import SimulationConfig, Simulator

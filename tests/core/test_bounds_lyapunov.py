@@ -1,8 +1,6 @@
 """Paper-bound constants and Lyapunov-identity tests."""
 
-from fractions import Fraction
 
-import numpy as np
 import pytest
 
 from repro.core import SimulationConfig, Simulator, bounds, lyapunov, simulate_lgg

@@ -6,7 +6,6 @@ import pytest
 from repro.arrivals import BernoulliArrivals, TraceArrivals
 from repro.core import (
     ExtractionMode,
-    LGGPolicy,
     SimulationConfig,
     Simulator,
     simulate_lgg,
@@ -14,7 +13,7 @@ from repro.core import (
 from repro.core.engine import LinkCapacityMode
 from repro.errors import SimulationError
 from repro.graphs import generators as gen
-from repro.loss import BernoulliLoss, NoLoss
+from repro.loss import BernoulliLoss
 from repro.network import NetworkSpec, RevelationPolicy
 
 

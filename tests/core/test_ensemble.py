@@ -1,4 +1,4 @@
-"""Ensemble (vectorized multi-replica) engine tests."""
+"""Ensemble (vectorized multi-replica, batched-pipeline) engine tests."""
 
 import numpy as np
 import pytest
@@ -7,6 +7,7 @@ from repro.core import SimulationConfig, Simulator
 from repro.core.ensemble import EnsembleSimulator
 from repro.errors import SimulationError
 from repro.graphs import generators as gen
+from repro.interference import DistanceTwoInterference
 from repro.network import NetworkSpec, RevelationPolicy
 
 
@@ -20,13 +21,17 @@ class TestValidation:
         with pytest.raises(SimulationError):
             EnsembleSimulator(gadget_spec(), 0)
 
-    def test_truthful_only(self):
+    def test_lying_revelation_now_supported(self):
+        """The batched pipeline covers non-truthful revelation (it used to
+        be rejected); replica trajectories must match the scalar engine."""
         spec = NetworkSpec.generalized(
             gen.path(3), {0: 1}, {2: 1}, retention=2,
             revelation=RevelationPolicy.ALWAYS_R,
         )
-        with pytest.raises(SimulationError):
-            EnsembleSimulator(spec, 2)
+        ens = EnsembleSimulator(spec, 2, seeds=[0, 1])
+        res = ens.run(100)
+        scalar = Simulator(spec, config=SimulationConfig(seed=0)).run(100)
+        assert res.total_queued[:, 0].tolist() == scalar.trajectory.total_queued
 
     def test_loss_probability_range(self):
         with pytest.raises(SimulationError):
@@ -35,6 +40,20 @@ class TestValidation:
     def test_uniform_needs_generalized(self):
         with pytest.raises(SimulationError):
             EnsembleSimulator(gadget_spec(), 2, uniform_arrivals=True)
+
+    def test_interference_rejected(self):
+        cfg = SimulationConfig(interference=DistanceTwoInterference(gadget_spec().graph))
+        with pytest.raises(SimulationError, match="interference"):
+            EnsembleSimulator(gadget_spec(), 2, config=cfg)
+
+    def test_record_events_rejected(self):
+        with pytest.raises(SimulationError, match="event"):
+            EnsembleSimulator(gadget_spec(), 2,
+                              config=SimulationConfig(record_events=True))
+
+    def test_seed_list_length_checked(self):
+        with pytest.raises(SimulationError, match="seeds"):
+            EnsembleSimulator(gadget_spec(), 3, seeds=[0, 1])
 
 
 class TestDeterministicEquivalence:
@@ -80,14 +99,12 @@ class TestStochasticModes:
     def test_loss_accounting(self):
         ens = EnsembleSimulator(gadget_spec(), replicas=3, seed=2, loss_p=0.3)
         res = ens.run(300)
-        assert (res.lost.sum(axis=0) > 0).all()
+        assert (res.lost > 0).all()
         # conservation per replica: injected = queued + delivered + lost
         for r in range(3):
             assert (
-                res.injected[:, r].sum()
-                == res.final_queues[r].sum()
-                + res.delivered[:, r].sum()
-                + res.lost[:, r].sum()
+                res.injected[r]
+                == res.final_queues[r].sum() + res.delivered[r] + res.lost[r]
             )
 
     def test_bounded_fraction_statistic(self):
@@ -109,3 +126,62 @@ class TestStochasticModes:
         for _ in range(200):
             ens.step()
             assert (ens.Q >= 0).all()
+
+
+class TestResultReporting:
+    """EnsembleResult mirrors SimulationResult's cumulative reporting."""
+
+    def test_cumulative_properties_shape(self):
+        res = EnsembleSimulator(gadget_spec(), replicas=3, seed=0, loss_p=0.1).run(50)
+        for name in ("delivered", "lost", "injected", "transmitted"):
+            arr = getattr(res, name)
+            assert arr.shape == (3,)
+        assert res.delivered_series.shape == (50, 3)
+
+    def test_replica_view_is_simulation_result(self):
+        from repro.analysis import summarize
+        from repro.core.engine import SimulationResult
+
+        res = EnsembleSimulator(gadget_spec(), replicas=2, seeds=[7, 8]).run(120)
+        rep = res.replica(1)
+        assert isinstance(rep, SimulationResult)
+        scalar = Simulator(gadget_spec(), config=SimulationConfig(seed=8)).run(120)
+        assert rep.trajectory.total_queued == scalar.trajectory.total_queued
+        assert rep.delivered == scalar.delivered
+        # summarize() treats both result types identically
+        assert summarize(rep) == summarize(scalar)
+
+    def test_trajectory_conservation(self):
+        res = EnsembleSimulator(gadget_spec(), replicas=2, seed=5, loss_p=0.4).run(80)
+        for r in range(2):
+            res.trajectory(r).check_conservation()
+
+    def test_record_queues(self):
+        cfg = SimulationConfig(record_queues=True)
+        res = EnsembleSimulator(gadget_spec(), replicas=2, seed=0, config=cfg).run(30)
+        assert res.queue_history.shape == (31, 2, gadget_spec().n)
+        assert (res.queue_history[-1] == res.final_queues).all()
+
+    def test_initial_queues_broadcast(self):
+        spec = gadget_spec()
+        q0 = np.arange(spec.n, dtype=np.int64)
+        ens = EnsembleSimulator(spec, replicas=3, seed=0, initial_queues=q0)
+        assert (ens.Q == q0).all()
+        sim = Simulator(spec, config=SimulationConfig(seed=0), initial_queues=q0)
+        res = ens.run(60)
+        scalar = sim.run(60)
+        assert res.total_queued[:, 0].tolist() == scalar.trajectory.total_queued
+
+
+class TestStageTimings:
+    def test_profile_stages_collects_all_stage_names(self):
+        from repro.core import STAGE_NAMES
+
+        cfg = SimulationConfig(profile_stages=True)
+        ens = EnsembleSimulator(gadget_spec(), replicas=2, seed=0, config=cfg)
+        for _ in range(5):
+            ens.step()
+        assert set(ens.stage_timings) == set(STAGE_NAMES)
+        for timing in ens.stage_timings.values():
+            assert timing.calls == 5
+            assert timing.seconds >= 0.0

@@ -1,6 +1,5 @@
 """Baseline transmission-policy tests."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,7 +1,5 @@
 """Policy/topology interaction tests: route recomputation on churn."""
 
-import numpy as np
-import pytest
 
 from repro.core import (
     FlowRoutingPolicy,

@@ -1,6 +1,5 @@
 """Dynamic-topology schedule tests (Conjecture 4 machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.core import SimulationConfig, Simulator

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.flow import decompose_paths, edge_flow_from_result, feasible_flow
+from repro.flow import decompose_paths, feasible_flow
 from repro.graphs import MultiGraph, build_extended_graph
 from repro.graphs import generators as gen
 

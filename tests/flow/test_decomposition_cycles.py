@@ -6,9 +6,7 @@ contain cycles, and check `decompose_paths` peels them and still accounts
 for exactly the source-to-sink value.
 """
 
-import pytest
 
-from repro.errors import FlowError
 from repro.flow import decompose_paths, edge_flow_from_result
 from repro.flow.residual import FlowProblem, FlowResult, Residual
 from repro.graphs import MultiGraph, build_extended_graph

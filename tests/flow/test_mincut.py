@@ -1,13 +1,12 @@
 """Min-cut extraction and Section V cut taxonomy tests."""
 
-import numpy as np
 import pytest
 
 from repro.errors import FlowError
 from repro.flow import CutKind, classify_cut, is_unique_min_cut, max_flow, min_cut
 from repro.flow.mincut import all_min_cut_kinds
 from repro.flow.residual import FlowProblem
-from repro.graphs import MultiGraph, build_extended_graph
+from repro.graphs import build_extended_graph
 from repro.graphs import generators as gen
 
 

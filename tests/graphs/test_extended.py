@@ -1,6 +1,5 @@
 """Tests for the G* construction (Fig. 2 / Fig. 4)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

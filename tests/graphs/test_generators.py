@@ -1,6 +1,5 @@
 """Tests for topology generators."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

@@ -1,6 +1,5 @@
 """Unit tests for the core MultiGraph container."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

@@ -1,7 +1,6 @@
 """Distance-2 (protocol-model) interference tests."""
 
 import numpy as np
-import pytest
 
 from repro.core import SimulationConfig, Simulator
 from repro.graphs import generators as gen

@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 
 from repro.errors import SpecError
-from repro.graphs import MultiGraph
 from repro.graphs import generators as gen
-from repro.network import NetworkSpec, NodeRole, RevelationPolicy
+from repro.network import NetworkSpec, NodeRole
 
 
 def path_spec(**kw):

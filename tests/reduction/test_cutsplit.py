@@ -1,9 +1,8 @@
 """Section V-C cut-decomposition tests."""
 
-import numpy as np
 import pytest
 
-from repro.core import SimulationConfig, Simulator, simulate_lgg
+from repro.core import simulate_lgg
 from repro.errors import InfeasibleNetworkError, SpecError
 from repro.graphs import generators as gen
 from repro.network import NetworkSpec

@@ -5,8 +5,6 @@ import pytest
 
 from repro.core import simulate_lgg
 from repro.errors import InfeasibleNetworkError
-from repro.flow import classify_network
-from repro.graphs import MultiGraph
 from repro.graphs import generators as gen
 from repro.network import NetworkSpec, RevelationPolicy
 from repro.reduction import build_a_prime, build_b_prime, interior_min_cut, split_along_cut

@@ -1,6 +1,5 @@
 """CLI front-end tests."""
 
-import pytest
 
 from repro.cli import main
 
@@ -59,3 +58,27 @@ class TestClassify:
         out = capsys.readouterr().out
         assert "class: unsaturated" in out
         assert "epsilon" in out
+
+
+class TestEnsemble:
+    def test_basic_ensemble(self, capsys):
+        assert main(["ensemble", "--topology", "path", "--n", "5",
+                     "--replicas", "4", "--horizon", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas: 4" in out
+        assert "bounded fraction:" in out
+
+    def test_full_knob_set(self, capsys):
+        assert main(["ensemble", "--topology", "path", "--n", "4",
+                     "--retention", "2", "--revelation", "always_r",
+                     "--extraction", "random", "--activation-prob", "0.8",
+                     "--uniform-arrivals", "--loss-p", "0.1",
+                     "--replicas", "3", "--horizon", "120", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas: 3" in out
+        assert "delivered" in out
+
+    def test_revelation_requires_retention(self, capsys):
+        assert main(["ensemble", "--topology", "path", "--n", "4",
+                     "--revelation", "zero", "--replicas", "2"]) == 2
+        assert "retention" in capsys.readouterr().err
