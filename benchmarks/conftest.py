@@ -15,8 +15,22 @@ def pytest_addoption(parser):
         default=False,
         help="run experiments at report-quality horizons (slow)",
     )
+    parser.addoption(
+        "--perf-smoke",
+        action="store_true",
+        default=False,
+        help="exercise every benchmark's code path but skip the wall-clock "
+             "assertions (shared CI runners have unpredictable timing; this "
+             "keeps benchmark code from rotting without flaky failures)",
+    )
 
 
 @pytest.fixture
 def exp_fast(request):
     return not request.config.getoption("--exp-full")
+
+
+@pytest.fixture
+def perf_asserts(request):
+    """False under --perf-smoke: measure and report, but don't gate."""
+    return not request.config.getoption("--perf-smoke")

@@ -39,3 +39,11 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class SweepError(ReproError):
+    """A parameter-sweep grid, executor, or checkpoint was misused.
+
+    Raised for malformed grid specs (duplicate axes, ragged zipped groups),
+    executor misconfiguration, and corrupt or mismatched checkpoint files.
+    """

@@ -7,38 +7,38 @@ machinery (Definitions 3-4), simulate LGG, and tabulate the confusion
 matrix *feasibility x verdict*.  Theorem 1 predicts a diagonal matrix:
 feasible ⇒ bounded, infeasible ⇒ divergent, with no off-diagonal cells.
 
-Horizons come from :func:`repro.analysis.horizons.suggest_horizon` —
-quadratic in the worst source-sink distance, per E15's build-up law
-(a fixed horizon would misclassify slow-converging feasible instances).
+Since the sweep subsystem landed, the sampling loop is a
+:func:`repro.sweep.run_sweep` grid over :func:`repro.sweep.region_point`
+— one grid point per instance, feasibility classified through the
+canonical-hash cache, horizons from
+:func:`repro.analysis.horizons.suggest_horizon` (quadratic in the worst
+source-sink distance, per E15's build-up law).  Set
+``REPRO_SWEEP_WORKERS=k`` to shard the instances over ``k`` processes;
+records are bit-identical whatever the worker count.
 """
 
 from __future__ import annotations
 
+import os
 
-from repro._rng import as_generator, derive_seed
-from repro.core import simulate_lgg
 from repro.exp.common import ExperimentResult, main_for, register
-from repro.flow import NetworkClass, classify_network
-from repro.graphs import generators as gen
-from repro.network import NetworkSpec
+from repro.flow import NetworkClass
+from repro.sweep import GridSpec, region_point, run_sweep
 
 
-def _random_instance(seed: int) -> NetworkSpec:
-    rng = as_generator(seed)
-    n = int(rng.integers(6, 14))
-    p = float(rng.uniform(0.25, 0.6))
-    g = gen.random_gnp(n, p, seed=int(rng.integers(0, 2**31 - 1)), ensure_connected=True)
-    nodes = rng.permutation(n)
-    k_src = int(rng.integers(1, 3))
-    k_snk = int(rng.integers(1, 3))
-    in_rates = {int(nodes[i]): int(rng.integers(1, 3)) for i in range(k_src)}
-    out_rates = {int(nodes[-(j + 1)]): int(rng.integers(1, 4)) for j in range(k_snk)}
-    return NetworkSpec.classical(g, in_rates, out_rates)
+def _workers() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_SWEEP_WORKERS", "0")))
+    except ValueError:
+        return 0
 
 
 @register("e17", "Theorem 1 on random networks: region confusion matrix")
 def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     samples = 30 if fast else 200
+    grid = GridSpec(seed=seed).cartesian(sample=list(range(samples)))
+    sweep = run_sweep(grid, region_point, workers=_workers())
+
     matrix = {
         ("feasible", "bounded"): 0,
         ("feasible", "divergent"): 0,
@@ -46,16 +46,10 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         ("infeasible", "divergent"): 0,
     }
     per_class = {c: 0 for c in NetworkClass}
-    from repro.analysis.horizons import suggest_horizon
-
-    for i in range(samples):
-        spec = _random_instance(derive_seed(seed, "instance", i))
-        report = classify_network(spec.extended())
-        per_class[report.network_class] += 1
-        horizon = suggest_horizon(spec, settle=1200)
-        res = simulate_lgg(spec, horizon=horizon, seed=derive_seed(seed, "run", i))
-        feas = "feasible" if report.feasible else "infeasible"
-        verdict = "bounded" if res.verdict.bounded else "divergent"
+    for row in sweep.rows():
+        per_class[NetworkClass(row["network_class"])] += 1
+        feas = "feasible" if row["feasible"] else "infeasible"
+        verdict = "bounded" if row["bounded"] else "divergent"
         matrix[(feas, verdict)] += 1
 
     rows = [

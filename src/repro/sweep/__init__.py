@@ -1,0 +1,51 @@
+"""Sharded parameter sweeps: declarative grids, a chunked process-pool
+executor with a serial twin, canonical-hash feasibility caching, and
+crash-safe JSONL checkpointing.
+
+The one-screen tour::
+
+    from repro.sweep import GridSpec, run_sweep, region_point
+
+    grid = GridSpec(seed=0).cartesian(n=[8, 10, 12], sample=range(8))
+    run = run_sweep(grid, region_point, workers=4,
+                    checkpoint="region.jsonl")      # kill-safe
+    # ... crash, then later:
+    run = run_sweep(grid, region_point, workers=4,
+                    checkpoint="region.jsonl", resume=True)
+    rows = run.rows()   # bit-identical to an uninterrupted run
+
+Result records depend only on each point's ``(params, seed)`` — never on
+worker count or completion order — so ``workers=0`` (inline serial),
+``workers=1``, and ``workers=8`` are interchangeable and differentiable.
+"""
+
+from repro.sweep.cache import (
+    FeasibilityCache,
+    cached_classify,
+    canonical_graph_key,
+    canonical_spec_key,
+    shared_cache,
+)
+from repro.sweep.checkpoint import SweepCheckpoint, load_records, resume
+from repro.sweep.executor import PointRecord, SweepRun, run_sweep
+from repro.sweep.grid import GridPoint, GridSpec
+from repro.sweep.points import classify_point, random_instance_spec, region_point
+
+__all__ = [
+    "GridPoint",
+    "GridSpec",
+    "PointRecord",
+    "SweepRun",
+    "run_sweep",
+    "FeasibilityCache",
+    "shared_cache",
+    "cached_classify",
+    "canonical_graph_key",
+    "canonical_spec_key",
+    "SweepCheckpoint",
+    "load_records",
+    "resume",
+    "random_instance_spec",
+    "classify_point",
+    "region_point",
+]

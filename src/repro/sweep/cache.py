@@ -1,0 +1,127 @@
+"""Feasibility-classification memoization keyed by canonical network hashes.
+
+Sweeps revisit the same flow problem constantly: a grid over (topology ×
+rate × engine knob × repeat) re-classifies each (topology, rate) cell once
+per knob value and repeat, and the knobs only perturb the *simulation*,
+never the max-flow computation.  This cache keys
+:func:`repro.flow.classify_network` results on a canonical hash of the
+network's flow-relevant identity — the multigraph as an *unordered* edge
+multiset plus the rate maps — so the key is invariant to edge-insertion
+order, node-preserving copies, and tombstoned edge ids.
+
+The cache is per-process by design: each sweep worker warms its own (the
+:class:`~concurrent.futures.ProcessPoolExecutor` reuses worker processes
+across chunks, so the warmth accumulates).  Nothing here is shared across
+processes — no locks, no serialization of reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+from repro.graphs.multigraph import MultiGraph
+from repro.network.spec import NetworkSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flow.feasibility import FeasibilityReport
+
+__all__ = [
+    "canonical_graph_key",
+    "canonical_spec_key",
+    "FeasibilityCache",
+    "shared_cache",
+    "cached_classify",
+]
+
+
+def _sha256(payload: object) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    ).hexdigest()
+
+
+def canonical_graph_key(graph: MultiGraph) -> str:
+    """Canonical hash of a multigraph's live structure.
+
+    Two graphs get the same key iff they have the same node count and the
+    same unordered multiset of (undirected) edges — regardless of the order
+    edges were inserted, of removed-edge tombstones, and of edge ids.
+    """
+    edges = sorted((u, v) if u <= v else (v, u) for _, u, v in graph.edges())
+    return _sha256({"n": graph.n, "edges": edges})
+
+
+def canonical_spec_key(spec: NetworkSpec) -> str:
+    """Canonical hash of everything :func:`classify_network` can see.
+
+    Covers the graph (as :func:`canonical_graph_key`), both rate maps, and
+    nothing else: retention / revelation / injection semantics affect the
+    *simulation*, not the extended graph ``G*``, so specs differing only
+    there deliberately share a key (and a flow computation).
+    """
+    edges = sorted((u, v) if u <= v else (v, u) for _, u, v in spec.graph.edges())
+    return _sha256({
+        "n": spec.graph.n,
+        "edges": edges,
+        "in": sorted(spec.in_rates.items()),
+        "out": sorted(spec.out_rates.items()),
+    })
+
+
+class FeasibilityCache:
+    """Memo table for :func:`repro.flow.classify_network` keyed by
+    :func:`canonical_spec_key`.
+
+    >>> cache = FeasibilityCache()
+    >>> # report = cache.classify(spec); cache.hits, cache.misses
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[tuple[str, str], "FeasibilityReport"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def classify(self, spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
+        """``classify_network(spec.extended(), algorithm)``, memoized."""
+        key = (canonical_spec_key(spec), algorithm)
+        report = self._table.get(key)
+        if report is not None:
+            self.hits += 1
+            return report
+        from repro.flow.feasibility import classify_network
+
+        report = classify_network(spec.extended(), algorithm)
+        self._table[key] = report
+        self.misses += 1
+        return report
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._table)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the table (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_SHARED = FeasibilityCache()
+
+
+def shared_cache() -> FeasibilityCache:
+    """The process-global cache used by sweep point functions."""
+    return _SHARED
+
+
+def cached_classify(spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
+    """:func:`classify_network` through the process-global cache."""
+    return _SHARED.classify(spec, algorithm)

@@ -1,0 +1,184 @@
+"""Crash-safe sweep checkpointing: an append-only JSONL result log.
+
+Layout: line 1 is a header identifying the grid (its fingerprint, size,
+and a format version); every further line is one completed point record
+
+    {"index": 3, "params": {...}, "seed": 123, "record": {...}}
+
+written with an ``append + flush`` per point, so a killed process loses at
+most the point it was mid-writing.  :func:`load_records` tolerates exactly
+that failure mode — a torn *final* line is discarded; corruption anywhere
+else is an error, not silently skipped data.
+
+``resume()`` is the read side: given the grid a sweep is about to run, it
+returns the already-completed records keyed by point index (refusing a
+checkpoint written for a different grid), and the executor then runs only
+the complement.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, TYPE_CHECKING, Optional, Union
+
+from repro.errors import SweepError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sweep.grid import GridSpec
+
+__all__ = ["SweepCheckpoint", "load_records", "resume"]
+
+PathLike = Union[str, pathlib.Path]
+
+_KIND = "repro-sweep-checkpoint"
+_VERSION = 1
+
+
+class SweepCheckpoint:
+    """Writer handle for one sweep's JSONL result log."""
+
+    def __init__(self, path: PathLike, grid: "GridSpec") -> None:
+        self.path = pathlib.Path(path)
+        self.grid = grid
+        self._fh: Optional[IO[str]] = None
+
+    # ------------------------------------------------------------------
+    def open(self) -> "SweepCheckpoint":
+        """Open for appending, writing the header if the file is new.
+
+        An existing log first has its tail repaired: a torn final line
+        (the residue of a mid-write kill) is truncated away so appended
+        records don't land *after* the fragment and turn a forgivable
+        torn tail into unforgivable mid-file corruption on the next load.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists() and self.path.stat().st_size > 0:
+            _repair_tail(self.path)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            header = {
+                "kind": _KIND,
+                "version": _VERSION,
+                "grid_fingerprint": self.grid.fingerprint(),
+                "total_points": len(self.grid),
+            }
+            self._write_line(header)
+        return self
+
+    def append(self, index: int, params: dict, seed: int, record: dict) -> None:
+        """Persist one completed point (flushed immediately)."""
+        if self._fh is None:
+            raise SweepError("checkpoint is not open")
+        self._write_line(
+            {"index": index, "params": params, "seed": seed, "record": record}
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _write_line(self, obj: dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.flush()
+
+
+def _repair_tail(path: pathlib.Path) -> None:
+    """Make an existing log append-ready.
+
+    Mirrors the :func:`load_records` tolerance exactly: an unparseable
+    final line without a newline is a mid-write kill's fragment and is
+    truncated; a *parseable* final line merely missing its terminator
+    (killed between ``write`` and the newline reaching disk) is a real
+    record and only gets its newline restored.
+    """
+    with open(path, "rb+") as fh:
+        data = fh.read()
+        if data.endswith(b"\n"):
+            return
+        head, _, tail = data.rpartition(b"\n")
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            fh.truncate(len(head) + 1 if head else 0)
+        else:
+            fh.write(b"\n")
+
+
+def load_records(path: PathLike) -> tuple[dict, dict[int, dict]]:
+    """Read a checkpoint; returns ``(header, {index: line_dict})``.
+
+    A torn final line (the signature of a mid-write kill) is dropped; a
+    malformed line anywhere earlier raises :class:`SweepError`.  Duplicate
+    indices keep the last occurrence.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SweepError(f"cannot read checkpoint {path}: {exc}") from exc
+    lines = text.split("\n")
+    # a well-formed log ends with "\n": the final split element is ""
+    torn_tail_ok = lines and lines[-1] != ""
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise SweepError(f"checkpoint {path} is empty")
+
+    parsed: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) and torn_tail_ok:
+                break  # torn final line: the run was killed mid-append
+            raise SweepError(
+                f"checkpoint {path} is corrupt at line {lineno}: {exc}"
+            ) from exc
+
+    header = parsed[0] if parsed else {}
+    if header.get("kind") != _KIND:
+        raise SweepError(f"{path} is not a sweep checkpoint (bad header)")
+    if header.get("version") != _VERSION:
+        raise SweepError(
+            f"checkpoint {path} has version {header.get('version')!r}, "
+            f"expected {_VERSION}"
+        )
+    records: dict[int, dict] = {}
+    for entry in parsed[1:]:
+        if not isinstance(entry.get("index"), int):
+            raise SweepError(f"checkpoint {path} has a record without an index")
+        records[entry["index"]] = entry
+    return header, records
+
+
+def resume(path: PathLike, grid: "GridSpec") -> dict[int, dict]:
+    """Completed records of a previous run of ``grid``, keyed by index.
+
+    Raises :class:`SweepError` if the checkpoint belongs to a different
+    grid (axes, values, or root seed changed) or contains out-of-range
+    indices.
+    """
+    header, records = load_records(path)
+    if header.get("grid_fingerprint") != grid.fingerprint():
+        raise SweepError(
+            f"checkpoint {path} was written for a different grid "
+            f"(fingerprint mismatch) — refusing to resume"
+        )
+    total = len(grid)
+    for index in records:
+        if not (0 <= index < total):
+            raise SweepError(
+                f"checkpoint {path} has out-of-range point index {index}"
+            )
+    return records

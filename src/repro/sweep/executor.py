@@ -1,0 +1,215 @@
+"""Sharded sweep execution: chunked process pools with a serial twin.
+
+``run_sweep(grid, point_fn, workers=N)`` evaluates ``point_fn(params,
+seed)`` at every :class:`~repro.sweep.grid.GridPoint` and returns the
+records in grid order.  ``workers=0`` is the inline serial path — same
+evaluation code, no processes, the mode to debug and to difference
+against; ``workers >= 1`` shards the pending points into chunks over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and streams completed
+chunks back as they finish.
+
+Determinism contract: a point's record depends only on ``(params, seed)``
+— seeds come from the grid, never from worker identity or scheduling — so
+the result list is bit-identical across worker counts and completion
+orders.  Records are canonicalized through a JSON round-trip at the point
+of production, which makes in-memory results indistinguishable from
+checkpoint-resumed ones (tuples become lists *before* anyone compares).
+
+Crash safety: pass ``checkpoint=`` to append each completed point to a
+JSONL log the moment it arrives; ``resume=True`` then skips the completed
+prefix of a killed run (see :mod:`repro.sweep.checkpoint`).
+
+``point_fn`` must be picklable for ``workers >= 1`` — a module-level
+function, not a lambda or closure (:mod:`repro.sweep.points` hosts the
+stock ones).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import SweepError
+from repro.sweep.checkpoint import PathLike, SweepCheckpoint
+from repro.sweep.checkpoint import resume as load_resume
+from repro.sweep.grid import GridPoint, GridSpec
+
+__all__ = ["PointRecord", "SweepRun", "run_sweep"]
+
+PointFn = Callable[[dict, int], Mapping[str, Any]]
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """One evaluated grid point: identity plus its (canonical-JSON) record."""
+
+    index: int
+    params: dict
+    seed: int
+    record: dict
+
+    def row(self) -> dict:
+        """Params and record merged into one flat dict (report tables)."""
+        return {**self.params, **self.record}
+
+
+@dataclass
+class SweepRun:
+    """Outcome of :func:`run_sweep`: all records, in grid order."""
+
+    grid: GridSpec
+    records: list[PointRecord]
+    workers: int
+    resumed: int          # points served from the checkpoint, not executed
+    elapsed: float        # wall-clock seconds spent in run_sweep
+
+    def rows(self) -> list[dict]:
+        return [rec.row() for rec in self.records]
+
+
+def _canonical(obj: Any) -> Any:
+    """JSON round-trip so records equal their checkpoint-reloaded selves."""
+    import json
+
+    try:
+        return json.loads(json.dumps(obj, sort_keys=True))
+    except (TypeError, ValueError) as exc:
+        raise SweepError(
+            f"sweep records must be JSON-serializable: {exc}"
+        ) from exc
+
+
+def _evaluate(point_fn: PointFn, point: GridPoint) -> PointRecord:
+    result = point_fn(dict(point.params), point.seed)
+    return PointRecord(
+        index=point.index,
+        params=_canonical(dict(point.params)),
+        seed=int(point.seed),
+        record=_canonical(dict(result)),
+    )
+
+
+def _run_chunk(point_fn: PointFn, chunk: list[GridPoint]) -> list[PointRecord]:
+    """Worker entry point: evaluate one shard of grid points."""
+    return [_evaluate(point_fn, pt) for pt in chunk]
+
+
+def _record_from_line(line: dict) -> PointRecord:
+    return PointRecord(
+        index=int(line["index"]),
+        params=dict(line["params"]),
+        seed=int(line["seed"]),
+        record=dict(line["record"]),
+    )
+
+
+def _chunked(items: list, size: int) -> list[list]:
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def run_sweep(
+    grid: GridSpec,
+    point_fn: PointFn,
+    *,
+    workers: int = 0,
+    chunk_size: Optional[int] = None,
+    checkpoint: Optional[PathLike] = None,
+    resume: bool = False,
+) -> SweepRun:
+    """Evaluate ``point_fn`` over every point of ``grid``.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` — inline serial execution (no processes, debugger-friendly).
+        ``k >= 1`` — a pool of ``k`` worker processes.
+    chunk_size:
+        Points per pool task.  Defaults to roughly four chunks per worker,
+        capped at 32 — small enough to stream and checkpoint frequently,
+        large enough to amortize pickling.
+    checkpoint:
+        JSONL path; every completed point is appended and flushed
+        immediately, making the sweep resumable after a crash or kill.
+    resume:
+        Load already-completed points from ``checkpoint`` and execute only
+        the rest.  Without ``resume=True`` an existing non-empty
+        checkpoint is an error (never silently mix two runs).
+    """
+    if workers < 0:
+        raise SweepError(f"workers must be >= 0, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise SweepError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    t0 = time.perf_counter()
+    done: dict[int, PointRecord] = {}
+    if checkpoint is not None:
+        import pathlib
+
+        exists = pathlib.Path(checkpoint).exists() and (
+            pathlib.Path(checkpoint).stat().st_size > 0
+        )
+        if exists and not resume:
+            raise SweepError(
+                f"checkpoint {checkpoint} already exists; pass resume=True "
+                f"to continue it or remove the file to start over"
+            )
+        if exists:
+            done = {
+                idx: _record_from_line(line)
+                for idx, line in load_resume(checkpoint, grid).items()
+            }
+    elif resume:
+        raise SweepError("resume=True requires a checkpoint path")
+
+    pending = [pt for pt in grid.points() if pt.index not in done]
+    resumed = len(done)
+
+    writer = None
+    if checkpoint is not None:
+        writer = SweepCheckpoint(checkpoint, grid).open()
+
+    def _commit(records: list[PointRecord]) -> None:
+        for rec in records:
+            done[rec.index] = rec
+            if writer is not None:
+                writer.append(rec.index, rec.params, rec.seed, rec.record)
+
+    try:
+        if workers == 0 or not pending:
+            for pt in pending:
+                _commit([_evaluate(point_fn, pt)])
+        else:
+            if chunk_size is None:
+                per_worker = max(1, len(pending) // (workers * 4))
+                chunk_size = min(32, per_worker)
+            chunks = _chunked(pending, chunk_size)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_chunk, point_fn, chunk) for chunk in chunks
+                }
+                try:
+                    while futures:
+                        finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                        for fut in finished:
+                            _commit(fut.result())
+                except BaseException:
+                    for fut in futures:
+                        fut.cancel()
+                    raise
+    finally:
+        if writer is not None:
+            writer.close()
+
+    missing = len(grid) - len(done)
+    if missing:
+        raise SweepError(f"sweep incomplete: {missing} points missing")
+    records = [done[i] for i in range(len(grid))]
+    return SweepRun(
+        grid=grid,
+        records=records,
+        workers=workers,
+        resumed=resumed,
+        elapsed=time.perf_counter() - t0,
+    )

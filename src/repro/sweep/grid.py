@@ -1,0 +1,154 @@
+"""Declarative sweep grids: named axes, cartesian and zipped, seeded points.
+
+A :class:`GridSpec` describes *what* a sweep visits — the executor
+(:mod:`repro.sweep.executor`) decides *how*.  Axes are named sequences of
+parameter values; independent axes combine as a cartesian product, while a
+*zipped* group of axes advances in lockstep (one composite axis whose j-th
+value sets every member axis to its j-th entry — the usual trick for
+``rows``/``cols`` pairs that must vary together).
+
+Every grid point carries a deterministic integer seed derived from the
+grid's root seed with ``numpy.random.SeedSequence.spawn`` — point ``i``
+always gets child ``i`` of the root sequence, so seeds are independent of
+worker count, completion order, and which subset of points a resumed run
+still has to execute.  Re-running any single point in isolation reproduces
+it bit for bit.
+
+>>> grid = GridSpec(seed=7).cartesian(n=[8, 10], rate=[1, 2]).zipped(
+...     rows=[2, 3], cols=[4, 6])
+>>> len(grid)
+8
+>>> grid.point(0).params
+{'n': 8, 'rate': 1, 'rows': 2, 'cols': 4}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SweepError
+
+__all__ = ["GridPoint", "GridSpec"]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One cell of a sweep grid: its position, parameters, and seed."""
+
+    index: int
+    params: Mapping[str, Any]
+    seed: int
+
+
+def _canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding (non-JSON leaves fall back to repr)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+class GridSpec:
+    """Immutable sweep-grid description (builder-style, each call returns
+    a new spec).
+
+    ``cartesian(**axes)`` adds independent axes; ``zipped(**axes)`` adds a
+    lockstep group.  Groups multiply: the grid size is the product of each
+    group's length (a cartesian axis is a singleton group).
+    """
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = int(seed)
+        # each group: tuple of (name, tuple(values)) advancing in lockstep
+        self._groups: tuple[tuple[tuple[str, tuple], ...], ...] = ()
+        self._seeds: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _extend(self, groups: Sequence[tuple[tuple[str, tuple], ...]]) -> "GridSpec":
+        new = GridSpec(seed=self.seed)
+        new._groups = self._groups + tuple(groups)
+        seen: set[str] = set()
+        for group in new._groups:
+            for name, values in group:
+                if name in seen:
+                    raise SweepError(f"duplicate axis name {name!r}")
+                seen.add(name)
+                if not values:
+                    raise SweepError(f"axis {name!r} has no values")
+        return new
+
+    def cartesian(self, **axes: Sequence[Any]) -> "GridSpec":
+        """Add independent axes (cartesian product with everything else)."""
+        if not axes:
+            raise SweepError("cartesian() needs at least one axis")
+        return self._extend([((name, tuple(vals)),) for name, vals in axes.items()])
+
+    def zipped(self, **axes: Sequence[Any]) -> "GridSpec":
+        """Add a group of equal-length axes that advance in lockstep."""
+        if len(axes) < 2:
+            raise SweepError("zipped() needs at least two axes")
+        lengths = {name: len(tuple(vals)) for name, vals in axes.items()}
+        if len(set(lengths.values())) != 1:
+            raise SweepError(f"zipped axes must have equal lengths, got {lengths}")
+        return self._extend([tuple((name, tuple(vals)) for name, vals in axes.items())])
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    @property
+    def axis_names(self) -> list[str]:
+        return [name for group in self._groups for name, _ in group]
+
+    def __len__(self) -> int:
+        size = 1
+        for group in self._groups:
+            size *= len(group[0][1])
+        return size
+
+    def _point_seeds(self) -> list[int]:
+        if self._seeds is None:
+            children = np.random.SeedSequence(self.seed).spawn(len(self))
+            self._seeds = [
+                int(c.generate_state(1, dtype=np.uint64)[0] % (2**63 - 1))
+                for c in children
+            ]
+        return self._seeds
+
+    def points(self) -> Iterator[GridPoint]:
+        """Yield every grid point in canonical (row-major) order."""
+        seeds = self._point_seeds()
+        ranges = [range(len(group[0][1])) for group in self._groups]
+        for index, choice in enumerate(itertools.product(*ranges)):
+            params = {}
+            for group, j in zip(self._groups, choice):
+                for name, values in group:
+                    params[name] = values[j]
+            yield GridPoint(index=index, params=params, seed=seeds[index])
+
+    def point(self, index: int) -> GridPoint:
+        """The ``index``-th point (same numbering as :meth:`points`)."""
+        if not (0 <= index < len(self)):
+            raise SweepError(f"point index {index} out of range [0, {len(self)})")
+        return next(itertools.islice(self.points(), index, None))
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hash of (axes, values, seed) — a checkpoint written for
+        one grid refuses to resume a different one."""
+        payload = {
+            "seed": self.seed,
+            "groups": [[[name, list(values)] for name, values in group]
+                       for group in self._groups],
+        }
+        return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"GridSpec(axes={self.axis_names}, points={len(self)}, "
+                f"seed={self.seed})")

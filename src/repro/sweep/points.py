@@ -1,0 +1,102 @@
+"""Stock sweep point functions (module-level, hence picklable).
+
+These are the payloads the executor ships to worker processes: each takes
+``(params, seed)`` and returns a flat JSON-able record.  They all classify
+through the process-global :func:`repro.sweep.cache.cached_classify`, so a
+worker that sees the same (topology, rates) twice pays for the max-flow
+computation once.
+
+``region_point`` is the workhorse behind ``repro-lgg sweep`` and the E17
+random-region experiment: sample a random connected instance (any
+parameter not pinned by the grid is drawn from the point's seed), classify
+it (Definitions 3–4), simulate LGG, and report whether the Theorem 1
+diagonal held.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro._rng import as_generator, derive_seed
+from repro.errors import SweepError
+from repro.graphs import generators as gen
+from repro.network import NetworkSpec
+from repro.sweep.cache import cached_classify
+
+__all__ = ["random_instance_spec", "classify_point", "region_point"]
+
+
+def random_instance_spec(params: Mapping[str, Any], seed: int) -> NetworkSpec:
+    """A random connected S-D-network, grid-pinnable in every dimension.
+
+    Recognized params (all optional; unpinned ones are drawn from
+    ``seed``): ``n`` (node count), ``p`` (G(n, p) edge density),
+    ``sources`` / ``sinks`` (terminal counts), ``in_rate`` / ``out_rate``
+    (per-terminal rate ceilings).
+    """
+    rng = as_generator(derive_seed(seed, "instance"))
+    n = int(params.get("n") or rng.integers(6, 14))
+    if n < 2:
+        raise SweepError(f"random instance needs n >= 2 nodes, got {n}")
+    p = float(params.get("p") or rng.uniform(0.25, 0.6))
+    k_src = int(params.get("sources") or rng.integers(1, 3))
+    k_snk = int(params.get("sinks") or rng.integers(1, 3))
+    if k_src + k_snk > n:
+        raise SweepError(
+            f"cannot place {k_src} sources + {k_snk} sinks on {n} nodes"
+        )
+    in_hi = int(params.get("in_rate") or 2)
+    out_hi = int(params.get("out_rate") or 3)
+    g = gen.random_gnp(n, p, seed=int(rng.integers(0, 2**31 - 1)),
+                       ensure_connected=True)
+    nodes = rng.permutation(n)
+    in_rates = {int(nodes[i]): int(rng.integers(1, in_hi + 1)) for i in range(k_src)}
+    out_rates = {int(nodes[-(j + 1)]): int(rng.integers(1, out_hi + 1))
+                 for j in range(k_snk)}
+    return NetworkSpec.classical(g, in_rates, out_rates)
+
+
+def classify_point(params: dict, seed: int) -> dict:
+    """Flow classification only — the cheap half of the region map."""
+    spec = random_instance_spec(params, seed)
+    report = cached_classify(spec)
+    return {
+        "n": spec.n,
+        "m": spec.graph.m,
+        "network_class": report.network_class.value,
+        "feasible": report.feasible,
+        "arrival_rate": str(report.arrival_rate),
+        "max_flow": str(report.max_flow_value),
+        "f_star": str(report.f_star),
+    }
+
+
+def region_point(params: dict, seed: int) -> dict:
+    """Classify + simulate one random instance (the Theorem 1 oracle).
+
+    The horizon defaults to :func:`repro.analysis.horizons.suggest_horizon`
+    (quadratic in the worst source-sink distance, per E15's build-up law);
+    pin ``horizon`` in the grid to override.
+    """
+    from repro.core import simulate_lgg
+
+    spec = random_instance_spec(params, seed)
+    report = cached_classify(spec)
+    horizon = params.get("horizon")
+    if horizon is None:
+        from repro.analysis.horizons import suggest_horizon
+
+        horizon = suggest_horizon(spec, settle=1200)
+    res = simulate_lgg(spec, horizon=int(horizon), seed=derive_seed(seed, "run"))
+    bounded = bool(res.verdict.bounded)
+    return {
+        "n": spec.n,
+        "m": spec.graph.m,
+        "network_class": report.network_class.value,
+        "feasible": report.feasible,
+        "bounded": bounded,
+        "diagonal": report.feasible == bounded,
+        "horizon": int(horizon),
+        "delivered": int(res.delivered),
+        "peak_queue": int(max(res.trajectory.max_queues)),
+    }

@@ -1,0 +1,180 @@
+"""Canonical-hash feasibility cache: key invariance and hit fidelity.
+
+Property-tested: the canonical multigraph hash must be invariant under
+edge-insertion order, node-preserving copies, and remove/restore
+tombstone churn — and a cache hit must return a report identical to a
+cold :func:`classify_network` call.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import classify_network
+from repro.graphs.multigraph import MultiGraph
+from repro.network import NetworkSpec, RevelationPolicy
+from repro.sweep import (
+    FeasibilityCache,
+    canonical_graph_key,
+    canonical_spec_key,
+    cached_classify,
+    shared_cache,
+)
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(2, 8))
+    m = draw(st.integers(1, 14))
+    edges = [
+        tuple(draw(st.lists(st.integers(0, n - 1), min_size=2, max_size=2,
+                            unique=True)))
+        for _ in range(m)
+    ]
+    return n, edges
+
+
+class TestGraphKey:
+    @given(data=edge_lists(), order_seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_to_insertion_order(self, data, order_seed):
+        n, edges = data
+        shuffled = list(edges)
+        np.random.default_rng(order_seed).shuffle(shuffled)
+        a = MultiGraph.from_edges(n, edges)
+        b = MultiGraph.from_edges(n, shuffled)
+        assert canonical_graph_key(a) == canonical_graph_key(b)
+
+    @given(data=edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_to_copies_and_orientation(self, data):
+        n, edges = data
+        a = MultiGraph.from_edges(n, edges)
+        b = MultiGraph.from_edges(n, [(v, u) for u, v in edges])
+        assert canonical_graph_key(a) == canonical_graph_key(a.copy())
+        assert canonical_graph_key(a) == canonical_graph_key(b)
+
+    @given(data=edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_tombstones_do_not_leak_into_key(self, data):
+        """remove+restore churn changes edge-id bookkeeping, not the key."""
+        n, edges = data
+        a = MultiGraph.from_edges(n, edges)
+        b = MultiGraph.from_edges(n, edges)
+        eid = b.add_edge(*edges[0])
+        b.remove_edge(eid)
+        assert canonical_graph_key(a) == canonical_graph_key(b)
+
+    @given(data=edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_sensitive_to_extra_edges_and_nodes(self, data):
+        n, edges = data
+        base = MultiGraph.from_edges(n, edges)
+        extra = MultiGraph.from_edges(n, edges + [edges[0]])  # +1 multiplicity
+        wider = MultiGraph.from_edges(n + 1, edges)
+        assert canonical_graph_key(base) != canonical_graph_key(extra)
+        assert canonical_graph_key(base) != canonical_graph_key(wider)
+
+
+def _line_spec(in_rate=1, out_rate=1, **spec_kwargs):
+    g = MultiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3), (1, 2)])
+    return NetworkSpec.classical(g, {0: in_rate}, {3: out_rate})
+
+
+class TestSpecKey:
+    def test_simulation_only_knobs_share_a_key(self):
+        """Retention / revelation / injection semantics never touch G*."""
+        g = MultiGraph.from_edges(3, [(0, 1), (1, 2)])
+        classical = NetworkSpec.classical(g, {0: 1}, {2: 1})
+        lying = NetworkSpec.generalized(
+            g, {0: 1}, {2: 1}, retention=4,
+            revelation=RevelationPolicy.ALWAYS_R,
+        )
+        assert canonical_spec_key(classical) == canonical_spec_key(lying)
+
+    def test_rates_change_the_key(self):
+        assert canonical_spec_key(_line_spec(1, 1)) != canonical_spec_key(
+            _line_spec(1, 2))
+        assert canonical_spec_key(_line_spec(1, 1)) != canonical_spec_key(
+            _line_spec(2, 2))
+
+
+def _report_fields(report):
+    """FeasibilityReport with the ndarray-bearing cut flattened to lists
+    (dataclass == would hit numpy's ambiguous-truth on MinCut.side)."""
+    return (
+        report.network_class,
+        report.arrival_rate,
+        report.max_flow_value,
+        report.f_star,
+        report.certified_epsilon,
+        report.cut_kind,
+        report.unique_min_cut,
+        report.min_cut.source_side,
+        sorted(report.min_cut.arcs),
+        report.min_cut.capacity,
+    )
+
+
+@st.composite
+def small_specs(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    from repro.graphs import generators as gen
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 9))
+    g = gen.random_gnp(n, 0.5, seed=seed, ensure_connected=True)
+    nodes = rng.permutation(n)
+    return NetworkSpec.classical(
+        g,
+        {int(nodes[0]): int(rng.integers(1, 3))},
+        {int(nodes[-1]): int(rng.integers(1, 3))},
+    )
+
+
+class TestFeasibilityCache:
+    @given(spec=small_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_hit_equals_cold_classification(self, spec):
+        cache = FeasibilityCache()
+        cold = classify_network(spec.extended())
+        miss = cache.classify(spec)
+        hit = cache.classify(spec)
+        assert cache.misses == 1 and cache.hits == 1
+        assert _report_fields(miss) == _report_fields(cold)
+        assert _report_fields(hit) == _report_fields(cold)
+
+    def test_hit_across_equivalent_specs(self):
+        """Insertion order and copies hit the same entry."""
+        g1 = MultiGraph.from_edges(3, [(0, 1), (1, 2)])
+        g2 = MultiGraph.from_edges(3, [(1, 2), (0, 1)])
+        cache = FeasibilityCache()
+        cache.classify(NetworkSpec.classical(g1, {0: 1}, {2: 1}))
+        cache.classify(NetworkSpec.classical(g2, {0: 1}, {2: 1}))
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.size == 1
+
+    def test_algorithm_is_part_of_the_key(self):
+        cache = FeasibilityCache()
+        spec = _line_spec()
+        a = cache.classify(spec, "dinic")
+        b = cache.classify(spec, "edmonds_karp")
+        assert cache.misses == 2 and cache.hits == 0
+        assert _report_fields(a)[:5] == _report_fields(b)[:5]
+
+    def test_clear_and_stats(self):
+        cache = FeasibilityCache()
+        assert cache.hit_rate == 0.0
+        cache.classify(_line_spec())
+        cache.classify(_line_spec())
+        assert cache.hit_rate == pytest.approx(0.5)
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.size) == (0, 0, 0)
+
+    def test_shared_cache_is_process_global(self):
+        before = shared_cache().size
+        cached_classify(_line_spec(out_rate=3))
+        cached_classify(_line_spec(out_rate=3))
+        assert shared_cache().size >= before
+        assert shared_cache() is shared_cache()

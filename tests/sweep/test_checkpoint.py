@@ -1,0 +1,200 @@
+"""Checkpoint crash-safety: the resume oracle.
+
+The ISSUE-level property, Hypothesis-randomized: killing a sweep after k
+of N points and resuming must yield result records identical to an
+uninterrupted run.  "Killing" is modelled two ways — truncating the JSONL
+log to a k-record prefix (plus optional torn half-written tail, the exact
+on-disk state an append+flush writer leaves behind on SIGKILL), and a
+point function that raises mid-sweep.
+"""
+
+import json
+import pathlib
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SweepError
+from repro.sweep import GridSpec, SweepCheckpoint, load_records, run_sweep
+
+_BOOM_AT = 7
+
+
+def poly_point(params, seed):
+    return {"value": params["x"] * 3 + seed % 101, "x_seen": params["x"]}
+
+
+def booby_trapped_point(params, seed):
+    if params["x"] == _BOOM_AT:
+        raise RuntimeError("simulated crash")
+    return poly_point(params, seed)
+
+
+def _grid(n_points, seed=4):
+    return GridSpec(seed=seed).cartesian(x=list(range(n_points)))
+
+
+class TestCrashResumeOracle:
+    @given(
+        n_points=st.integers(2, 12),
+        k=st.integers(0, 11),
+        torn=st.booleans(),
+        grid_seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_truncated_log_resumes_to_identical_records(
+        self, n_points, k, torn, grid_seed
+    ):
+        k = min(k, n_points - 1)
+        grid = _grid(n_points, seed=grid_seed)
+        with tempfile.TemporaryDirectory() as tmp:
+            full_cp = pathlib.Path(tmp) / "full.jsonl"
+            crash_cp = pathlib.Path(tmp) / "crash.jsonl"
+
+            full = run_sweep(grid, poly_point, checkpoint=full_cp)
+
+            # forge the crash artifact: header + k records (+ torn tail)
+            lines = full_cp.read_text().splitlines()
+            prefix = lines[: 1 + k]
+            text = "\n".join(prefix) + "\n"
+            if torn:
+                text += lines[1 + k][: max(1, len(lines[1 + k]) // 2)]
+            crash_cp.write_text(text)
+
+            resumed = run_sweep(grid, poly_point, checkpoint=crash_cp, resume=True)
+            assert resumed.records == full.records
+            assert resumed.resumed == k
+
+    def test_exception_mid_sweep_then_resume(self):
+        """A sweep that dies on point k persists the completed prefix;
+        resuming with a healthy point function finishes it bit-identically."""
+        grid = _grid(12)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            with pytest.raises(RuntimeError, match="simulated crash"):
+                run_sweep(grid, booby_trapped_point, checkpoint=cp)
+            _, records = load_records(cp)
+            assert set(records) == set(range(_BOOM_AT))
+
+            resumed = run_sweep(grid, poly_point, checkpoint=cp, resume=True)
+            clean = run_sweep(grid, poly_point)
+            assert resumed.records == clean.records
+            assert resumed.resumed == _BOOM_AT
+
+    def test_resume_repairs_torn_tail_in_place(self):
+        """Resume must truncate a torn tail before appending: otherwise
+        the fragment ends up mid-file and the *next* load of the same log
+        (a second crash, or a post-mortem read) dies on 'corrupt'."""
+        grid = _grid(6)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            full = run_sweep(grid, poly_point, checkpoint=cp)
+            lines = cp.read_text().splitlines()
+            cp.write_text("\n".join(lines[:3]) + "\n" + lines[3][:10])
+
+            resumed = run_sweep(grid, poly_point, checkpoint=cp, resume=True)
+            assert resumed.records == full.records
+
+            _, records = load_records(cp)  # pre-fix: SweepError ("corrupt")
+            assert sorted(records) == list(range(6))
+            again = run_sweep(grid, poly_point, checkpoint=cp, resume=True)
+            assert again.resumed == 6
+            assert again.records == full.records
+
+    def test_complete_tail_missing_newline_is_kept(self):
+        """A final line that parses but lacks its newline is a finished
+        record — repair terminates it instead of truncating it away."""
+        grid = _grid(4)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            full = run_sweep(grid, poly_point, checkpoint=cp)
+            cp.write_text(cp.read_text()[:-1])  # drop only the last "\n"
+
+            resumed = run_sweep(grid, poly_point, checkpoint=cp, resume=True)
+            assert resumed.resumed == 4
+            assert resumed.records == full.records
+            assert cp.read_text().endswith("\n")
+            _, records = load_records(cp)
+            assert sorted(records) == list(range(4))
+
+    def test_parallel_resume_matches_serial_full_run(self):
+        grid = _grid(10)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            full = run_sweep(grid, poly_point)
+            partial = run_sweep(
+                GridSpec(seed=4).cartesian(x=list(range(10))),
+                poly_point, checkpoint=cp,
+            )
+            lines = cp.read_text().splitlines()
+            cp.write_text("\n".join(lines[:4]) + "\n")
+            resumed = run_sweep(grid, poly_point, workers=2,
+                                checkpoint=cp, resume=True)
+            assert resumed.records == full.records == partial.records
+
+
+class TestLogFormat:
+    def test_header_and_record_lines(self):
+        grid = _grid(3)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            run_sweep(grid, poly_point, checkpoint=cp)
+            lines = [json.loads(x) for x in cp.read_text().splitlines()]
+            assert lines[0]["kind"] == "repro-sweep-checkpoint"
+            assert lines[0]["grid_fingerprint"] == grid.fingerprint()
+            assert lines[0]["total_points"] == 3
+            assert [x["index"] for x in lines[1:]] == [0, 1, 2]
+            assert all({"params", "seed", "record"} <= set(x) for x in lines[1:])
+
+    def test_duplicate_indices_last_wins(self):
+        grid = _grid(2)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            with SweepCheckpoint(cp, grid) as w:
+                w.append(0, {"x": 0}, 1, {"value": 1})
+                w.append(0, {"x": 0}, 1, {"value": 2})
+            _, records = load_records(cp)
+            assert records[0]["record"]["value"] == 2
+
+
+class TestRejection:
+    def test_existing_checkpoint_without_resume_flag(self):
+        grid = _grid(2)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            run_sweep(grid, poly_point, checkpoint=cp)
+            with pytest.raises(SweepError, match="resume"):
+                run_sweep(grid, poly_point, checkpoint=cp)
+
+    def test_wrong_grid_fingerprint_refused(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            run_sweep(_grid(3), poly_point, checkpoint=cp)
+            other = GridSpec(seed=99).cartesian(x=[0, 1, 2])
+            with pytest.raises(SweepError, match="different grid"):
+                run_sweep(other, poly_point, checkpoint=cp, resume=True)
+
+    def test_corrupt_interior_line_is_an_error(self):
+        """Only a *final* torn line is forgivable — mid-file corruption
+        means lost data and must not be skipped silently."""
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            run_sweep(_grid(4), poly_point, checkpoint=cp)
+            lines = cp.read_text().splitlines()
+            lines[2] = lines[2][: len(lines[2]) // 2]  # tear a middle line
+            cp.write_text("\n".join(lines) + "\n")
+            with pytest.raises(SweepError, match="corrupt"):
+                load_records(cp)
+
+    def test_not_a_checkpoint(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            cp.write_text('{"kind": "something-else"}\n')
+            with pytest.raises(SweepError, match="not a sweep checkpoint"):
+                load_records(cp)
+
+    def test_missing_file(self):
+        with pytest.raises(SweepError, match="cannot read"):
+            load_records("/nonexistent/nowhere.jsonl")

@@ -1,0 +1,99 @@
+"""Executor: serial/parallel differential, streaming, error paths.
+
+The load-bearing property is worker-count independence: records are a
+pure function of each grid point's ``(params, seed)``, so ``workers=0``
+(inline), ``workers=1``, and ``workers=4`` must produce bit-identical
+result lists regardless of completion order.  Point functions live at
+module level — the pool pickles them by reference.
+"""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep import GridSpec, classify_point, run_sweep
+
+
+def arith_point(params, seed):
+    """Cheap, deterministic, JSON-clean — pure executor plumbing tests."""
+    return {"y": params["a"] * 10 + params.get("b", 0), "tag": seed % 997}
+
+
+def fussy_point(params, seed):
+    if params["a"] == 13:
+        raise ValueError("unlucky point")
+    return {"y": params["a"]}
+
+
+def tuple_point(params, seed):
+    return {"pair": (1, 2)}  # JSON round-trip turns this into a list
+
+
+def unjsonable_point(params, seed):
+    return {"bad": object()}
+
+
+class TestDifferential:
+    def test_workers_0_1_4_identical_records(self):
+        """The ISSUE's worker-count oracle, on real flow classification:
+        per-point records must not depend on process count or order."""
+        grid = GridSpec(seed=11).cartesian(n=[5, 6], sample=range(3))
+        runs = {w: run_sweep(grid, classify_point, workers=w) for w in (0, 1, 4)}
+        assert runs[0].records == runs[1].records == runs[4].records
+        for w, run in runs.items():
+            assert run.workers == w
+            assert [r.index for r in run.records] == list(range(len(grid)))
+
+    def test_chunk_size_does_not_change_records(self):
+        grid = GridSpec(seed=5).cartesian(a=range(11))
+        baseline = run_sweep(grid, arith_point, workers=0)
+        for chunk in (1, 3, 32):
+            run = run_sweep(grid, arith_point, workers=2, chunk_size=chunk)
+            assert run.records == baseline.records
+
+    def test_rerun_reproduces(self):
+        grid = GridSpec(seed=8).cartesian(a=[1, 2], b=[5, 6])
+        assert (run_sweep(grid, arith_point).records
+                == run_sweep(grid, arith_point).records)
+
+
+class TestRecords:
+    def test_rows_merge_params_and_record(self):
+        grid = GridSpec().cartesian(a=[3])
+        (row,) = run_sweep(grid, arith_point).rows()
+        assert row["a"] == 3 and row["y"] == 30 and "tag" in row
+
+    def test_records_are_json_canonical(self):
+        """Tuples become lists at production time, so in-memory results
+        compare equal to checkpoint-reloaded ones."""
+        grid = GridSpec().cartesian(a=[1])
+        (rec,) = run_sweep(grid, tuple_point).records
+        assert rec.record["pair"] == [1, 2]
+
+    def test_unjsonable_record_rejected(self):
+        grid = GridSpec().cartesian(a=[1])
+        with pytest.raises(SweepError, match="JSON"):
+            run_sweep(grid, unjsonable_point)
+
+
+class TestErrors:
+    def test_point_error_propagates_serial(self):
+        grid = GridSpec().cartesian(a=[12, 13, 14])
+        with pytest.raises(ValueError, match="unlucky"):
+            run_sweep(grid, fussy_point, workers=0)
+
+    def test_point_error_propagates_parallel(self):
+        grid = GridSpec().cartesian(a=[12, 13, 14])
+        with pytest.raises(ValueError, match="unlucky"):
+            run_sweep(grid, fussy_point, workers=2, chunk_size=1)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SweepError):
+            run_sweep(GridSpec().cartesian(a=[1]), arith_point, workers=-1)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(SweepError):
+            run_sweep(GridSpec().cartesian(a=[1]), arith_point, chunk_size=0)
+
+    def test_resume_without_checkpoint_rejected(self):
+        with pytest.raises(SweepError):
+            run_sweep(GridSpec().cartesian(a=[1]), arith_point, resume=True)

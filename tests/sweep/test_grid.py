@@ -1,0 +1,118 @@
+"""GridSpec: axis algebra, canonical ordering, seeded points."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SweepError
+from repro.sweep import GridSpec
+
+
+class TestShape:
+    def test_cartesian_product_order(self):
+        grid = GridSpec().cartesian(a=[1, 2], b=["x", "y", "z"])
+        assert len(grid) == 6
+        params = [pt.params for pt in grid.points()]
+        assert params[0] == {"a": 1, "b": "x"}
+        assert params[1] == {"a": 1, "b": "y"}
+        assert params[-1] == {"a": 2, "b": "z"}
+
+    def test_zipped_lockstep(self):
+        grid = GridSpec().zipped(rows=[2, 3], cols=[4, 6])
+        assert len(grid) == 2
+        params = [pt.params for pt in grid.points()]
+        assert params == [{"rows": 2, "cols": 4}, {"rows": 3, "cols": 6}]
+
+    def test_zipped_joins_product_as_one_axis(self):
+        grid = GridSpec().cartesian(n=[5, 6]).zipped(rows=[2, 3], cols=[4, 6])
+        assert len(grid) == 4
+        assert grid.axis_names == ["n", "rows", "cols"]
+
+    def test_empty_grid_is_single_point(self):
+        grid = GridSpec(seed=9)
+        assert len(grid) == 1
+        (pt,) = grid.points()
+        assert pt.params == {} and pt.index == 0
+
+    def test_point_lookup_matches_iteration(self):
+        grid = GridSpec(seed=2).cartesian(a=[1, 2, 3], b=[0, 1])
+        pts = list(grid.points())
+        for i in (0, 3, 5):
+            assert grid.point(i) == pts[i]
+        with pytest.raises(SweepError):
+            grid.point(6)
+        with pytest.raises(SweepError):
+            grid.point(-1)
+
+
+class TestValidation:
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(SweepError):
+            GridSpec().cartesian(a=[1]).cartesian(a=[2])
+        with pytest.raises(SweepError):
+            GridSpec().cartesian(a=[1]).zipped(a=[1, 2], b=[3, 4])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SweepError):
+            GridSpec().cartesian(a=[])
+
+    def test_ragged_zip_rejected(self):
+        with pytest.raises(SweepError):
+            GridSpec().zipped(a=[1, 2], b=[1])
+
+    def test_zip_needs_two_axes(self):
+        with pytest.raises(SweepError):
+            GridSpec().zipped(a=[1, 2])
+
+    def test_cartesian_needs_an_axis(self):
+        with pytest.raises(SweepError):
+            GridSpec().cartesian()
+
+    def test_builder_is_immutable(self):
+        base = GridSpec().cartesian(a=[1, 2])
+        wider = base.cartesian(b=[1, 2, 3])
+        assert len(base) == 2 and len(wider) == 6
+
+
+class TestSeeds:
+    def test_seeds_deterministic_across_constructions(self):
+        a = list(GridSpec(seed=7).cartesian(x=[1, 2, 3]).points())
+        b = list(GridSpec(seed=7).cartesian(x=[1, 2, 3]).points())
+        assert a == b
+
+    def test_seeds_distinct_per_point(self):
+        seeds = [pt.seed for pt in GridSpec(seed=0).cartesian(x=range(50)).points()]
+        assert len(set(seeds)) == 50
+
+    def test_root_seed_changes_point_seeds(self):
+        a = [pt.seed for pt in GridSpec(seed=1).cartesian(x=[1, 2]).points()]
+        b = [pt.seed for pt in GridSpec(seed=2).cartesian(x=[1, 2]).points()]
+        assert a != b
+
+    @given(seed=st.integers(0, 2**31 - 1), size=st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_point_seed_independent_of_grid_width(self, seed, size):
+        """Point i's seed is spawn-child i: a *prefix* of a longer axis
+        yields the same leading seeds (resume-friendly growth)."""
+        short = [pt.seed for pt in
+                 GridSpec(seed=seed).cartesian(x=range(size)).points()]
+        long = [pt.seed for pt in
+                GridSpec(seed=seed).cartesian(x=range(size + 5)).points()]
+        assert long[:size] == short
+
+
+class TestFingerprint:
+    def test_stable_for_equal_grids(self):
+        a = GridSpec(seed=3).cartesian(n=[1, 2]).zipped(r=[1, 2], c=[3, 4])
+        b = GridSpec(seed=3).cartesian(n=[1, 2]).zipped(r=[1, 2], c=[3, 4])
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize("other", [
+        GridSpec(seed=4).cartesian(n=[1, 2]),          # seed differs
+        GridSpec(seed=3).cartesian(n=[1, 3]),          # value differs
+        GridSpec(seed=3).cartesian(m=[1, 2]),          # name differs
+        GridSpec(seed=3).cartesian(n=[1, 2, 3]),       # length differs
+    ])
+    def test_sensitive_to_identity_changes(self, other):
+        base = GridSpec(seed=3).cartesian(n=[1, 2])
+        assert base.fingerprint() != other.fingerprint()

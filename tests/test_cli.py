@@ -82,3 +82,42 @@ class TestEnsemble:
         assert main(["ensemble", "--topology", "path", "--n", "4",
                      "--revelation", "zero", "--replicas", "2"]) == 2
         assert "retention" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_serial_region_sweep(self, capsys):
+        assert main(["sweep", "--axis", "n=6,8", "--samples", "2",
+                     "--horizon", "300", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 4 points" in out
+        assert "Theorem 1 diagonal:" in out
+        assert "class counts:" in out
+        assert "feasibility cache:" in out
+
+    def test_classify_point_and_zip(self, capsys):
+        assert main(["sweep", "--point", "classify",
+                     "--zip", "n=6,8;p=0.4,0.5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 points" in out
+        assert "class counts:" in out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        cp = str(tmp_path / "sweep.jsonl")
+        args = ["sweep", "--axis", "n=6", "--samples", "2",
+                "--horizon", "200", "--checkpoint", cp]
+        assert main(args) == 0
+        capsys.readouterr()
+        # a finished checkpoint without --resume must refuse, not clobber
+        assert main(args) == 2
+        assert "resume" in capsys.readouterr().err
+        assert main(args + ["--resume"]) == 0
+        assert "resumed: 2" in capsys.readouterr().out
+
+    def test_workers_flag(self, capsys):
+        assert main(["sweep", "--axis", "n=6", "--samples", "2",
+                     "--horizon", "200", "--workers", "2"]) == 0
+        assert "workers: 2" in capsys.readouterr().out
+
+    def test_bad_axis_spec(self, capsys):
+        assert main(["sweep", "--axis", "nonsense"]) == 2
+        assert "bad axis" in capsys.readouterr().err
