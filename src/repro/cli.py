@@ -58,6 +58,14 @@ def _spec_from_args(args) -> NetworkSpec:
     return NetworkSpec.classical(g, in_rates, out_rates)
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage wall-clock profile after the run")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a structured JSONL trace of the run "
+                        "(replayable with repro.obs.replay_trace)")
+
+
 def _add_spec_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--topology", choices=["path", "cycle", "grid", "complete", "gnp"],
                    default="path")
@@ -91,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="simulate LGG on a generated network")
     _add_spec_args(p_sim)
     p_sim.add_argument("--horizon", type=int, default=1000)
+    _add_obs_args(p_sim)
 
     p_cls = sub.add_parser("classify", help="Definitions 3-4 classification")
     _add_spec_args(p_cls)
@@ -116,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_ens.add_argument("--uniform-arrivals", action="store_true",
                        dest="uniform_arrivals",
                        help="uniform [0, in(v)] injections (needs --retention)")
+    _add_obs_args(p_ens)
 
     p_swp = sub.add_parser(
         "sweep",
@@ -145,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_swp.add_argument("--resume", action="store_true",
                        help="skip points already in --checkpoint")
     p_swp.add_argument("--seed", type=int, default=0)
+    p_swp.add_argument("--trace", default=None, metavar="PATH",
+                       help="write sweep_start/point_done/chunk_failed/"
+                            "sweep_end events to a JSONL trace")
+    p_swp.add_argument("--progress", action="store_true",
+                       help="live points/rate/ETA/cache-hit line on stderr")
+    p_swp.add_argument("--metrics-out", default=None, dest="metrics_out",
+                       metavar="PATH",
+                       help="dump the metrics registry in Prometheus text "
+                            "format after the sweep")
 
     return parser
 
@@ -184,13 +203,31 @@ def _run_sweep_command(args) -> int:
     if args.horizon is not None and args.point == "region":
         grid = grid.cartesian(horizon=[args.horizon])
 
-    run = run_sweep(
-        grid, point_fn,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        checkpoint=args.checkpoint,
-        resume=args.resume,
-    )
+    restore = None
+    if args.progress or args.metrics_out:
+        from repro import obs
+
+        restore = obs.configure(metrics=True)
+    try:
+        run = run_sweep(
+            grid, point_fn,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            trace=args.trace,
+            progress=args.progress,
+        )
+        if args.metrics_out:
+            from repro.obs import get_registry
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(get_registry().render_prometheus())
+    finally:
+        if restore is not None:
+            from repro import obs
+
+            obs.configure(**restore)
     rows = run.rows()
     print(f"sweep: {len(run.records)} points over axes "
           f"{', '.join(grid.axis_names)}")
@@ -216,7 +253,20 @@ def _run_sweep_command(args) -> int:
               f"(hit rate {cache.hit_rate:.0%})")
     if args.checkpoint:
         print(f"checkpoint: {args.checkpoint}")
+    if args.trace:
+        print(f"trace: {args.trace}")
+    if args.metrics_out:
+        print(f"metrics: {args.metrics_out}")
     return 0
+
+
+def _run_sink(path):
+    """An owned JsonlSink for ``--trace PATH``, or None."""
+    if path is None:
+        return None
+    from repro.obs import JsonlSink
+
+    return JsonlSink(path)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -273,14 +323,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.sink = args.n - 1
 
         if args.command == "simulate":
+            from repro.core import SimulationConfig, Simulator
+
             spec = _spec_from_args(args)
-            res = simulate_lgg(spec, horizon=args.horizon, seed=args.seed)
+            sink = _run_sink(args.trace)
+            try:
+                cfg = SimulationConfig(
+                    horizon=args.horizon,
+                    seed=args.seed,
+                    profile_stages=args.profile,
+                    trace=sink,
+                )
+                sim = Simulator(spec, config=cfg)
+                res = sim.run()
+            finally:
+                if sink is not None:
+                    sink.close()
             m = summarize(res)
             print(f"network: {spec}")
             print(f"bounded: {m.bounded}  slope: {m.growth_slope:.4f}")
             print(f"delivered: {m.delivered}/{m.injected} "
                   f"(throughput {m.throughput:.3f}/step)")
             print(f"peak queue: {m.peak_total_queue}  tail mean: {m.tail_mean_queue:.1f}")
+            if args.profile:
+                print()
+                print(sim.profile_report())
+            if args.trace:
+                print(f"trace: {args.trace}")
             return 0
 
         if args.command == "ensemble":
@@ -288,19 +357,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.core.ensemble import EnsembleSimulator
 
             spec = _spec_from_args(args)
-            config = SimulationConfig(
-                extraction=ExtractionMode(args.extraction),
-                activation_prob=args.activation_prob,
-            )
-            ens = EnsembleSimulator(
-                spec,
-                args.replicas,
-                seed=args.seed,
-                config=config,
-                loss_p=args.loss_p,
-                uniform_arrivals=args.uniform_arrivals,
-            )
-            res = ens.run(args.horizon)
+            sink = _run_sink(args.trace)
+            try:
+                config = SimulationConfig(
+                    extraction=ExtractionMode(args.extraction),
+                    activation_prob=args.activation_prob,
+                    profile_stages=args.profile,
+                    trace=sink,
+                )
+                ens = EnsembleSimulator(
+                    spec,
+                    args.replicas,
+                    seed=args.seed,
+                    config=config,
+                    loss_p=args.loss_p,
+                    uniform_arrivals=args.uniform_arrivals,
+                )
+                res = ens.run(args.horizon)
+            finally:
+                if sink is not None:
+                    sink.close()
             final_totals = res.final_queues.sum(axis=1)
             print(f"network: {spec}")
             print(f"replicas: {res.replicas}  horizon: {args.horizon}")
@@ -309,6 +385,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"lost: {res.lost.mean():.1f}")
             print(f"final total queue: min {final_totals.min()}  "
                   f"mean {final_totals.mean():.1f}  max {final_totals.max()}")
+            if args.profile:
+                print()
+                print(ens.profile_report())
+            if args.trace:
+                print(f"trace: {args.trace}")
             return 0
 
         if args.command == "classify":

@@ -30,6 +30,7 @@ boundary snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -48,7 +49,13 @@ from repro.core.pipeline import (
 from repro.core.policies import LGGPolicy, TransmissionPolicy
 from repro.core.stability import StabilityVerdict, assess_stability
 from repro.core.tiebreak import TieBreak
-from repro.errors import SimulationError
+from repro.errors import ObservabilityError, SimulationError
+from repro.obs.trace import (
+    config_fingerprint,
+    get_tracer,
+    run_end_record,
+    run_start_record,
+)
 from repro.network.spec import NetworkSpec
 from repro.network.state import StepStats, Trajectory
 
@@ -84,6 +91,8 @@ class SimulationConfig:
     activation_prob: float = 1.0            # P(node participates as sender per step);
                                             # < 1 models asynchronous / duty-cycled nodes
     profile_stages: bool = False            # accumulate per-stage wall-clock timings
+    trace: Optional[object] = None          # TraceSink for this run (None → the
+                                            # process-global sink from repro.obs)
 
 
 @dataclass
@@ -166,6 +175,9 @@ class Simulator:
         self.trajectory = Trajectory.begin(self.queues, record_queues=self.config.record_queues)
         self.events: list[StepEvents] = []
         self.stage_timings: dict[str, StageTiming] = {}
+        # resolved once: this run's trace sink (the global one unless the
+        # config pins its own) — configure repro.obs *before* construction
+        self.trace = self.config.trace if self.config.trace is not None else get_tracer()
 
         arr = self.config.arrivals
         if arr is None:
@@ -179,11 +191,37 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def run(self, horizon: Optional[int] = None) -> SimulationResult:
-        """Advance ``horizon`` steps (default from config) and assess."""
+        """Advance ``horizon`` steps (default from config) and assess.
+
+        With tracing active the run is bracketed by ``run_start`` /
+        ``run_end`` spans (config fingerprint, seed, wall time, outcome).
+        """
         steps = self.config.horizon if horizon is None else horizon
+        tr = self.trace
+        fingerprint = None
+        if tr.enabled:
+            fingerprint = config_fingerprint(self.config)
+            tr.emit(run_start_record(
+                backend="scalar",
+                fingerprint=fingerprint,
+                seed=self.config.seed,
+                n=self.spec.n,
+                potential0=self.trajectory.potentials[-1],
+                total_queued0=self.trajectory.total_queued[-1],
+                max_queue0=self.trajectory.max_queues[-1],
+            ))
+        tick = perf_counter()
         for _ in range(steps):
             self.step()
-        return self.result()
+        result = self.result()
+        if tr.enabled:
+            tr.emit(run_end_record(
+                fingerprint=fingerprint,
+                steps=steps,
+                bounded=result.verdict.bounded,
+                wall_time=perf_counter() - tick,
+            ))
+        return result
 
     def result(self) -> SimulationResult:
         self.trajectory.check_conservation()
@@ -206,6 +244,18 @@ class Simulator:
             timings=self.stage_timings if self.config.profile_stages else None,
         )
         return st.stats
+
+    # ------------------------------------------------------------------
+    def profile_report(self) -> str:
+        """Per-stage timing table (needs ``profile_stages=True``)."""
+        from repro.obs.profile import profile_report
+
+        if not self.stage_timings:
+            raise ObservabilityError(
+                "no stage timings recorded — run with "
+                "SimulationConfig(profile_stages=True)"
+            )
+        return profile_report(self.stage_timings, stage_order=self.pipeline.names)
 
     # ------------------------------------------------------------------
     # hooks for packet-level subclasses (queues array is already updated

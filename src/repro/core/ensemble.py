@@ -34,6 +34,7 @@ shared instance is fine for stateless models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
@@ -43,7 +44,13 @@ from repro.core.engine import SimulationConfig, SimulationResult
 from repro.core.lgg_fast import HalfEdges
 from repro.core.pipeline import DEFAULT_PIPELINE, StagePipeline, StageTiming, StepState
 from repro.core.stability import StabilityVerdict, assess_stability
-from repro.errors import SimulationError
+from repro.errors import ObservabilityError, SimulationError
+from repro.obs.trace import (
+    config_fingerprint,
+    get_tracer,
+    run_end_record,
+    run_start_record,
+)
 from repro.network.spec import NetworkSpec
 from repro.network.state import Trajectory, network_state_rows
 
@@ -254,6 +261,8 @@ class EnsembleSimulator:
         )
 
         self.stage_timings: dict[str, StageTiming] = {}
+        # resolved once, like the scalar engine: configure repro.obs first
+        self.trace = self.config.trace if self.config.trace is not None else get_tracer()
         self.total_hist: list[np.ndarray] = [self.Q.sum(axis=1)]
         self.pot_hist: list[np.ndarray] = [network_state_rows(self.Q)]
         self.max_hist: list[np.ndarray] = [
@@ -306,9 +315,43 @@ class EnsembleSimulator:
 
     def run(self, horizon: Optional[int] = None) -> EnsembleResult:
         steps = self.config.horizon if horizon is None else horizon
+        tr = self.trace
+        fingerprint = None
+        if tr.enabled:
+            fingerprint = config_fingerprint(self.config)
+            tr.emit(run_start_record(
+                backend="batched",
+                fingerprint=fingerprint,
+                seed=None,  # per-replica seeds; identity lives in the spans
+                n=self.spec.n,
+                replicas=self.R,
+                potential0=self.pot_hist[-1],
+                total_queued0=self.total_hist[-1],
+                max_queue0=self.max_hist[-1],
+            ))
+        tick = perf_counter()
         for _ in range(steps):
             self.step()
-        return self.result()
+        result = self.result()
+        if tr.enabled:
+            tr.emit(run_end_record(
+                fingerprint=fingerprint,
+                steps=steps,
+                bounded=[v.bounded for v in result.verdicts],
+                wall_time=perf_counter() - tick,
+            ))
+        return result
+
+    def profile_report(self) -> str:
+        """Per-stage timing table (needs ``profile_stages=True``)."""
+        from repro.obs.profile import profile_report
+
+        if not self.stage_timings:
+            raise ObservabilityError(
+                "no stage timings recorded — run with "
+                "SimulationConfig(profile_stages=True)"
+            )
+        return profile_report(self.stage_timings, stage_order=self.pipeline.names)
 
     def result(self) -> EnsembleResult:
         total = np.stack(self.total_hist)       # (T+1, R)

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.core.lgg_fast import HalfEdges, lgg_select_fast_batched
 from repro.errors import SimulationError, SpecError
+from repro.obs.trace import step_record
 from repro.network.spec import RevelationPolicy
 from repro.network.state import StepStats, network_state, network_state_rows
 
@@ -698,6 +699,19 @@ class RecordingStage(Stage):
         )
         host.trajectory.record(stats, q if host.config.record_queues else None)
         st.stats = stats
+        tr = host.trace
+        if tr.enabled:
+            tr.emit(step_record(
+                st.t,
+                injected=stats.injected,
+                transmitted=stats.transmitted,
+                lost=stats.lost,
+                delivered=stats.delivered,
+                potential=stats.potential,
+                total_queued=stats.total_queued,
+                max_queue=stats.max_queue,
+                active_edges=len(np.unique(st.eids)),
+            ))
 
     def batched(self, host, st: StepState) -> None:
         Q = host.Q
@@ -715,6 +729,22 @@ class RecordingStage(Stage):
         host.delivered_hist.append(st.delivered)
         if host.queue_hist is not None:
             host.queue_hist.append(Q.copy())
+        tr = host.trace
+        if tr.enabled:
+            tr.emit(step_record(
+                st.t,
+                injected=st.injected,
+                transmitted=st.transmitted,
+                lost=st.lost,
+                delivered=st.delivered,
+                potential=host.pot_hist[-1],
+                total_queued=host.total_hist[-1],
+                max_queue=host.max_hist[-1],
+                # per-replica count of half-edges that actually carried a
+                # packet (== transmitted; distinct-edge refinement is a
+                # scalar-backend nicety)
+                active_edges=st.transmitted,
+            ))
 
 
 # ----------------------------------------------------------------------
@@ -750,13 +780,17 @@ class StagePipeline:
             return st
         for stage in self.stages:
             tick = perf_counter()
-            if backend == "scalar":
-                stage.scalar(host, st)
-            else:
-                stage.batched(host, st)
-            timing = timings.setdefault(stage.name, StageTiming())
-            timing.calls += 1
-            timing.seconds += perf_counter() - tick
+            try:
+                if backend == "scalar":
+                    stage.scalar(host, st)
+                else:
+                    stage.batched(host, st)
+            finally:
+                # book the (possibly partial) stage time even when the
+                # stage raises: profiles from failed runs stay truthful
+                timing = timings.setdefault(stage.name, StageTiming())
+                timing.calls += 1
+                timing.seconds += perf_counter() - tick
         return st
 
     @property

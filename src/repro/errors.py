@@ -41,6 +41,15 @@ class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer (tracing, metrics, profiling) was misused.
+
+    Raised for emitting to a closed sink, registering one metric name
+    under two kinds, reading a corrupt or empty trace, and asking for a
+    profile that was never recorded.
+    """
+
+
 class SweepError(ReproError):
     """A parameter-sweep grid, executor, or checkpoint was misused.
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.flow.residual import FlowProblem, FlowResult, Residual
+from repro.obs.metrics import get_registry
 
 __all__ = ["dinic"]
 
@@ -20,6 +21,8 @@ def dinic(problem: FlowProblem) -> FlowResult:
     n, s, t = problem.n, problem.source, problem.sink
     level = [-1] * n
     it = [0] * n  # per-node iterator into res.adj (current-arc optimisation)
+    phases = 0
+    augmentations = 0
 
     def bfs() -> bool:
         for i in range(n):
@@ -45,6 +48,7 @@ def dinic(problem: FlowProblem) -> FlowResult:
         retreat to the saturated arc; on a dead end, prune the node from the
         level graph and retreat one step.
         """
+        nonlocal augmentations
         total = 0
         path: list[int] = []  # residual arc indices from s to the current node
         u = s
@@ -54,6 +58,7 @@ def dinic(problem: FlowProblem) -> FlowResult:
                 for a in path:
                     res.push(a, bottleneck)
                 total += bottleneck
+                augmentations += 1
                 # retreat to just before the first saturated arc
                 for i, a in enumerate(path):
                     if res.residual[a] == 0:
@@ -84,8 +89,21 @@ def dinic(problem: FlowProblem) -> FlowResult:
 
     value = 0
     while bfs():
+        phases += 1
         for i in range(n):
             it[i] = 0
         value = value + blocking_flow()
 
+    reg = get_registry()
+    if reg.enabled:
+        lbl = {"algorithm": "dinic"}
+        reg.counter("repro_flow_solves_total",
+                    "Max-flow solver invocations.",
+                    ("algorithm",)).labels(**lbl).inc()
+        reg.counter("repro_flow_phases_total",
+                    "Dinic level-graph phases (BFS rounds).",
+                    ("algorithm",)).labels(**lbl).inc(phases)
+        reg.counter("repro_flow_augmentations_total",
+                    "Augmenting paths pushed.",
+                    ("algorithm",)).labels(**lbl).inc(augmentations)
     return FlowResult(problem=problem, value=value, flows=tuple(res.flows()), residual=res)

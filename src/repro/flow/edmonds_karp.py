@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.flow.residual import FlowProblem, FlowResult, Residual
+from repro.obs.metrics import get_registry
 
 __all__ = ["edmonds_karp"]
 
@@ -19,6 +20,7 @@ def edmonds_karp(problem: FlowProblem) -> FlowResult:
     res = Residual(problem)
     s, t = problem.source, problem.sink
     value = 0
+    augmentations = 0
     parent_arc = [-1] * problem.n
 
     while True:
@@ -54,5 +56,15 @@ def edmonds_karp(problem: FlowProblem) -> FlowResult:
             res.push(a, bottleneck)
             v = res.to[a ^ 1]
         value = value + bottleneck
+        augmentations += 1
 
+    reg = get_registry()
+    if reg.enabled:
+        lbl = {"algorithm": "edmonds_karp"}
+        reg.counter("repro_flow_solves_total",
+                    "Max-flow solver invocations.",
+                    ("algorithm",)).labels(**lbl).inc()
+        reg.counter("repro_flow_augmentations_total",
+                    "Augmenting paths pushed.",
+                    ("algorithm",)).labels(**lbl).inc(augmentations)
     return FlowResult(problem=problem, value=value, flows=tuple(res.flows()), residual=res)

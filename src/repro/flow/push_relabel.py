@@ -21,6 +21,7 @@ from typing import Literal
 
 from repro.errors import FlowError
 from repro.flow.residual import FlowProblem, FlowResult, Residual
+from repro.obs.metrics import get_registry
 
 __all__ = ["push_relabel"]
 
@@ -44,6 +45,8 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
 
     active: deque[int] = deque()
     in_active = [False] * n
+    pushes = 0
+    relabels = 0
 
     def activate(v: int) -> None:
         if v not in (s, t) and not in_active[v] and excess[v] > 0:
@@ -61,14 +64,18 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
             activate(v)
 
     def push(u: int, a: int) -> None:
+        nonlocal pushes
         v = res.to[a]
         amount = excess[u] if excess[u] < res.residual[a] else res.residual[a]
         res.push(a, amount)
         excess[u] -= amount
         excess[v] += amount
         activate(v)
+        pushes += 1
 
     def relabel(u: int) -> None:
+        nonlocal relabels
+        relabels += 1
         old = height[u]
         new = min(
             (height[res.to[a]] for a in res.adj[u] if res.residual[a] > 0),
@@ -130,12 +137,14 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
 
         # re-route activation through the buckets
         def push_h(u: int, a: int) -> None:
+            nonlocal pushes
             v = res.to[a]
             amount = excess[u] if excess[u] < res.residual[a] else res.residual[a]
             res.push(a, amount)
             excess[u] -= amount
             excess[v] += amount
             bucket_activate(v)
+            pushes += 1
 
         while highest >= 0:
             if not buckets[highest]:
@@ -161,4 +170,16 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
                 highest = min(height[u], 2 * n)
 
     value = excess[t]
+    reg = get_registry()
+    if reg.enabled:
+        lbl = {"algorithm": f"push_relabel_{variant}"}
+        reg.counter("repro_flow_solves_total",
+                    "Max-flow solver invocations.",
+                    ("algorithm",)).labels(**lbl).inc()
+        reg.counter("repro_flow_pushes_total",
+                    "Push-relabel push operations.",
+                    ("algorithm",)).labels(**lbl).inc(pushes)
+        reg.counter("repro_flow_relabels_total",
+                    "Push-relabel relabel operations.",
+                    ("algorithm",)).labels(**lbl).inc(relabels)
     return FlowResult(problem=problem, value=value, flows=tuple(res.flows()), residual=res)

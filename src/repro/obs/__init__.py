@@ -1,0 +1,134 @@
+"""repro.obs — the shared observability substrate.
+
+Four pieces, one package:
+
+* **Structured tracing** (:mod:`repro.obs.trace`) — a :class:`TraceSink`
+  protocol with JSONL-file, in-memory ring-buffer, and null
+  implementations; the engine emits typed per-step records and run-level
+  spans, the sweep executor emits sweep-level events.
+* **Metrics** (:mod:`repro.obs.metrics`) — a process-local registry of
+  counters, gauges, and fixed-bucket histograms with labeled children,
+  exportable as a dict snapshot or Prometheus text.
+* **Profiling** (:mod:`repro.obs.profile`) — the stage pipeline's timing
+  seam rendered as ``profile_report()`` tables (surfaced as ``--profile``
+  on the CLI).
+* **Replay** (:mod:`repro.obs.replay`) — a traced run's JSONL
+  reconstructs the exact ``P_t`` series and stability verdict.
+
+Zero cost when off
+------------------
+Everything starts disabled: the global tracer is :data:`NULL_SINK`
+(``enabled = False``), the global registry is disabled, and profiling is
+opt-in per config.  The instrumented hot paths pay one attribute check
+per step; ``benchmarks/test_perf_obs.py`` guards the total at < 3%
+against an uninstrumented twin pipeline.
+
+``configure()`` is the single entry point::
+
+    import repro.obs as obs
+
+    prev = obs.configure(trace="run.jsonl", metrics=True)
+    ...                       # everything is now traced + measured
+    obs.configure(**prev)     # restore the previous state
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    get_registry,
+)
+from repro.obs.profile import profile_report, profile_rows
+from repro.obs.replay import ReplayResult, replay_trace
+from repro.obs.trace import (
+    NULL_SINK,
+    WALL_CLOCK_FIELDS,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceSink,
+    config_fingerprint,
+    get_tracer,
+    read_trace,
+    set_tracer,
+)
+
+__all__ = [
+    "configure",
+    "ObservabilityError",
+    # trace
+    "TraceSink",
+    "NullSink",
+    "NULL_SINK",
+    "JsonlSink",
+    "RingBufferSink",
+    "get_tracer",
+    "set_tracer",
+    "config_fingerprint",
+    "read_trace",
+    "WALL_CLOCK_FIELDS",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    # profiling
+    "profile_report",
+    "profile_rows",
+    # replay
+    "ReplayResult",
+    "replay_trace",
+]
+
+_UNSET = object()
+
+
+def configure(*, trace=_UNSET, metrics=_UNSET) -> dict:
+    """Configure process-global observability; returns the previous state.
+
+    Parameters
+    ----------
+    trace:
+        ``None``/``False`` — disable tracing (install :data:`NULL_SINK`);
+        a ``str``/``Path`` — trace to that JSONL file;
+        a :class:`TraceSink` — install it as the global sink.
+        Simulators resolve the global sink at *construction*, so configure
+        before building them.
+    metrics:
+        ``True``/``False`` — enable or disable the global registry.
+
+    The returned dict maps each argument you passed to its previous value
+    and round-trips: ``prev = configure(trace=..., metrics=...)`` followed
+    by ``configure(**prev)`` restores the state exactly.
+    """
+    previous: dict = {}
+    if trace is not _UNSET:
+        if trace is None or trace is False:
+            sink: TraceSink = NULL_SINK
+        elif isinstance(trace, (str, Path)):
+            sink = JsonlSink(trace)
+        elif callable(getattr(trace, "emit", None)):
+            sink = trace
+        else:
+            raise ObservabilityError(
+                f"trace must be None, a path, or a TraceSink; "
+                f"got {type(trace).__name__}"
+            )
+        previous["trace"] = set_tracer(sink)
+    if metrics is not _UNSET:
+        registry = get_registry()
+        previous["metrics"] = registry.enabled
+        registry.enabled = bool(metrics)
+    return previous

@@ -1,0 +1,85 @@
+"""Per-stage profiling made first-class.
+
+The stage pipeline (:mod:`repro.core.pipeline`) accumulates a
+``dict[stage name -> StageTiming]`` when ``SimulationConfig(
+profile_stages=True)``; this module turns that raw sink into something a
+human (``profile_report``) or a program (``profile_rows``) can read.
+Everything here is duck-typed over objects with ``calls`` / ``seconds``
+attributes, so it has no import edge back into :mod:`repro.core`.
+
+>>> sim = Simulator(spec, config=SimulationConfig(profile_stages=True))
+>>> sim.run(500)                                        # doctest: +SKIP
+>>> print(sim.profile_report())                         # doctest: +SKIP
+stage            calls     total_s    mean_us   share
+selection          500    0.041210       82.4   61.3%
+...
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = ["profile_rows", "profile_report"]
+
+
+def profile_rows(
+    timings: Mapping[str, object],
+    *,
+    stage_order: Optional[Sequence[str]] = None,
+) -> list[dict]:
+    """Structured per-stage profile: one dict per stage, pipeline order.
+
+    Each row has ``stage``, ``calls``, ``seconds``, ``mean_us`` and
+    ``share`` (this stage's fraction of the total profiled time, in
+    ``[0, 1]``).  ``stage_order`` pins the row order (stages missing from
+    ``timings`` are skipped; extra timing keys are appended at the end).
+    """
+    if not timings:
+        raise ObservabilityError(
+            "no stage timings recorded — enable them with "
+            "SimulationConfig(profile_stages=True)"
+        )
+    names = [n for n in (stage_order or ()) if n in timings]
+    names += [n for n in timings if n not in names]
+    total = sum(float(timings[n].seconds) for n in names)
+    rows = []
+    for name in names:
+        t = timings[name]
+        seconds = float(t.seconds)
+        rows.append({
+            "stage": name,
+            "calls": int(t.calls),
+            "seconds": seconds,
+            "mean_us": 1e6 * seconds / t.calls if t.calls else 0.0,
+            "share": seconds / total if total > 0 else 0.0,
+        })
+    return rows
+
+
+def profile_report(
+    timings: Mapping[str, object],
+    *,
+    stage_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Human-readable per-stage table (calls, total seconds, % of step)."""
+    rows = profile_rows(timings, stage_order=stage_order)
+    width = max(12, max(len(r["stage"]) for r in rows))
+    header = (f"{'stage':<{width}}  {'calls':>7}  {'total_s':>10}  "
+              f"{'mean_us':>9}  {'share':>6}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['stage']:<{width}}  {r['calls']:>7}  {r['seconds']:>10.6f}  "
+            f"{r['mean_us']:>9.1f}  {100 * r['share']:>5.1f}%"
+        )
+    total_calls = max(r["calls"] for r in rows)
+    total_s = sum(r["seconds"] for r in rows)
+    per_step = 1e6 * total_s / total_calls if total_calls else 0.0
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':<{width}}  {total_calls:>7}  {total_s:>10.6f}  "
+        f"{per_step:>9.1f}  100.0%"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,361 @@
+"""Structured event tracing: sinks and typed record builders.
+
+A *trace* is a flat stream of JSON-able dict records, each carrying a
+``type`` tag — per-step engine events (``step``), run-level spans
+(``run_start`` / ``run_end``), and sweep-level events (``sweep_start``,
+``point_done``, ``chunk_failed``, ``sweep_end``).  The engine and the
+sweep executor build records with the helpers below and hand them to
+whatever :class:`TraceSink` is active; a sink only ever sees dicts, so
+implementations stay trivial.
+
+Sinks
+-----
+* :class:`JsonlSink` — one canonical-JSON line per record, flushed
+  immediately (the same crash-survivability contract as the sweep
+  checkpoint: a kill loses at most the torn final line);
+* :class:`RingBufferSink` — the last ``capacity`` records in memory, for
+  tests and interactive inspection;
+* :class:`NullSink` — ``enabled = False`` and drops everything; the
+  process-global default, so an untraced run pays exactly one attribute
+  check per step.
+
+Determinism
+-----------
+Every record is stamped with a monotonic ``ts`` at build time; *all other
+fields* are pure functions of ``(spec, config, seed)``.  The fields named
+in :data:`WALL_CLOCK_FIELDS` are the only nondeterministic ones — strip
+them and two runs of the same seeded simulation produce byte-identical
+JSONL traces (``tests/obs/test_trace.py`` asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import fields as dataclass_fields
+from dataclasses import is_dataclass
+from enum import Enum
+from hashlib import sha256
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "WALL_CLOCK_FIELDS",
+    "TraceSink",
+    "NullSink",
+    "NULL_SINK",
+    "JsonlSink",
+    "RingBufferSink",
+    "get_tracer",
+    "set_tracer",
+    "config_fingerprint",
+    "step_record",
+    "run_start_record",
+    "run_end_record",
+    "sweep_event",
+    "read_trace",
+]
+
+#: Record fields that carry wall-clock time.  Everything else in a trace
+#: is deterministic given ``(spec, config, seed)``.
+WALL_CLOCK_FIELDS = frozenset({"ts", "wall_time"})
+
+
+class TraceSink:
+    """Protocol-by-inheritance: ``emit(record)`` + ``close()``.
+
+    ``enabled`` is a *class-level* fast-path flag: producers check it
+    before building a record, so a disabled sink costs one attribute
+    lookup and no allocation.
+    """
+
+    enabled: bool = True
+
+    def emit(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Drops every record; ``enabled`` is False so producers skip building
+    records entirely."""
+
+    enabled = False
+
+    def emit(self, record: dict) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+def _json_default(obj: object):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, Enum):
+        return obj.value
+    raise TypeError(f"trace records must be JSON-able, got {type(obj).__name__}")
+
+
+class JsonlSink(TraceSink):
+    """Append one canonical (sorted-key, compact) JSON line per record.
+
+    Lines are flushed as they are written, so a crashed run's trace is
+    readable up to the final record.
+    """
+
+    def __init__(self, path: Union[str, Path], *, append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a" if append else "w", encoding="utf-8")
+        self.emitted = 0
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            raise ObservabilityError(
+                f"JsonlSink({self.path}) used after close()"
+            )
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":"),
+                       default=_json_default)
+        )
+        self._fh.write("\n")
+        self._fh.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class RingBufferSink(TraceSink):
+    """Keep the newest ``capacity`` records in memory.
+
+    ``dropped`` counts records that fell off the old end — a consumer can
+    tell a complete trace from a truncated one.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ObservabilityError(f"ring buffer needs capacity >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque[dict] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, record: dict) -> None:
+        self._buf.append(record)
+        self.emitted += 1
+
+    @property
+    def records(self) -> list[dict]:
+        return list(self._buf)
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._buf)
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.emitted = 0
+
+
+# ----------------------------------------------------------------------
+# the process-global tracer
+# ----------------------------------------------------------------------
+_TRACER: TraceSink = NULL_SINK
+
+
+def get_tracer() -> TraceSink:
+    """The process-global sink (``NULL_SINK`` unless configured)."""
+    return _TRACER
+
+
+def set_tracer(sink: Optional[TraceSink]) -> TraceSink:
+    """Install ``sink`` (``None`` → :data:`NULL_SINK`); returns the old one.
+
+    Prefer :func:`repro.obs.configure`, which also accepts a path.
+    """
+    global _TRACER
+    if sink is None:
+        sink = NULL_SINK
+    if not callable(getattr(sink, "emit", None)):
+        raise ObservabilityError(
+            f"trace sink must provide emit(record); got {type(sink).__name__}"
+        )
+    previous, _TRACER = _TRACER, sink
+    return previous
+
+
+# ----------------------------------------------------------------------
+# record builders
+# ----------------------------------------------------------------------
+def _scalarize(value):
+    """Coerce counters to JSON-able scalars/lists (numpy → python)."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer, np.floating)):
+        return value.item()
+    return value
+
+
+def _fingerprint_value(value):
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, (np.integer, np.floating)):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return type(value).__qualname__  # model objects: identity by class
+
+
+def config_fingerprint(config) -> str:
+    """Stable sha256 of a :class:`~repro.core.engine.SimulationConfig`.
+
+    Component objects (arrival processes, loss models, sinks) contribute
+    their class name only — the fingerprint identifies the run *shape*,
+    not the full closure; the trace field itself is excluded (tracing a
+    run must not change its identity).
+    """
+    if is_dataclass(config):
+        payload = {
+            f.name: _fingerprint_value(getattr(config, f.name))
+            for f in dataclass_fields(config)
+            if f.name != "trace"
+        }
+    else:
+        payload = {"repr": repr(config)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return sha256(blob.encode("utf-8")).hexdigest()
+
+
+def step_record(
+    t: int,
+    *,
+    injected,
+    transmitted,
+    lost,
+    delivered,
+    potential,
+    total_queued,
+    max_queue,
+    active_edges,
+) -> dict:
+    """Typed per-step event record (scalar counters or per-replica lists)."""
+    return {
+        "type": "step",
+        "t": int(t),
+        "injected": _scalarize(injected),
+        "transmitted": _scalarize(transmitted),
+        "lost": _scalarize(lost),
+        "delivered": _scalarize(delivered),
+        "potential": _scalarize(potential),
+        "total_queued": _scalarize(total_queued),
+        "max_queue": _scalarize(max_queue),
+        "active_edges": _scalarize(active_edges),
+        "ts": time.monotonic(),
+    }
+
+
+def run_start_record(
+    *,
+    backend: str,
+    fingerprint: str,
+    seed,
+    n: int,
+    potential0,
+    total_queued0,
+    max_queue0,
+    replicas: Optional[int] = None,
+) -> dict:
+    """Run-level opening span: identity plus the boundary state at t=0."""
+    rec = {
+        "type": "run_start",
+        "backend": backend,
+        "fingerprint": fingerprint,
+        "seed": _fingerprint_value(seed),
+        "n": int(n),
+        "potential0": _scalarize(potential0),
+        "total_queued0": _scalarize(total_queued0),
+        "max_queue0": _scalarize(max_queue0),
+        "ts": time.monotonic(),
+    }
+    if replicas is not None:
+        rec["replicas"] = int(replicas)
+    return rec
+
+
+def run_end_record(*, fingerprint: str, steps: int, bounded, wall_time: float) -> dict:
+    """Run-level closing span: outcome and wall time."""
+    return {
+        "type": "run_end",
+        "fingerprint": fingerprint,
+        "steps": int(steps),
+        "bounded": _scalarize(bounded),
+        "outcome": _outcome(bounded),
+        "wall_time": float(wall_time),
+        "ts": time.monotonic(),
+    }
+
+
+def _outcome(bounded) -> Union[str, list]:
+    if isinstance(bounded, (list, tuple, np.ndarray)):
+        return ["bounded" if b else "divergent" for b in bounded]
+    return "bounded" if bounded else "divergent"
+
+
+def sweep_event(event: str, **fields) -> dict:
+    """A sweep-level trace record (``sweep_start``, ``chunk_failed``, ...)."""
+    rec = {"type": event}
+    for key, value in fields.items():
+        rec[key] = _scalarize(value)
+    rec["ts"] = time.monotonic()
+    return rec
+
+
+# ----------------------------------------------------------------------
+# reading traces back
+# ----------------------------------------------------------------------
+def read_trace(source: Union[str, Path, Iterable[dict]]) -> list[dict]:
+    """Materialise a trace: a JSONL path, or any iterable of records.
+
+    Raises :class:`~repro.errors.ObservabilityError` on unparseable lines
+    (a torn final line — the crash footprint — is dropped, mirroring the
+    sweep checkpoint's tolerance).
+    """
+    if not isinstance(source, (str, Path)):
+        return [dict(rec) for rec in source]
+    path = Path(source)
+    if not path.exists():
+        raise ObservabilityError(f"no trace file at {path}")
+    records: list[dict] = []
+    lines = path.read_text(encoding="utf-8").split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for i, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail: a mid-write kill; everything before is good
+            raise ObservabilityError(
+                f"corrupt trace record at {path}:{i + 1}"
+            ) from None
+    return records

@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
+from repro.errors import SweepError
 from repro.graphs.multigraph import MultiGraph
 from repro.network.spec import NetworkSpec
+from repro.obs.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.flow.feasibility import FeasibilityReport
@@ -74,27 +76,53 @@ class FeasibilityCache:
     """Memo table for :func:`repro.flow.classify_network` keyed by
     :func:`canonical_spec_key`.
 
+    ``max_entries`` bounds the table (insertion-order eviction — sweep
+    grids revisit cells in bursts, so oldest-first is the right victim);
+    ``None`` means unbounded, the default for in-process sweeps.  Hits,
+    misses and evictions are mirrored into the :mod:`repro.obs` registry
+    when metrics are enabled.
+
     >>> cache = FeasibilityCache()
     >>> # report = cache.classify(spec); cache.hits, cache.misses
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise SweepError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
         self._table: dict[tuple[str, str], "FeasibilityReport"] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def classify(self, spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
         """``classify_network(spec.extended(), algorithm)``, memoized."""
         key = (canonical_spec_key(spec), algorithm)
         report = self._table.get(key)
+        reg = get_registry()
         if report is not None:
             self.hits += 1
+            if reg.enabled:
+                reg.counter("repro_feasibility_cache_hits_total",
+                            "FeasibilityCache lookups served from memory.").inc()
             return report
         from repro.flow.feasibility import classify_network
 
         report = classify_network(spec.extended(), algorithm)
         self._table[key] = report
         self.misses += 1
+        evicted = 0
+        if self.max_entries is not None:
+            while len(self._table) > self.max_entries:
+                self._table.pop(next(iter(self._table)))  # oldest insertion
+                evicted += 1
+        self.evictions += evicted
+        if reg.enabled:
+            reg.counter("repro_feasibility_cache_misses_total",
+                        "FeasibilityCache lookups that ran classify_network.").inc()
+            if evicted:
+                reg.counter("repro_feasibility_cache_evictions_total",
+                            "FeasibilityCache entries evicted (max_entries).").inc(evicted)
         return report
 
     # ------------------------------------------------------------------
@@ -112,6 +140,7 @@ class FeasibilityCache:
         self._table.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 _SHARED = FeasibilityCache()

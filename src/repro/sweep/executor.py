@@ -26,12 +26,15 @@ stock ones).
 
 from __future__ import annotations
 
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import SweepError
+from repro.obs.metrics import get_registry
+from repro.obs.trace import JsonlSink, get_tracer, sweep_event
 from repro.sweep.checkpoint import PathLike, SweepCheckpoint
 from repro.sweep.checkpoint import resume as load_resume
 from repro.sweep.grid import GridPoint, GridSpec
@@ -109,6 +112,84 @@ def _chunked(items: list, size: int) -> list[list]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+class _Telemetry:
+    """Sweep-side observability: registry instruments + the progress line.
+
+    All counters live in the process-global :mod:`repro.obs` registry —
+    the progress line is read back *from the registry*, so what the
+    operator sees on stderr and what a Prometheus scrape would report are
+    the same numbers by construction.
+    """
+
+    def __init__(self, grid: GridSpec, total: int, resumed: int,
+                 progress: bool) -> None:
+        self.reg = get_registry()
+        self.total = total
+        self.resumed = resumed
+        self.progress = progress
+        self.t0 = time.perf_counter()
+        self._base = 0.0
+        self._last_print = 0.0
+        self._done = 0  # fallback when the registry is disabled
+        if self.reg.enabled:
+            self.reg.gauge(
+                "repro_sweep_points_pending",
+                "Grid points not yet completed in the current sweep.",
+            ).set(total - resumed)
+            self._base = self._points_counter().value
+
+    def _points_counter(self):
+        return self.reg.counter(
+            "repro_sweep_points_completed_total",
+            "Sweep grid points evaluated (excludes checkpoint-resumed).",
+        )
+
+    def chunk_done(self, points: int, seconds: float) -> None:
+        self._done += points
+        if self.reg.enabled:
+            self._points_counter().inc(points)
+            self.reg.histogram(
+                "repro_sweep_chunk_seconds",
+                "Wall-clock latency of one sweep chunk (submit to commit).",
+            ).observe(seconds)
+            self.reg.gauge("repro_sweep_points_pending").dec(points)
+        self.maybe_print()
+
+    def chunk_failed(self) -> None:
+        if self.reg.enabled:
+            self.reg.counter(
+                "repro_sweep_chunk_failures_total",
+                "Sweep chunks that raised before completing.",
+            ).inc()
+
+    def done_points(self) -> int:
+        if self.reg.enabled:
+            return int(self._points_counter().value - self._base)
+        return self._done
+
+    def maybe_print(self, final: bool = False) -> None:
+        if not self.progress:
+            return
+        now = time.perf_counter()
+        if not final and now - self._last_print < 0.2:
+            return
+        self._last_print = now
+        done = self.done_points()
+        elapsed = max(now - self.t0, 1e-9)
+        rate = done / elapsed
+        left = self.total - self.resumed - done
+        eta = left / rate if rate > 0 else float("inf")
+        line = (f"\rsweep: {done + self.resumed}/{self.total} points  "
+                f"{rate:.1f}/s  eta {eta:.0f}s")
+        from repro.sweep.cache import shared_cache
+
+        cache = shared_cache()
+        if cache.hits or cache.misses:
+            line += f"  cache hit {cache.hit_rate:.0%}"
+        sys.stderr.write(line + ("\n" if final else ""))
+        sys.stderr.flush()
+
+
 def run_sweep(
     grid: GridSpec,
     point_fn: PointFn,
@@ -117,6 +198,8 @@ def run_sweep(
     chunk_size: Optional[int] = None,
     checkpoint: Optional[PathLike] = None,
     resume: bool = False,
+    trace: Optional[object] = None,
+    progress: bool = False,
 ) -> SweepRun:
     """Evaluate ``point_fn`` over every point of ``grid``.
 
@@ -136,11 +219,28 @@ def run_sweep(
         Load already-completed points from ``checkpoint`` and execute only
         the rest.  Without ``resume=True`` an existing non-empty
         checkpoint is an error (never silently mix two runs).
+    trace:
+        ``None`` — use the process-global :mod:`repro.obs` sink; a path —
+        trace this sweep to that JSONL file; a ``TraceSink`` — use it.
+        The sweep emits ``sweep_start`` / ``point_done`` / ``chunk_failed``
+        / ``sweep_end`` events (a failing chunk is announced *before* the
+        exception unwinds the pool, so a dead sweep's trace names the
+        culprit chunk).
+    progress:
+        Print a live ``points done/total, rate, ETA, cache hit-rate``
+        telemetry line to stderr, read from the metrics registry.
     """
     if workers < 0:
         raise SweepError(f"workers must be >= 0, got {workers}")
     if chunk_size is not None and chunk_size < 1:
         raise SweepError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    if trace is None:
+        sink, own_sink = get_tracer(), False
+    elif isinstance(trace, (str, bytes)) or hasattr(trace, "__fspath__"):
+        sink, own_sink = JsonlSink(trace), True
+    else:
+        sink, own_sink = trace, False
 
     t0 = time.perf_counter()
     done: dict[int, PointRecord] = {}
@@ -165,6 +265,18 @@ def run_sweep(
 
     pending = [pt for pt in grid.points() if pt.index not in done]
     resumed = len(done)
+    fingerprint = grid.fingerprint()
+    telemetry = _Telemetry(grid, len(grid), resumed, progress)
+
+    if sink.enabled:
+        sink.emit(sweep_event(
+            "sweep_start",
+            fingerprint=fingerprint,
+            points=len(grid),
+            pending=len(pending),
+            resumed=resumed,
+            workers=workers,
+        ))
 
     writer = None
     if checkpoint is not None:
@@ -175,32 +287,80 @@ def run_sweep(
             done[rec.index] = rec
             if writer is not None:
                 writer.append(rec.index, rec.params, rec.seed, rec.record)
+            if sink.enabled:
+                sink.emit(sweep_event(
+                    "point_done",
+                    fingerprint=fingerprint,
+                    index=rec.index,
+                    seed=rec.seed,
+                ))
+
+    def _chunk_failed(chunk_index: int, exc: BaseException) -> None:
+        # Announce the culprit before the exception unwinds the sweep:
+        # a crashed run's trace ends with the chunk that killed it.
+        telemetry.chunk_failed()
+        if sink.enabled:
+            sink.emit(sweep_event(
+                "chunk_failed",
+                fingerprint=fingerprint,
+                chunk=chunk_index,
+                error=repr(exc),
+            ))
 
     try:
         if workers == 0 or not pending:
-            for pt in pending:
-                _commit([_evaluate(point_fn, pt)])
+            for k, pt in enumerate(pending):
+                tick = time.perf_counter()
+                try:
+                    records = [_evaluate(point_fn, pt)]
+                except BaseException as exc:
+                    _chunk_failed(k, exc)
+                    raise
+                _commit(records)
+                telemetry.chunk_done(1, time.perf_counter() - tick)
         else:
             if chunk_size is None:
                 per_worker = max(1, len(pending) // (workers * 4))
                 chunk_size = min(32, per_worker)
             chunks = _chunked(pending, chunk_size)
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_run_chunk, point_fn, chunk) for chunk in chunks
-                }
+                submit = time.perf_counter()
+                meta = {}  # future -> (chunk index, submit time)
+                for k, chunk in enumerate(chunks):
+                    meta[pool.submit(_run_chunk, point_fn, chunk)] = (k, submit)
+                futures = set(meta)
                 try:
                     while futures:
                         finished, futures = wait(futures, return_when=FIRST_COMPLETED)
                         for fut in finished:
-                            _commit(fut.result())
+                            k, started = meta.pop(fut)
+                            try:
+                                records = fut.result()
+                            except BaseException as exc:
+                                _chunk_failed(k, exc)
+                                raise
+                            _commit(records)
+                            telemetry.chunk_done(
+                                len(records), time.perf_counter() - started
+                            )
                 except BaseException:
                     for fut in futures:
                         fut.cancel()
                     raise
+        telemetry.maybe_print(final=True)
+        if sink.enabled:
+            sink.emit(sweep_event(
+                "sweep_end",
+                fingerprint=fingerprint,
+                points=len(done),
+                resumed=resumed,
+                wall_time=time.perf_counter() - t0,
+            ))
     finally:
         if writer is not None:
             writer.close()
+        if own_sink:
+            sink.close()
 
     missing = len(grid) - len(done)
     if missing:

@@ -1,0 +1,15 @@
+"""Every obs test leaves the process-global observability state clean."""
+
+import pytest
+
+from repro.obs import NULL_SINK, get_registry, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    registry = get_registry()
+    prev_enabled = registry.enabled
+    yield
+    set_tracer(NULL_SINK)
+    registry.enabled = prev_enabled
+    registry.reset()

@@ -1,0 +1,63 @@
+"""CLI observability flags: --profile, --trace, --progress, --metrics-out."""
+
+from repro.cli import main
+from repro.obs import read_trace, replay_trace
+
+
+class TestSimulateFlags:
+    def test_profile_prints_stage_table(self, capsys):
+        assert main(["simulate", "--topology", "grid", "--rows", "3",
+                     "--cols", "3", "--out-rate", "2", "--horizon", "50",
+                     "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "share" in out
+        for stage in ("injection", "selection", "recording", "total"):
+            assert stage in out
+
+    def test_trace_writes_replayable_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "sim.jsonl"
+        assert main(["simulate", "--topology", "path", "--n", "5",
+                     "--horizon", "60", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: {trace}" in out
+        records = read_trace(trace)
+        assert records[0]["type"] == "run_start"
+        assert records[-1]["type"] == "run_end"
+        rr = replay_trace(trace)
+        assert rr.verdict.bounded == ("bounded: True" in out)
+
+
+class TestEnsembleFlags:
+    def test_profile_and_trace(self, capsys, tmp_path):
+        trace = tmp_path / "ens.jsonl"
+        assert main(["ensemble", "--topology", "grid", "--rows", "3",
+                     "--cols", "3", "--out-rate", "2", "--horizon", "40",
+                     "--replicas", "4", "--profile", "--trace",
+                     str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "share" in out and "recording" in out
+        rr = replay_trace(trace)
+        assert rr.backend == "batched" and rr.replicas == 4
+
+
+class TestSweepFlags:
+    def test_trace_progress_and_metrics_out(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(["sweep", "--axis", "n=6,7", "--point", "classify",
+                     "--trace", str(trace), "--progress",
+                     "--metrics-out", str(prom)]) == 0
+        captured = capsys.readouterr()
+        assert "sweep:" in captured.err and "eta" in captured.err
+        events = [r["type"] for r in read_trace(trace)]
+        assert events[0] == "sweep_start" and events[-1] == "sweep_end"
+        assert events.count("point_done") == 2
+        text = prom.read_text(encoding="utf-8")
+        assert "repro_sweep_points_completed_total 2" in text
+        assert "repro_feasibility_cache" in text  # hit or miss, either counts
+
+    def test_plain_sweep_unchanged(self, capsys):
+        assert main(["sweep", "--axis", "n=6", "--point", "classify"]) == 0
+        captured = capsys.readouterr()
+        assert "sweep: 1 points" in captured.out
+        assert captured.err == ""

@@ -1,0 +1,122 @@
+"""Metrics registry: instruments, labels, export, and the disabled path."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_INSTRUMENT, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            reg.counter("c").inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("solves_total", "", ("algorithm",))
+        fam.labels(algorithm="dinic").inc(3)
+        fam.labels(algorithm="edmonds_karp").inc(1)
+        assert fam.labels(algorithm="dinic").value == 3
+        assert fam.labels(algorithm="edmonds_karp").value == 1
+
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c", "", ("algorithm",))
+        with pytest.raises(ObservabilityError, match="label names"):
+            fam.labels(solver="dinic")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("pending")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        # raw (non-cumulative) slots: <=0.1, <=1.0, +Inf
+        assert h.bucket_counts == [1, 2, 1]
+
+    def test_bad_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError, match="increasing"):
+            reg.histogram("h", buckets=(1.0, 0.5))
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive, Prometheus-style
+        assert h.bucket_counts == [1, 0, 0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError, match="already registered"):
+            reg.gauge("x")
+
+    def test_disabled_registry_hands_out_null_instrument(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c")
+        assert c is NULL_INSTRUMENT
+        c.inc()
+        c.labels(a="b").observe(1.0)  # all no-ops, never raises
+        assert reg.snapshot() == {}
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+
+class TestExport:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "counts things").inc(2)
+        snap = reg.snapshot()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["help"] == "counts things"
+        assert snap["c"]["series"] == [{"labels": {}, "value": 2}]
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "the help", ("algorithm",)).labels(
+            algorithm="dinic").inc(7)
+        reg.histogram("lat_seconds", "latency", buckets=(0.5,)).observe(0.1)
+        text = reg.render_prometheus()
+        assert "# HELP c_total the help" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{algorithm="dinic"} 7' in text
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_prometheus_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "", ("k",)).labels(k='a"b\\c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'c{k="a\\"b\\\\c\\nd"} 1' in text

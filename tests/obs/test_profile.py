@@ -1,0 +1,113 @@
+"""Per-stage profiling: coverage, report shape, and the failure seam.
+
+ISSUE satellites: every stage of ``DEFAULT_PIPELINE`` appears exactly
+once with ``calls == T`` on both backends, and a stage that *raises*
+still leaves its partial time in the profile (the pipeline records in a
+``finally``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationConfig, Simulator
+from repro.core.ensemble import EnsembleSimulator
+from repro.core.pipeline import STAGE_NAMES
+from repro.errors import ObservabilityError
+from repro.graphs import generators
+from repro.network import NetworkSpec
+from repro.obs import profile_rows
+
+
+def _spec():
+    g = generators.grid(3, 3)
+    return NetworkSpec.classical(g, {0: 1}, {8: 2})
+
+
+HORIZON = 40
+
+
+class TestStageCoverage:
+    def test_scalar_every_stage_once_calls_eq_T(self):
+        sim = Simulator(_spec(), config=SimulationConfig(
+            horizon=HORIZON, seed=1, profile_stages=True))
+        sim.run()
+        assert sorted(sim.stage_timings) == sorted(STAGE_NAMES)
+        for name in STAGE_NAMES:
+            assert sim.stage_timings[name].calls == HORIZON
+            assert sim.stage_timings[name].seconds >= 0.0
+        report = sim.profile_report()
+        for name in STAGE_NAMES:
+            assert report.count(f"\n{name} ") == 1 or report.startswith(f"{name} ")
+
+    def test_batched_every_stage_once_calls_eq_T(self):
+        ens = EnsembleSimulator(_spec(), 4, seed=1, config=SimulationConfig(
+            profile_stages=True))
+        ens.run(HORIZON)
+        assert sorted(ens.stage_timings) == sorted(STAGE_NAMES)
+        for name in STAGE_NAMES:
+            assert ens.stage_timings[name].calls == HORIZON
+        rows = profile_rows(ens.stage_timings, stage_order=STAGE_NAMES)
+        assert [r["stage"] for r in rows] == list(STAGE_NAMES)
+
+    def test_disabled_profiling_records_nothing(self):
+        sim = Simulator(_spec(), config=SimulationConfig(horizon=10, seed=1))
+        sim.run()
+        assert sim.stage_timings == {}
+        with pytest.raises(ObservabilityError, match="profile_stages"):
+            sim.profile_report()
+
+
+class TestProfileRows:
+    def test_rows_shape_and_shares_sum_to_one(self):
+        sim = Simulator(_spec(), config=SimulationConfig(
+            horizon=HORIZON, seed=1, profile_stages=True))
+        sim.run()
+        rows = profile_rows(sim.stage_timings, stage_order=STAGE_NAMES)
+        assert [r["stage"] for r in rows] == list(STAGE_NAMES)
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+        assert all(r["calls"] == HORIZON for r in rows)
+
+    def test_empty_timings_raise(self):
+        with pytest.raises(ObservabilityError, match="no stage timings"):
+            profile_rows({})
+
+    def test_unknown_stage_order_entries_skipped(self):
+        class T:
+            calls, seconds = 3, 0.5
+
+        rows = profile_rows({"a": T()}, stage_order=("zz", "a"))
+        assert [r["stage"] for r in rows] == ["a"]
+
+
+class _BoomArrivals:
+    """Exact classical injections until step ``boom_at``, then raise."""
+
+    def __init__(self, in_vec: np.ndarray, boom_at: int) -> None:
+        self.in_vec = in_vec
+        self.boom_at = boom_at
+
+    def sample(self, t: int, rng) -> np.ndarray:
+        if t == self.boom_at:
+            raise RuntimeError("stage blew up")
+        return self.in_vec
+
+
+class TestFailureSeam:
+    def test_raising_stage_still_records_partial_time(self):
+        """After a raise at step k the stages *before* the raising one
+        (and the raising one itself) show k+1 calls; later stages show k."""
+        spec = _spec()
+        k = 5
+        in_vec = np.zeros(spec.n, dtype=np.int64)
+        in_vec[0] = 1
+        cfg = SimulationConfig(horizon=HORIZON, seed=1, profile_stages=True,
+                               arrivals=_BoomArrivals(in_vec, boom_at=k))
+        sim = Simulator(spec, config=cfg)
+        with pytest.raises(RuntimeError, match="blew up"):
+            sim.run()
+        timings = sim.stage_timings
+        assert timings["topology"].calls == k + 1
+        assert timings["injection"].calls == k + 1  # partial: it raised
+        assert timings["injection"].seconds >= 0.0
+        for name in STAGE_NAMES[2:]:
+            assert timings[name].calls == k, name
