@@ -20,7 +20,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis import summarize
-from repro.core import ExtractionMode, simulate_lgg
+from repro.core import ExtractionMode
 from repro.errors import ReproError
 from repro.flow import classify_network
 from repro.graphs import generators as gen
@@ -164,6 +164,36 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="dump the metrics registry in Prometheus text "
                             "format after the sweep")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="HTTP/JSON simulation service (micro-batching, admission "
+             "control, async sweep jobs)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8421,
+                       help="listen port (0 = pick an ephemeral port)")
+    p_srv.add_argument("--batch-window", type=float, default=0.01,
+                       dest="batch_window", metavar="SECONDS",
+                       help="micro-batch coalescing window for /v1/simulate")
+    p_srv.add_argument("--max-batch", type=int, default=64, dest="max_batch",
+                       help="flush a batch at this size instead of waiting "
+                            "out the window")
+    p_srv.add_argument("--queue-limit", type=int, default=64, dest="queue_limit",
+                       help="max admitted-and-unfinished requests before "
+                            "shedding with 429")
+    p_srv.add_argument("--rate", type=float, default=0.0,
+                       help="token-bucket admission rate in requests/sec "
+                            "(0 = no rate gate)")
+    p_srv.add_argument("--burst", type=int, default=16,
+                       help="token-bucket depth (max back-to-back admits)")
+    p_srv.add_argument("--jobs-dir", default=None, dest="jobs_dir",
+                       metavar="DIR",
+                       help="enable POST /v1/sweeps, persisting jobs here "
+                            "(crash-safe; restart resumes)")
+    p_srv.add_argument("--max-horizon", type=int, default=20_000,
+                       dest="max_horizon",
+                       help="largest horizon a /v1/simulate request may ask for")
 
     return parser
 
@@ -316,6 +346,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "sweep":
             return _run_sweep_command(args)
 
+        if args.command == "serve":
+            from repro.serve import ReproServer
+
+            ReproServer(
+                host=args.host,
+                port=args.port,
+                batch_window=args.batch_window,
+                max_batch=args.max_batch,
+                queue_limit=args.queue_limit,
+                rate=args.rate or None,
+                burst=args.burst,
+                jobs_dir=args.jobs_dir,
+                max_horizon=args.max_horizon,
+            ).run()
+            return 0
+
         if args.sink is None:
             if args.topology == "grid":
                 args.sink = args.rows * args.cols - 1
@@ -408,6 +454,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:  # noqa: BLE001 - the CLI never shows a traceback
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

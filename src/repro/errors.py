@@ -56,3 +56,37 @@ class SweepError(ReproError):
     Raised for malformed grid specs (duplicate axes, ragged zipped groups),
     executor misconfiguration, and corrupt or mismatched checkpoint files.
     """
+
+
+class ServeError(ReproError):
+    """A :mod:`repro.serve` request failed (client- or server-side).
+
+    Carries the HTTP mapping alongside the message so the server can
+    render a structured ``{error, detail}`` JSON body and the client can
+    re-raise responses symmetrically.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code (``4xx`` for request problems, ``5xx`` for
+        server faults, ``None`` when no response arrived at all).
+    error:
+        Short machine-readable slug (``bad-request``, ``overloaded``,
+        ``not-found``, ...) — the ``error`` field of the JSON body.
+    retry_after:
+        Seconds after which a shed (``429``) request may be retried.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        status: "int | None" = 400,
+        error: str = "bad-request",
+        retry_after: "float | None" = None,
+    ) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        self.status = status
+        self.error = error
+        self.retry_after = retry_after

@@ -25,14 +25,19 @@ across enable/disable flips (always re-fetch from the registry; the guard
 ``if reg.enabled`` above also skips any label-building work).  Enable with
 ``repro.obs.configure(metrics=True)``.
 
-Instruments are plain Python objects with no locks: the registry is
-per-process by design (sweep workers each own one), and the simulator is
-single-threaded.
+Instruments are plain Python values updated without locks: the registry
+is per-process by design (sweep workers each own one), the simulator is
+single-threaded, and under CPython each ``inc``/``set``/``observe`` is a
+handful of bytecode ops.  The *creation* paths (registering an instrument,
+materialising a labeled child) are lock-guarded, so multi-threaded
+consumers like :mod:`repro.serve` never lose an instrument to a
+create/create race.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
 from typing import Mapping, Optional, Sequence, Tuple
 
@@ -102,14 +107,18 @@ class _Instrument:
         self.label_names: Tuple[str, ...] = tuple(label_names)
         self._labels: LabelValues = ()
         self._children: dict[LabelValues, "_Instrument"] = {}
+        self._child_lock = threading.Lock()
 
     def labels(self, **kv) -> "_Instrument":
         key = _label_key(self.label_names, kv)
         child = self._children.get(key)
         if child is None:
-            child = type(self)(self.name, self.help, self.label_names)
-            child._labels = key
-            self._children[key] = child
+            with self._child_lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = type(self)(self.name, self.help, self.label_names)
+                    child._labels = key
+                    self._children[key] = child
         return child
 
     # -- export --------------------------------------------------------
@@ -191,9 +200,13 @@ class Histogram(_Instrument):
         key = _label_key(self.label_names, kv)
         child = self._children.get(key)
         if child is None:
-            child = Histogram(self.name, self.help, self.label_names, self.bounds)
-            child._labels = key
-            self._children[key] = child
+            with self._child_lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = Histogram(self.name, self.help, self.label_names,
+                                      self.bounds)
+                    child._labels = key
+                    self._children[key] = child
         return child  # type: ignore[return-value]
 
     def observe(self, value: float) -> None:
@@ -231,6 +244,7 @@ class MetricsRegistry:
     def __init__(self, *, enabled: bool = True) -> None:
         self.enabled = enabled
         self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
 
     # -- accessors -----------------------------------------------------
     def _get(self, cls, name: str, help: str, label_names, **kwargs):
@@ -238,9 +252,12 @@ class MetricsRegistry:
             return NULL_INSTRUMENT
         inst = self._instruments.get(name)
         if inst is None:
-            inst = cls(name, help, label_names, **kwargs)
-            self._instruments[name] = inst
-        elif type(inst) is not cls:
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = cls(name, help, label_names, **kwargs)
+                    self._instruments[name] = inst
+        if type(inst) is not cls:
             raise ObservabilityError(
                 f"metric {name!r} already registered as {inst.kind}, "
                 f"not {cls.kind}"

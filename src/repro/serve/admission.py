@@ -1,0 +1,186 @@
+"""Admission control: a bounded in-flight window plus a token-bucket gate.
+
+The server is itself a queueing system, and the paper's own vocabulary
+applies: a request stream whose rate exceeds what the backend can drain is
+*infeasible*, and the only stable response is to shed the excess at the
+door.  :class:`AdmissionController` implements exactly the two regulators
+the repo already models on the simulation side:
+
+* a **bounded queue** — at most ``max_inflight`` requests admitted and not
+  yet completed (Definition 2's bounded-queue guarantee, applied to the
+  server's own backlog), and
+* a **token bucket** — the (ρ, σ) regulator of
+  :class:`repro.arrivals.token_bucket.TokenBucketArrivals`, re-expressed
+  in wall-clock time: ``rate`` tokens/second refill a bucket of depth
+  ``burst``, one token per admitted request, with the same exact
+  :class:`~fractions.Fraction` accounting.
+
+Rejections are *responses*, not drops: the caller turns a shed into
+``429 + Retry-After``.  Depth, admits, and sheds are mirrored into the
+:mod:`repro.obs` registry so ``/metrics`` exposes the overload behaviour
+the moment it starts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional
+
+from repro.errors import ServeError
+from repro.obs.metrics import get_registry
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """Proof of admission; ``release()`` it exactly once when done."""
+
+    controller: "AdmissionController"
+
+    def release(self) -> None:
+        self.controller._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Admit-or-shed gate shared by every compute endpoint.
+
+    Parameters
+    ----------
+    max_inflight:
+        Bound on concurrently admitted requests (the server's request
+        queue + in-service window).  Must be >= 1.
+    rate:
+        Token refill rate in requests/second; ``None`` (or 0) disables
+        the rate gate and leaves only the in-flight bound.
+    burst:
+        Token-bucket depth σ: how many requests may arrive back-to-back
+        before the rate gate engages.
+    retry_after:
+        ``Retry-After`` hint (seconds) for queue-full sheds, where no
+        token arithmetic suggests a better number.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = 64,
+        rate: Optional[float] = None,
+        burst: int = 16,
+        retry_after: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServeError(
+                f"max_inflight must be >= 1, got {max_inflight}",
+                status=500, error="bad-config",
+            )
+        if burst < 1:
+            raise ServeError(
+                f"burst must be >= 1, got {burst}", status=500, error="bad-config"
+            )
+        self.max_inflight = max_inflight
+        self._rate = None if not rate else Fraction(rate).limit_denominator(10**6)
+        self._burst = Fraction(burst)
+        self._tokens = self._burst
+        self._retry_after = float(retry_after)
+        self._clock = clock
+        self._last = clock()
+        self._lock = threading.Lock()
+        self.inflight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    # ------------------------------------------------------------------
+    def _refill(self, now: float) -> None:
+        if self._rate is None:
+            return
+        elapsed = Fraction(now - self._last).limit_denominator(10**6)
+        if elapsed > 0:
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+            self._last = now
+
+    def try_admit(self) -> AdmissionTicket:
+        """Admit the caller or raise a 429-shaped :class:`ServeError`.
+
+        The raised error carries ``status=429``, ``error='overloaded'``,
+        and a ``retry_after`` hint; the server renders it verbatim.
+        """
+        reg = get_registry()
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self.inflight >= self.max_inflight:
+                self.shed += 1
+                retry = self._retry_after
+                reason = "queue_full"
+            elif self._rate is not None and self._tokens < 1:
+                self.shed += 1
+                retry = float((1 - self._tokens) / self._rate)
+                reason = "rate_limited"
+            else:
+                if self._rate is not None:
+                    self._tokens -= 1
+                self.inflight += 1
+                self.admitted += 1
+                if reg.enabled:
+                    reg.counter(
+                        "repro_serve_admitted_total",
+                        "Requests admitted past the admission controller.",
+                    ).inc()
+                    reg.gauge(
+                        "repro_serve_queue_depth",
+                        "Admitted requests currently queued or in service.",
+                    ).set(self.inflight)
+                return AdmissionTicket(self)
+        if reg.enabled:
+            reg.counter(
+                "repro_serve_shed_total",
+                "Requests shed by admission control (answered with 429).",
+            ).inc()
+            reg.counter(
+                "repro_serve_shed_by_reason_total",
+                "Sheds split by which gate fired.",
+                label_names=("reason",),
+            ).labels(reason=reason).inc()
+        raise ServeError(
+            f"server overloaded ({reason}); retry after {retry:.2f}s",
+            status=429, error="overloaded", retry_after=retry,
+        )
+
+    def _release(self) -> None:
+        with self._lock:
+            if self.inflight <= 0:
+                raise ServeError(
+                    "release() without a matching admit",
+                    status=500, error="internal",
+                )
+            self.inflight -= 1
+            depth = self.inflight
+        reg = get_registry()
+        if reg.enabled:
+            reg.gauge(
+                "repro_serve_queue_depth",
+                "Admitted requests currently queued or in service.",
+            ).set(depth)
+
+    # ------------------------------------------------------------------
+    @property
+    def tokens(self) -> Optional[float]:
+        """Current bucket level (``None`` when the rate gate is off)."""
+        if self._rate is None:
+            return None
+        with self._lock:
+            self._refill(self._clock())
+            return float(self._tokens)

@@ -1,0 +1,204 @@
+"""Micro-batching coalescer: fold concurrent identical simulations into one
+vectorized :class:`~repro.core.ensemble.EnsembleSimulator` batch.
+
+The server's hot path.  ``/v1/simulate`` requests are keyed by a *config
+fingerprint* — the canonical network hash
+(:func:`repro.sweep.cache.canonical_spec_key`) plus every simulation knob
+**except the seed**.  Requests sharing a fingerprint that arrive within
+``window`` seconds of the first one are held and then executed as a single
+ensemble run whose per-replica seeds are the requests' seeds; replica
+``r``'s slice is returned to request ``r``.
+
+Correctness rests on the pipeline's differential guarantee (PR 1, asserted
+in ``tests/core/test_pipeline.py``): a batched run with ``seeds=[s_0, …]``
+is bit-identical, per replica, to scalar runs seeded ``s_r``.  So batching
+changes *when* work happens, never *what* any caller gets back —
+:func:`direct_simulate` is the scalar oracle the server's responses must
+(and do) match exactly.
+
+The batch executes on a worker thread (never on the event loop), and a
+batch that fails delivers the same exception to every member rather than
+hanging any of them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import Executor
+from typing import Optional
+
+from repro.core.engine import SimulationConfig, Simulator
+from repro.errors import ServeError
+from repro.network.spec import NetworkSpec
+from repro.obs.metrics import get_registry
+from repro.serve.codec import simulation_response
+from repro.sweep.cache import canonical_spec_key
+
+__all__ = ["MicroBatcher", "direct_simulate"]
+
+#: Batch-size histogram buckets: powers of two up to the default cap.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def _simulation_config(horizon: int, loss_p: float, seed=None) -> SimulationConfig:
+    losses = None
+    if loss_p > 0.0:
+        from repro.loss.models import BernoulliLoss
+
+        losses = BernoulliLoss(loss_p)
+    return SimulationConfig(horizon=horizon, seed=seed, losses=losses)
+
+
+def direct_simulate(spec: NetworkSpec, horizon: int, seed: int,
+                    loss_p: float = 0.0) -> dict:
+    """The scalar oracle: one :class:`Simulator` run, rendered as the
+    ``/v1/simulate`` response body (sans batch metadata)."""
+    sim = Simulator(spec, config=_simulation_config(horizon, loss_p, seed=seed))
+    return simulation_response(sim.run(horizon))
+
+
+def _run_batch(spec: NetworkSpec, horizon: int, loss_p: float,
+               seeds: list[int]) -> list[dict]:
+    """Executor-side body: one ensemble run, one response dict per seed."""
+    from repro.core.ensemble import EnsembleSimulator
+
+    ens = EnsembleSimulator(
+        spec, len(seeds), seeds=seeds,
+        config=_simulation_config(horizon, loss_p),
+    )
+    result = ens.run(horizon)
+    return [simulation_response(result.replica(r)) for r in range(len(seeds))]
+
+
+class _Batch:
+    """One pending coalescing window for a single fingerprint."""
+
+    __slots__ = ("spec", "horizon", "loss_p", "seeds", "futures", "timer", "seq")
+
+    def __init__(self, spec: NetworkSpec, horizon: int, loss_p: float, seq: int):
+        self.spec = spec
+        self.horizon = horizon
+        self.loss_p = loss_p
+        self.seeds: list[int] = []
+        self.futures: list[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+        self.seq = seq
+
+
+class MicroBatcher:
+    """Coalesce concurrent same-fingerprint simulations (asyncio side).
+
+    Parameters
+    ----------
+    executor:
+        Where batches run (a :class:`~concurrent.futures.ThreadPoolExecutor`
+        owned by the server).  ``None`` uses the loop's default executor.
+    window:
+        Seconds the first request of a fingerprint waits for company.
+        ``0`` disables coalescing (every request is a batch of one).
+    max_batch:
+        A full batch flushes immediately instead of waiting out the window.
+    """
+
+    def __init__(self, *, executor: Optional[Executor] = None,
+                 window: float = 0.01, max_batch: int = 64) -> None:
+        if window < 0:
+            raise ServeError(f"window must be >= 0, got {window}",
+                             status=500, error="bad-config")
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}",
+                             status=500, error="bad-config")
+        self.executor = executor
+        self.window = window
+        self.max_batch = max_batch
+        self._pending: dict[str, _Batch] = {}
+        self._seq = itertools.count(1)
+        #: append-only in-process log of executed batches — the audit trail
+        #: that differential tests read to prove coalescing happened:
+        #: ``(seq, fingerprint, size)`` per executed ensemble run.
+        self.batch_log: list[tuple[int, str, int]] = []
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(spec: NetworkSpec, horizon: int, loss_p: float) -> str:
+        """Batch key: everything the ensemble shares — not the seed."""
+        return (f"{canonical_spec_key(spec)}:h={horizon}:loss={loss_p!r}"
+                f":R={spec.retention}:rev={spec.revelation.value}"
+                f":exact={spec.exact_injection}")
+
+    async def simulate(self, spec: NetworkSpec, horizon: int, seed: int,
+                       loss_p: float = 0.0) -> dict:
+        """Queue one request; resolves to its response dict after the batch
+        it lands in executes."""
+        loop = asyncio.get_running_loop()
+        key = self.fingerprint(spec, horizon, loss_p)
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _Batch(spec, horizon, loss_p, next(self._seq))
+            self._pending[key] = batch
+            if self.window > 0:
+                batch.timer = loop.call_later(
+                    self.window, self._flush_soon, loop, key
+                )
+        future: asyncio.Future = loop.create_future()
+        batch.seeds.append(seed)
+        batch.futures.append(future)
+        if len(batch.seeds) >= self.max_batch or self.window <= 0:
+            self._start_flush(loop, key)
+        return await future
+
+    # ------------------------------------------------------------------
+    def _flush_soon(self, loop: asyncio.AbstractEventLoop, key: str) -> None:
+        # timer callback: hop back into a task so the flush can await
+        self._start_flush(loop, key)
+
+    def _start_flush(self, loop: asyncio.AbstractEventLoop, key: str) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:
+            return  # already flushed (window raced a max_batch fill)
+        if batch.timer is not None:
+            batch.timer.cancel()
+        loop.create_task(self._execute(loop, key, batch))
+
+    async def _execute(self, loop: asyncio.AbstractEventLoop, key: str,
+                       batch: _Batch) -> None:
+        size = len(batch.seeds)
+        self.batch_log.append((batch.seq, key, size))
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("repro_serve_batches_total",
+                        "Ensemble batches executed by the micro-batcher.").inc()
+            reg.counter("repro_serve_batched_requests_total",
+                        "Simulate requests served through ensemble batches.",
+                        ).inc(size)
+            reg.histogram("repro_serve_batch_size",
+                          "Coalesced requests per ensemble batch.",
+                          buckets=BATCH_SIZE_BUCKETS).observe(size)
+        try:
+            responses = await loop.run_in_executor(
+                self.executor, _run_batch,
+                batch.spec, batch.horizon, batch.loss_p, list(batch.seeds),
+            )
+        except Exception as exc:  # deliver the failure to every member
+            for fut in batch.futures:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for index, (fut, response) in enumerate(zip(batch.futures, responses)):
+            if not fut.done():
+                response["batch"] = {"seq": batch.seq, "size": size, "index": index}
+                fut.set_result(response)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Cancel pending windows; fail their members (server shutdown)."""
+        for key in list(self._pending):
+            batch = self._pending.pop(key)
+            if batch.timer is not None:
+                batch.timer.cancel()
+            for fut in batch.futures:
+                if not fut.done():
+                    fut.set_exception(ServeError(
+                        "server shutting down", status=503, error="shutdown",
+                    ))

@@ -1,0 +1,118 @@
+"""A thin stdlib client for :mod:`repro.serve` — ``urllib`` only.
+
+The client speaks the same structured-error contract the server promises:
+any non-2xx response parses its ``{"error", "detail"}`` JSON body and is
+re-raised as the matching :class:`~repro.errors.ServeError` (status code,
+error slug, and ``Retry-After`` preserved), so callers handle overload
+and validation failures with one ``except ServeError`` — no
+``urllib.error`` types leak out.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Optional
+
+from repro.errors import ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """HTTP client for one :class:`~repro.serve.server.ReproServer`.
+
+    >>> client = ServeClient("http://127.0.0.1:8421")    # doctest: +SKIP
+    >>> client.classify({"topology": "path", "n": 8})    # doctest: +SKIP
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Mapping[str, Any]] = None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                raw = resp.read()
+                ctype = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raise self._error_from(exc) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(
+                f"cannot reach {self.base_url}: {exc.reason}",
+                status=None, error="unreachable",
+            ) from None
+        if ctype.startswith("application/json"):
+            return json.loads(raw.decode("utf-8"))
+        return raw.decode("utf-8")
+
+    @staticmethod
+    def _error_from(exc: urllib.error.HTTPError) -> ServeError:
+        slug, detail = "http-error", f"HTTP {exc.code}"
+        try:
+            body = json.loads(exc.read().decode("utf-8"))
+            slug = body.get("error", slug)
+            detail = body.get("detail", detail)
+        except (ValueError, UnicodeDecodeError):
+            pass
+        retry_after = None
+        raw_retry = exc.headers.get("Retry-After")
+        if raw_retry is not None:
+            try:
+                retry_after = float(raw_retry)
+            except ValueError:
+                pass
+        return ServeError(detail, status=exc.code, error=slug,
+                          retry_after=retry_after)
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition page."""
+        return self._request("GET", "/metrics")
+
+    def classify(self, spec: Mapping[str, Any]) -> dict:
+        return self._request("POST", "/v1/classify", {"spec": dict(spec)})
+
+    def simulate(self, spec: Mapping[str, Any], *, horizon: int = 1000,
+                 seed: int = 0, loss_p: float = 0.0) -> dict:
+        return self._request("POST", "/v1/simulate", {
+            "spec": dict(spec), "horizon": horizon,
+            "seed": seed, "loss_p": loss_p,
+        })
+
+    def submit_sweep(self, request: Mapping[str, Any]) -> dict:
+        return self._request("POST", "/v1/sweeps", dict(request))
+
+    def sweep_status(self, job_id: str, *, records: bool = False) -> dict:
+        suffix = "?records=1" if records else ""
+        return self._request("GET", f"/v1/sweeps/{job_id}{suffix}")
+
+    def wait_sweep(self, job_id: str, *, timeout: float = 60.0,
+                   poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state (or raise on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.sweep_status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"sweep {job_id} still {status['state']} after {timeout}s",
+                    status=None, error="timeout",
+                )
+            time.sleep(poll)

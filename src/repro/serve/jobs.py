@@ -1,0 +1,344 @@
+"""Async sweep jobs with a crash-safe on-disk store.
+
+``POST /v1/sweeps`` must survive the server dying mid-sweep, so every job
+is two files in the job directory:
+
+* ``<id>.meta.json`` — the submitted request (verbatim), the lifecycle
+  state, and the result summary; written atomically (tmp + ``os.replace``)
+  on every transition.
+* ``<id>.jsonl`` — the point-level result log, which is *exactly* a
+  :class:`repro.sweep.checkpoint.SweepCheckpoint`: append-only, flushed
+  per point, torn-tail-tolerant.  A job killed mid-write loses at most the
+  point being written.
+
+Job ids are derived from the grid fingerprint, which buys idempotency for
+free: resubmitting the same sweep returns the existing job (done, running,
+or resumable) instead of forking a duplicate.  On startup
+:meth:`JobManager.recover` re-enqueues every non-terminal job; the
+executor's ``resume=True`` path then runs only the missing points, and the
+determinism contract (seeds from the grid, never from scheduling) makes
+the resumed records bit-identical to an uninterrupted run.
+
+Jobs execute on a single daemon worker thread, FIFO — sweep jobs are
+batch work; the request thread pool stays reserved for interactive
+traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import queue
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Any, Mapping, Optional
+
+from repro.errors import ReproError, ServeError
+from repro.obs.metrics import get_registry
+from repro.sweep.grid import GridSpec
+
+__all__ = ["JobState", "SweepJob", "JobManager", "grid_from_request",
+           "summarize_rows"]
+
+_MAX_POINTS = 100_000  # hard bound on accepted sweep size
+
+
+class JobState(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class SweepJob:
+    """One sweep job's persistent identity and lifecycle."""
+
+    id: str
+    request: dict
+    state: JobState = JobState.QUEUED
+    total_points: int = 0
+    completed_points: int = 0
+    error: Optional[str] = None
+    summary: Optional[dict] = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: Optional[float] = None
+
+    def to_json(self) -> dict:
+        data = asdict(self)
+        data["state"] = self.state.value
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "SweepJob":
+        kwargs = dict(data)
+        kwargs["state"] = JobState(kwargs["state"])
+        return cls(**kwargs)
+
+
+def _bad(detail: str) -> ServeError:
+    return ServeError(detail, status=400, error="bad-request")
+
+
+def grid_from_request(request: Mapping[str, Any]) -> tuple[GridSpec, str]:
+    """Validate a ``/v1/sweeps`` body → ``(grid, point_fn_name)``.
+
+    Mirrors the CLI's ``sweep`` semantics: cartesian ``axes``, lockstep
+    ``zip`` groups, a ``sample`` axis when ``samples > 1`` (or when no
+    axis was given), and a pinned singleton ``horizon`` axis for region
+    points so records are identical however the sweep is invoked.
+    """
+    if not isinstance(request, Mapping):
+        raise _bad("request body must be a JSON object")
+    point = request.get("point", "region")
+    if point not in ("region", "classify"):
+        raise _bad(f"'point' must be 'region' or 'classify', got {point!r}")
+    seed = request.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise _bad(f"'seed' must be an integer, got {seed!r}")
+    samples = request.get("samples", 1)
+    if isinstance(samples, bool) or not isinstance(samples, int) or samples < 1:
+        raise _bad(f"'samples' must be a positive integer, got {samples!r}")
+
+    def _axis_values(name: object, values: object) -> tuple[str, list]:
+        if not isinstance(name, str) or not name:
+            raise _bad(f"axis name {name!r} must be a non-empty string")
+        if not isinstance(values, list) or not values:
+            raise _bad(f"axis {name!r} needs a non-empty list of values")
+        for v in values:
+            if not isinstance(v, (int, float, str)) or isinstance(v, bool):
+                raise _bad(f"axis {name!r} has non-scalar value {v!r}")
+        return name, values
+
+    try:
+        grid = GridSpec(seed=seed)
+        axes = request.get("axes", {})
+        if not isinstance(axes, Mapping):
+            raise _bad("'axes' must be an object mapping name -> [values]")
+        for name, values in axes.items():
+            name, values = _axis_values(name, values)
+            grid = grid.cartesian(**{name: values})
+        for group in request.get("zip", []):
+            if not isinstance(group, Mapping):
+                raise _bad("'zip' entries must be objects of lockstep axes")
+            grid = grid.zipped(**dict(
+                _axis_values(name, values) for name, values in group.items()
+            ))
+        if samples > 1 or not grid.axis_names:
+            grid = grid.cartesian(sample=list(range(samples)))
+        horizon = request.get("horizon")
+        if horizon is not None:
+            if isinstance(horizon, bool) or not isinstance(horizon, int) or horizon < 8:
+                raise _bad(f"'horizon' must be an integer >= 8, got {horizon!r}")
+            if point == "region":
+                grid = grid.cartesian(horizon=[horizon])
+    except ServeError:
+        raise
+    except ReproError as exc:
+        raise _bad(f"invalid sweep grid: {exc}") from exc
+    if len(grid) > _MAX_POINTS:
+        raise _bad(f"sweep has {len(grid)} points; the limit is {_MAX_POINTS}")
+    return grid, point
+
+
+def summarize_rows(rows: list[dict], point: str) -> dict:
+    """The job summary: class counts plus (for region points) the Theorem 1
+    confusion quadrants — the same numbers the CLI prints after a sweep."""
+    classes: dict[str, int] = {}
+    for r in rows:
+        classes[r["network_class"]] = classes.get(r["network_class"], 0) + 1
+    summary: dict = {"points": len(rows), "class_counts": classes}
+    if point == "region":
+        fb = sum(1 for r in rows if r["feasible"] and r["bounded"])
+        fd = sum(1 for r in rows if r["feasible"] and not r["bounded"])
+        ib = sum(1 for r in rows if not r["feasible"] and r["bounded"])
+        dv = sum(1 for r in rows if not r["feasible"] and not r["bounded"])
+        summary["confusion"] = {
+            "feasible_bounded": fb, "feasible_divergent": fd,
+            "infeasible_bounded": ib, "infeasible_divergent": dv,
+        }
+        summary["diagonal_intact"] = (fd + ib) == 0
+    return summary
+
+
+class JobManager:
+    """Owns the job directory, the worker thread, and every transition."""
+
+    def __init__(self, directory, *, start_worker: bool = True) -> None:
+        self.dir = pathlib.Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, SweepJob] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._load_existing()
+        self._worker: Optional[threading.Thread] = None
+        if start_worker:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="repro-serve-jobs", daemon=True
+            )
+            self._worker.start()
+
+    # -- persistence ---------------------------------------------------
+    def _meta_path(self, job_id: str) -> pathlib.Path:
+        return self.dir / f"{job_id}.meta.json"
+
+    def checkpoint_path(self, job_id: str) -> pathlib.Path:
+        return self.dir / f"{job_id}.jsonl"
+
+    def _save(self, job: SweepJob) -> None:
+        tmp = pathlib.Path(str(self._meta_path(job.id)) + ".tmp")
+        tmp.write_text(json.dumps(job.to_json(), sort_keys=True), encoding="utf-8")
+        os.replace(tmp, self._meta_path(job.id))
+
+    def _load_existing(self) -> None:
+        for path in sorted(self.dir.glob("*.meta.json")):
+            try:
+                job = SweepJob.from_json(json.loads(path.read_text(encoding="utf-8")))
+            except (ValueError, KeyError, TypeError):
+                continue  # half-written meta from a crash: the tmp never landed
+            self._jobs[job.id] = job
+
+    # -- public API ----------------------------------------------------
+    def submit(self, request: Mapping[str, Any]) -> SweepJob:
+        """Create (or rejoin) the job for ``request``; idempotent by grid."""
+        grid, point = grid_from_request(request)
+        job_id = f"swp-{grid.fingerprint()[:16]}"
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.state in (
+                JobState.QUEUED, JobState.RUNNING, JobState.DONE
+            ):
+                return existing
+            job = SweepJob(
+                id=job_id,
+                request=dict(request),
+                total_points=len(grid),
+            )
+            self._jobs[job_id] = job
+            self._save(job)
+        self._queue.put(job_id)
+        return job
+
+    def status(self, job_id: str) -> SweepJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"no such sweep job {job_id!r}",
+                             status=404, error="not-found")
+        return job
+
+    def records(self, job_id: str) -> list[dict]:
+        """Completed point rows (params ∪ record), in grid order so far."""
+        from repro.sweep.checkpoint import load_records
+
+        path = self.checkpoint_path(job_id)
+        if not path.exists():
+            return []
+        _, lines = load_records(path)
+        return [{**lines[i]["params"], **lines[i]["record"]}
+                for i in sorted(lines)]
+
+    def recover(self) -> list[str]:
+        """Re-enqueue every job the last process left unfinished."""
+        resumed = []
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state in (JobState.QUEUED, JobState.RUNNING):
+                    job.state = JobState.QUEUED
+                    self._save(job)
+                    resumed.append(job.id)
+        for job_id in sorted(resumed):
+            self._queue.put(job_id)
+        return resumed
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out: dict[str, int] = {}
+            for job in self._jobs.values():
+                out[job.state.value] = out.get(job.state.value, 0) + 1
+            return out
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until the queue drains (tests, graceful shutdown)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = any(j.state in (JobState.QUEUED, JobState.RUNNING)
+                           for j in self._jobs.values())
+            if not busy and self._queue.empty():
+                return True
+            time.sleep(0.02)
+        return False
+
+    def shutdown(self) -> None:
+        if self._worker is not None:
+            self._queue.put(None)
+            self._worker.join(timeout=5.0)
+            self._worker = None
+
+    # -- worker --------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            try:
+                self.run_job(job_id)
+            except Exception:  # noqa: BLE001 - the job itself records failure
+                pass
+
+    def run_job(self, job_id: str) -> SweepJob:
+        """Execute one job to completion (worker thread; also callable
+        inline from tests)."""
+        from repro.sweep.executor import run_sweep
+        from repro.sweep.points import classify_point, region_point
+
+        with self._lock:
+            job = self._jobs[job_id]
+            if job.state is JobState.DONE:
+                return job
+            job.state = JobState.RUNNING
+            job.error = None
+            self._save(job)
+        reg = get_registry()
+        if reg.enabled:
+            reg.gauge("repro_serve_jobs_active",
+                      "Sweep jobs currently executing.").inc()
+        grid, point = grid_from_request(job.request)
+        point_fn = region_point if point == "region" else classify_point
+        checkpoint = self.checkpoint_path(job_id)
+        try:
+            run = run_sweep(
+                grid, point_fn,
+                checkpoint=checkpoint,
+                resume=checkpoint.exists() and checkpoint.stat().st_size > 0,
+            )
+            summary = summarize_rows(run.rows(), point)
+            with self._lock:
+                job.state = JobState.DONE
+                job.completed_points = len(run.records)
+                job.summary = summary
+                job.finished_at = time.time()
+                self._save(job)
+            if reg.enabled:
+                reg.counter("repro_serve_jobs_total",
+                            "Sweep jobs finished, by terminal state.",
+                            label_names=("state",)).labels(state="done").inc()
+        except Exception as exc:
+            with self._lock:
+                job.state = JobState.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+                self._save(job)
+            if reg.enabled:
+                reg.counter("repro_serve_jobs_total",
+                            "Sweep jobs finished, by terminal state.",
+                            label_names=("state",)).labels(state="failed").inc()
+            raise
+        finally:
+            if reg.enabled:
+                reg.gauge("repro_serve_jobs_active").dec()
+        return job

@@ -11,14 +11,20 @@ order, node-preserving copies, and tombstoned edge ids.
 
 The cache is per-process by design: each sweep worker warms its own (the
 :class:`~concurrent.futures.ProcessPoolExecutor` reuses worker processes
-across chunks, so the warmth accumulates).  Nothing here is shared across
-processes — no locks, no serialization of reports.
+across chunks, so the warmth accumulates).  Nothing is shared across
+*processes*; within a process the table is guarded by an internal
+:class:`threading.Lock`, so thread pools (the :mod:`repro.serve` request
+executor, user code) can share one instance.  The lock covers only table
+and counter accesses — ``classify_network`` itself runs unlocked, so two
+threads missing the same key concurrently both compute it (wasted work,
+never wrong results).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SweepError
@@ -91,6 +97,7 @@ class FeasibilityCache:
             raise SweepError(f"max_entries must be >= 1 or None, got {max_entries}")
         self.max_entries = max_entries
         self._table: dict[tuple[str, str], "FeasibilityReport"] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -98,10 +105,12 @@ class FeasibilityCache:
     def classify(self, spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
         """``classify_network(spec.extended(), algorithm)``, memoized."""
         key = (canonical_spec_key(spec), algorithm)
-        report = self._table.get(key)
         reg = get_registry()
+        with self._lock:
+            report = self._table.get(key)
+            if report is not None:
+                self.hits += 1
         if report is not None:
-            self.hits += 1
             if reg.enabled:
                 reg.counter("repro_feasibility_cache_hits_total",
                             "FeasibilityCache lookups served from memory.").inc()
@@ -109,14 +118,15 @@ class FeasibilityCache:
         from repro.flow.feasibility import classify_network
 
         report = classify_network(spec.extended(), algorithm)
-        self._table[key] = report
-        self.misses += 1
         evicted = 0
-        if self.max_entries is not None:
-            while len(self._table) > self.max_entries:
-                self._table.pop(next(iter(self._table)))  # oldest insertion
-                evicted += 1
-        self.evictions += evicted
+        with self._lock:
+            self._table[key] = report
+            self.misses += 1
+            if self.max_entries is not None:
+                while len(self._table) > self.max_entries:
+                    self._table.pop(next(iter(self._table)))  # oldest insertion
+                    evicted += 1
+            self.evictions += evicted
         if reg.enabled:
             reg.counter("repro_feasibility_cache_misses_total",
                         "FeasibilityCache lookups that ran classify_network.").inc()
@@ -137,10 +147,11 @@ class FeasibilityCache:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._table.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._table.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
 
 _SHARED = FeasibilityCache()

@@ -89,7 +89,10 @@ class SweepCheckpoint:
     # ------------------------------------------------------------------
     def _write_line(self, obj: dict) -> None:
         assert self._fh is not None
-        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        # real UTF-8 on disk (not \uXXXX escapes): record payloads may carry
+        # non-ASCII labels, and the torn-tail tolerance below must cover a
+        # kill landing inside one of their multi-byte sequences
+        self._fh.write(json.dumps(obj, sort_keys=True, ensure_ascii=False) + "\n")
         self._fh.flush()
 
 
@@ -124,13 +127,16 @@ def load_records(path: PathLike) -> tuple[dict, dict[int, dict]]:
     """
     path = pathlib.Path(path)
     try:
-        text = path.read_text(encoding="utf-8")
+        data = path.read_bytes()
     except OSError as exc:
         raise SweepError(f"cannot read checkpoint {path}: {exc}") from exc
-    lines = text.split("\n")
-    # a well-formed log ends with "\n": the final split element is ""
-    torn_tail_ok = lines and lines[-1] != ""
-    if lines and lines[-1] == "":
+    # decode per line, not whole-file: a kill mid-write can tear the tail
+    # anywhere, including inside a multi-byte UTF-8 sequence, and that must
+    # stay as forgivable as a tail torn at a JSON boundary
+    lines = data.split(b"\n")
+    # a well-formed log ends with b"\n": the final split element is b""
+    torn_tail_ok = lines and lines[-1] != b""
+    if lines and lines[-1] == b"":
         lines.pop()
     if not lines:
         raise SweepError(f"checkpoint {path} is empty")
@@ -138,8 +144,8 @@ def load_records(path: PathLike) -> tuple[dict, dict[int, dict]]:
     parsed: list[dict] = []
     for lineno, line in enumerate(lines, start=1):
         try:
-            parsed.append(json.loads(line))
-        except json.JSONDecodeError as exc:
+            parsed.append(json.loads(line.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             if lineno == len(lines) and torn_tail_ok:
                 break  # torn final line: the run was killed mid-append
             raise SweepError(

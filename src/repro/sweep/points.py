@@ -26,6 +26,23 @@ from repro.sweep.cache import cached_classify
 __all__ = ["random_instance_spec", "classify_point", "region_point"]
 
 
+def _param(params: Mapping[str, Any], key: str, cast, default):
+    """A pinned grid value cast to its type, or ``default()`` when unpinned.
+
+    A value that will not cast (``--axis n=abc``) is a one-line
+    :class:`SweepError`, never a raw ``ValueError`` traceback.
+    """
+    raw = params.get(key)
+    if not raw:
+        return cast(default())
+    try:
+        return cast(raw)
+    except (TypeError, ValueError):
+        raise SweepError(
+            f"sweep param {key}={raw!r} is not a valid {cast.__name__}"
+        ) from None
+
+
 def random_instance_spec(params: Mapping[str, Any], seed: int) -> NetworkSpec:
     """A random connected S-D-network, grid-pinnable in every dimension.
 
@@ -35,18 +52,18 @@ def random_instance_spec(params: Mapping[str, Any], seed: int) -> NetworkSpec:
     (per-terminal rate ceilings).
     """
     rng = as_generator(derive_seed(seed, "instance"))
-    n = int(params.get("n") or rng.integers(6, 14))
+    n = _param(params, "n", int, lambda: rng.integers(6, 14))
     if n < 2:
         raise SweepError(f"random instance needs n >= 2 nodes, got {n}")
-    p = float(params.get("p") or rng.uniform(0.25, 0.6))
-    k_src = int(params.get("sources") or rng.integers(1, 3))
-    k_snk = int(params.get("sinks") or rng.integers(1, 3))
+    p = _param(params, "p", float, lambda: rng.uniform(0.25, 0.6))
+    k_src = _param(params, "sources", int, lambda: rng.integers(1, 3))
+    k_snk = _param(params, "sinks", int, lambda: rng.integers(1, 3))
     if k_src + k_snk > n:
         raise SweepError(
             f"cannot place {k_src} sources + {k_snk} sinks on {n} nodes"
         )
-    in_hi = int(params.get("in_rate") or 2)
-    out_hi = int(params.get("out_rate") or 3)
+    in_hi = _param(params, "in_rate", int, lambda: 2)
+    out_hi = _param(params, "out_rate", int, lambda: 3)
     g = gen.random_gnp(n, p, seed=int(rng.integers(0, 2**31 - 1)),
                        ensure_connected=True)
     nodes = rng.permutation(n)
@@ -82,12 +99,14 @@ def region_point(params: dict, seed: int) -> dict:
 
     spec = random_instance_spec(params, seed)
     report = cached_classify(spec)
-    horizon = params.get("horizon")
-    if horizon is None:
+
+    def _suggest():
         from repro.analysis.horizons import suggest_horizon
 
-        horizon = suggest_horizon(spec, settle=1200)
-    res = simulate_lgg(spec, horizon=int(horizon), seed=derive_seed(seed, "run"))
+        return suggest_horizon(spec, settle=1200)
+
+    horizon = _param(params, "horizon", int, _suggest)
+    res = simulate_lgg(spec, horizon=horizon, seed=derive_seed(seed, "run"))
     bounded = bool(res.verdict.bounded)
     return {
         "n": spec.n,

@@ -1,0 +1,155 @@
+"""Admission control: the bounded queue and the (ρ, σ) rate gate.
+
+The shed path must be exact — every rejection raises a 429-shaped
+:class:`ServeError` and bumps the shed counters by exactly one — because
+the load-test acceptance criterion (metrics shed count == number of 429
+responses) leans on that equality.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ServeError
+from repro.obs.metrics import get_registry
+from repro.serve import AdmissionController
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestInflightBound:
+    def test_admits_up_to_limit_then_sheds(self):
+        ctl = AdmissionController(max_inflight=2)
+        t1 = ctl.try_admit()
+        t2 = ctl.try_admit()
+        with pytest.raises(ServeError) as exc_info:
+            ctl.try_admit()
+        err = exc_info.value
+        assert err.status == 429
+        assert err.error == "overloaded"
+        assert err.retry_after is not None
+        assert "queue_full" in str(err)
+        t1.release()
+        t3 = ctl.try_admit()  # a release frees exactly one slot
+        t2.release()
+        t3.release()
+        assert ctl.inflight == 0
+        assert (ctl.admitted, ctl.shed) == (3, 1)
+
+    def test_ticket_is_a_context_manager(self):
+        ctl = AdmissionController(max_inflight=1)
+        with ctl.try_admit():
+            assert ctl.inflight == 1
+        assert ctl.inflight == 0
+
+    def test_release_without_admit_is_an_error(self):
+        ctl = AdmissionController(max_inflight=1)
+        with pytest.raises(ServeError, match="without a matching admit"):
+            ctl._release()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ServeError, match="max_inflight"):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ServeError, match="burst"):
+            AdmissionController(burst=0)
+
+
+class TestRateGate:
+    def test_burst_then_rate_limited(self):
+        clock = FakeClock()
+        ctl = AdmissionController(max_inflight=100, rate=2.0, burst=3,
+                                  clock=clock)
+        for _ in range(3):
+            ctl.try_admit().release()
+        with pytest.raises(ServeError) as exc_info:
+            ctl.try_admit()
+        assert "rate_limited" in str(exc_info.value)
+        # at 2 tokens/s an empty bucket refills one token in 0.5s
+        assert exc_info.value.retry_after == pytest.approx(0.5)
+
+    def test_refill_restores_admission(self):
+        clock = FakeClock()
+        ctl = AdmissionController(max_inflight=100, rate=2.0, burst=1,
+                                  clock=clock)
+        ctl.try_admit().release()
+        with pytest.raises(ServeError):
+            ctl.try_admit()
+        clock.now += 0.5  # one token's worth
+        ctl.try_admit().release()
+        assert ctl.shed == 1
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = FakeClock()
+        ctl = AdmissionController(max_inflight=100, rate=10.0, burst=2,
+                                  clock=clock)
+        clock.now += 3600.0
+        assert ctl.tokens == pytest.approx(2.0)
+
+    def test_rate_none_disables_gate(self):
+        ctl = AdmissionController(max_inflight=1, rate=None)
+        assert ctl.tokens is None
+        for _ in range(50):
+            ctl.try_admit().release()
+        assert ctl.shed == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_admits_never_exceed_limit(self):
+        """Hammer from many threads: admitted-minus-released must never
+        exceed max_inflight, and every attempt either admits or sheds."""
+        ctl = AdmissionController(max_inflight=8)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(200):
+                try:
+                    ticket = ctl.try_admit()
+                except ServeError:
+                    with lock:
+                        outcomes.append("shed")
+                    continue
+                with lock:
+                    outcomes.append("ok")
+                    assert ctl.inflight <= ctl.max_inflight
+                ticket.release()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(outcomes) == 1600
+        assert ctl.inflight == 0
+        assert ctl.admitted + ctl.shed == 1600
+
+
+class TestMetrics:
+    def test_shed_counter_counts_every_shed_exactly_once(self):
+        prev = obs.configure(metrics=True)
+        reg = get_registry()
+        reg.reset()
+        try:
+            ctl = AdmissionController(max_inflight=1)
+            held = ctl.try_admit()
+            for _ in range(5):
+                with pytest.raises(ServeError):
+                    ctl.try_admit()
+            held.release()
+            snap = reg.snapshot()
+            assert snap["repro_serve_shed_total"]["series"][0]["value"] == 5
+            by_reason = snap["repro_serve_shed_by_reason_total"]["series"]
+            assert [(dict(s["labels"]), s["value"]) for s in by_reason] == [
+                ({"reason": "queue_full"}, 5)
+            ]
+            assert snap["repro_serve_admitted_total"]["series"][0]["value"] == 1
+        finally:
+            reg.reset()
+            obs.configure(**prev)

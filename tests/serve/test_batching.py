@@ -1,0 +1,149 @@
+"""Micro-batcher differential guarantees.
+
+The load-bearing property: any response produced through a coalesced
+ensemble batch is **bit-identical** to the scalar oracle
+(:func:`direct_simulate`) for the same (spec, horizon, seed, loss_p) —
+batching changes scheduling, never results.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import MicroBatcher, direct_simulate, parse_spec
+
+
+PATH_SPEC = parse_spec({"topology": "path", "n": 6, "in_rate": 1, "out_rate": 2})
+GRID_SPEC = parse_spec({"topology": "grid", "rows": 3, "cols": 3,
+                        "in_rate": 1, "out_rate": 2})
+
+
+def _strip(response):
+    """Drop the transport-only batch metadata before comparing payloads."""
+    return {k: v for k, v in response.items() if k != "batch"}
+
+
+class TestDifferential:
+    def test_coalesced_batch_is_bit_identical_to_scalar_runs(self):
+        """N concurrent same-config requests: one ensemble batch, every
+        member equal to its own scalar Simulator run."""
+        seeds = [3, 11, 7, 0, 42, 11, 9, 5]  # duplicates allowed
+
+        async def scenario():
+            batcher = MicroBatcher(window=0.05, max_batch=64)
+            results = await asyncio.gather(*[
+                batcher.simulate(PATH_SPEC, 300, s) for s in seeds
+            ])
+            return batcher, results
+
+        batcher, results = asyncio.run(scenario())
+        assert len(batcher.batch_log) == 1          # exactly one ensemble run
+        assert batcher.batch_log[0][2] == len(seeds)
+        for seed, response in zip(seeds, results):
+            assert _strip(response) == direct_simulate(PATH_SPEC, 300, seed)
+        sizes = {r["batch"]["size"] for r in results}
+        assert sizes == {len(seeds)}
+        assert sorted(r["batch"]["index"] for r in results) == list(range(8))
+
+    def test_lossy_batch_matches_scalar_oracle(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.05)
+            return await asyncio.gather(*[
+                batcher.simulate(PATH_SPEC, 200, s, 0.2) for s in (1, 2, 3)
+            ])
+
+        for seed, response in zip((1, 2, 3), asyncio.run(scenario())):
+            assert _strip(response) == direct_simulate(PATH_SPEC, 200, seed, 0.2)
+
+
+class TestCoalescingKeys:
+    def test_different_configs_never_share_a_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.05)
+            await asyncio.gather(
+                batcher.simulate(PATH_SPEC, 200, 1),
+                batcher.simulate(PATH_SPEC, 300, 1),   # different horizon
+                batcher.simulate(GRID_SPEC, 200, 1),   # different network
+                batcher.simulate(PATH_SPEC, 200, 2),   # same config: coalesces
+            )
+            return batcher.batch_log
+
+        log = asyncio.run(scenario())
+        assert len(log) == 3
+        assert sorted(size for _, _, size in log) == [1, 1, 2]
+
+    def test_fingerprint_ignores_seed_but_not_loss(self):
+        a = MicroBatcher.fingerprint(PATH_SPEC, 200, 0.0)
+        assert MicroBatcher.fingerprint(PATH_SPEC, 200, 0.0) == a
+        assert MicroBatcher.fingerprint(PATH_SPEC, 200, 0.1) != a
+        assert MicroBatcher.fingerprint(PATH_SPEC, 300, 0.0) != a
+        assert MicroBatcher.fingerprint(GRID_SPEC, 200, 0.0) != a
+
+
+class TestFlushTriggers:
+    def test_max_batch_flushes_without_waiting_for_window(self):
+        async def scenario():
+            batcher = MicroBatcher(window=30.0, max_batch=2)  # window never fires
+            results = await asyncio.wait_for(asyncio.gather(
+                batcher.simulate(PATH_SPEC, 150, 1),
+                batcher.simulate(PATH_SPEC, 150, 2),
+            ), timeout=10.0)
+            return batcher, results
+
+        batcher, results = asyncio.run(scenario())
+        assert batcher.batch_log == [(1, batcher.batch_log[0][1], 2)]
+        for seed, response in zip((1, 2), results):
+            assert _strip(response) == direct_simulate(PATH_SPEC, 150, seed)
+
+    def test_zero_window_runs_singleton_batches(self):
+        async def scenario():
+            batcher = MicroBatcher(window=0.0)
+            await asyncio.gather(
+                batcher.simulate(PATH_SPEC, 150, 1),
+                batcher.simulate(PATH_SPEC, 150, 2),
+            )
+            return batcher.batch_log
+
+        log = asyncio.run(scenario())
+        assert [size for _, _, size in log] == [1, 1]
+
+
+class TestFailureDelivery:
+    def test_batch_failure_reaches_every_member(self, monkeypatch):
+        import repro.serve.batching as batching
+
+        def boom(*_args):
+            raise RuntimeError("ensemble exploded")
+
+        monkeypatch.setattr(batching, "_run_batch", boom)
+
+        async def scenario():
+            batcher = MicroBatcher(window=0.02)
+            return await asyncio.gather(
+                batcher.simulate(PATH_SPEC, 150, 1),
+                batcher.simulate(PATH_SPEC, 150, 2),
+                return_exceptions=True,
+            )
+
+        results = asyncio.run(scenario())
+        assert len(results) == 2
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_close_fails_pending_requests_with_503(self):
+        async def scenario():
+            batcher = MicroBatcher(window=30.0)
+            task = asyncio.ensure_future(batcher.simulate(PATH_SPEC, 150, 1))
+            await asyncio.sleep(0)  # let the request enqueue
+            batcher.close()
+            return await asyncio.gather(task, return_exceptions=True)
+
+        [result] = asyncio.run(scenario())
+        assert isinstance(result, ServeError)
+        assert result.status == 503
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ServeError, match="window"):
+            MicroBatcher(window=-1.0)
+        with pytest.raises(ServeError, match="max_batch"):
+            MicroBatcher(max_batch=0)

@@ -1,0 +1,194 @@
+"""Async sweep jobs: lifecycle, idempotency, and crash-safe resume.
+
+The acceptance-level property lives in
+:class:`TestKillAndRestart`: a job interrupted mid-sweep (the on-disk
+state a SIGKILL leaves: truncated JSONL, meta stuck at ``running``) must,
+after a fresh :class:`JobManager` recovers it, finish with records
+*identical* to a never-interrupted run.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import JobManager, JobState, grid_from_request, summarize_rows
+from repro.serve.jobs import SweepJob
+
+
+REQUEST = {"point": "region", "axes": {"n": [5, 6]}, "samples": 2,
+           "horizon": 150, "seed": 9}
+
+
+def _manager(tmp_path, name="jobs"):
+    return JobManager(tmp_path / name, start_worker=False)
+
+
+class TestGridFromRequest:
+    def test_mirrors_cli_semantics(self):
+        grid, point = grid_from_request(REQUEST)
+        assert point == "region"
+        # axes: n × sample, plus the pinned singleton horizon axis
+        assert set(grid.axis_names) == {"n", "sample", "horizon"}
+        assert len(grid) == 4
+
+    def test_no_axes_means_one_sample_point(self):
+        grid, _ = grid_from_request({"point": "classify"})
+        assert list(grid.axis_names) == ["sample"]
+        assert len(grid) == 1
+
+    def test_zip_group(self):
+        grid, _ = grid_from_request(
+            {"zip": [{"n": [5, 6], "p": [0.4, 0.5]}], "horizon": 100}
+        )
+        assert len(grid) == 2
+
+    @pytest.mark.parametrize("request_body,fragment", [
+        ({"point": "nope"}, "point"),
+        ({"axes": {"n": []}}, "non-empty"),
+        ({"axes": {"n": [[5]]}}, "non-scalar"),
+        ({"axes": "n=5"}, "axes"),
+        ({"zip": [{"n": [5, 6], "p": [0.4]}]}, "invalid sweep grid"),
+        ({"horizon": 2}, "horizon"),
+        ({"samples": 0}, "samples"),
+        ({"seed": "zero"}, "seed"),
+        ({"axes": {"n": list(range(1000))}, "samples": 1000}, "limit"),
+    ])
+    def test_rejects(self, request_body, fragment):
+        with pytest.raises(ServeError) as exc_info:
+            grid_from_request(request_body)
+        assert exc_info.value.status == 400
+        assert fragment in str(exc_info.value)
+
+
+class TestSummarizeRows:
+    def test_region_summary_has_confusion_quadrants(self):
+        rows = [
+            {"network_class": "saturated", "feasible": True, "bounded": True},
+            {"network_class": "infeasible", "feasible": False, "bounded": False},
+            {"network_class": "infeasible", "feasible": False, "bounded": True},
+        ]
+        summary = summarize_rows(rows, "region")
+        assert summary["points"] == 3
+        assert summary["class_counts"] == {"saturated": 1, "infeasible": 2}
+        assert summary["confusion"]["infeasible_bounded"] == 1
+        assert summary["diagonal_intact"] is False
+
+    def test_classify_summary_is_counts_only(self):
+        summary = summarize_rows([{"network_class": "unsaturated"}], "classify")
+        assert "confusion" not in summary
+        assert summary["class_counts"] == {"unsaturated": 1}
+
+
+class TestLifecycle:
+    def test_submit_run_done(self, tmp_path):
+        mgr = _manager(tmp_path)
+        job = mgr.submit(REQUEST)
+        assert job.state is JobState.QUEUED
+        assert job.total_points == 4
+        done = mgr.run_job(job.id)
+        assert done.state is JobState.DONE
+        assert done.completed_points == 4
+        assert done.summary["points"] == 4
+        assert "confusion" in done.summary
+        rows = mgr.records(job.id)
+        assert len(rows) == 4
+        assert {r["n"] for r in rows} == {5, 6}
+        assert all({"feasible", "bounded", "sample"} <= set(r) for r in rows)
+
+    def test_submit_is_idempotent_by_grid(self, tmp_path):
+        mgr = _manager(tmp_path)
+        first = mgr.submit(REQUEST)
+        assert mgr.submit(dict(REQUEST)) is first
+        mgr.run_job(first.id)
+        assert mgr.submit(REQUEST).state is JobState.DONE  # rejoins, no rerun
+
+    def test_status_unknown_job_is_404(self, tmp_path):
+        with pytest.raises(ServeError) as exc_info:
+            _manager(tmp_path).status("swp-missing")
+        assert exc_info.value.status == 404
+
+    def test_failed_job_records_error(self, tmp_path):
+        mgr = _manager(tmp_path)
+        # n=abc passes grid validation (axis values may be strings) but
+        # explodes inside the point function — the job must fail cleanly
+        job = mgr.submit({"axes": {"n": ["abc"]}, "horizon": 100})
+        with pytest.raises(Exception):
+            mgr.run_job(job.id)
+        assert mgr.status(job.id).state is JobState.FAILED
+        assert "not a valid int" in mgr.status(job.id).error
+
+    def test_meta_survives_reload(self, tmp_path):
+        mgr = _manager(tmp_path)
+        job = mgr.submit(REQUEST)
+        mgr.run_job(job.id)
+        reloaded = _manager(tmp_path).status(job.id)
+        assert reloaded.state is JobState.DONE
+        assert reloaded.summary == job.summary
+
+    def test_worker_thread_drains_queue(self, tmp_path):
+        mgr = JobManager(tmp_path / "jobs")
+        try:
+            job = mgr.submit(REQUEST)
+            assert mgr.wait_idle(timeout=120.0)
+            assert mgr.status(job.id).state is JobState.DONE
+        finally:
+            mgr.shutdown()
+
+
+class TestKillAndRestart:
+    """The ISSUE's kill-and-restart acceptance test."""
+
+    def _forge_crash(self, jobs_dir: pathlib.Path, job: SweepJob, keep: int,
+                     torn: bool) -> None:
+        """Rewrite the job's on-disk state to what SIGKILL mid-sweep leaves:
+        a checkpoint truncated after ``keep`` records (optionally with a
+        torn half-line) and meta frozen at ``running``."""
+        checkpoint = jobs_dir / f"{job.id}.jsonl"
+        lines = checkpoint.read_text().splitlines()
+        text = "\n".join(lines[: 1 + keep]) + "\n"
+        if torn:
+            text += lines[1 + keep][: len(lines[1 + keep]) // 2]
+        checkpoint.write_text(text)
+        meta = jobs_dir / f"{job.id}.meta.json"
+        state = json.loads(meta.read_text())
+        state["state"] = "running"
+        state["summary"] = None
+        state["finished_at"] = None
+        meta.write_text(json.dumps(state))
+
+    @pytest.mark.parametrize("keep,torn", [(0, False), (2, True), (3, False)])
+    def test_recovered_job_matches_uninterrupted_run(self, tmp_path, keep, torn):
+        # reference: the same request, never interrupted
+        ref = _manager(tmp_path, "ref")
+        ref_job = ref.submit(REQUEST)
+        ref.run_job(ref_job.id)
+        reference = ref.records(ref_job.id)
+
+        # victim: run to completion, then forge the crash artifact
+        victim_dir = tmp_path / "victim"
+        victim = JobManager(victim_dir, start_worker=False)
+        job = victim.submit(REQUEST)
+        victim.run_job(job.id)
+        self._forge_crash(victim_dir, job, keep, torn)
+
+        # restart: a fresh manager on the same directory
+        restarted = JobManager(victim_dir, start_worker=False)
+        assert restarted.status(job.id).state is JobState.RUNNING
+        resumed = restarted.recover()
+        assert resumed == [job.id]
+        assert restarted.status(job.id).state is JobState.QUEUED
+        finished = restarted.run_job(job.id)
+
+        assert finished.state is JobState.DONE
+        assert restarted.records(job.id) == reference
+        assert finished.summary == ref.status(ref_job.id).summary
+
+    def test_recover_ignores_terminal_jobs(self, tmp_path):
+        mgr = _manager(tmp_path)
+        job = mgr.submit(REQUEST)
+        mgr.run_job(job.id)
+        fresh = _manager(tmp_path)
+        assert fresh.recover() == []
+        assert fresh.status(job.id).state is JobState.DONE

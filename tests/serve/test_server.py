@@ -1,0 +1,246 @@
+"""HTTP-level acceptance tests against a live server on an ephemeral port.
+
+Three of the ISSUE's acceptance criteria live here:
+
+* **differential** — N concurrent identical ``/v1/simulate`` requests
+  return bodies bit-identical to direct scalar :class:`Simulator` runs,
+  and are served from fewer than N ensemble batches;
+* **load/shed** — a burst over capacity yields only 200s and 429s (zero
+  5xx, zero dropped connections) and the ``/metrics`` shed counter equals
+  the number of 429 responses exactly;
+* **structured errors** — every 4xx/5xx body is ``{"error", "detail"}``
+  JSON.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServeError
+from repro.obs.metrics import get_registry
+from repro.serve import BackgroundServer, ServeClient, direct_simulate, parse_spec
+
+
+SPEC = {"topology": "path", "n": 6, "in_rate": 1, "out_rate": 2}
+
+
+@pytest.fixture
+def server_factory():
+    """Yield a BackgroundServer launcher; tear every server down after."""
+    live = []
+
+    def launch(**kwargs):
+        srv = BackgroundServer(**kwargs)
+        url = srv.start()
+        live.append(srv)
+        return url, srv.server
+
+    yield launch
+    for srv in live:
+        srv.stop()
+
+
+def _raw(url, method="GET", body=None):
+    """Raw request that never raises: (status, headers, parsed-or-text body)."""
+    req = urllib.request.Request(url, data=body, method=method)
+    if body is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestBasicEndpoints:
+    def test_healthz(self, server_factory):
+        url, _ = server_factory()
+        body = ServeClient(url).healthz()
+        assert body["status"] == "ok"
+        assert body["inflight"] == 0
+
+    def test_classify_matches_direct_and_caches(self, server_factory):
+        from repro.flow import classify_network
+        from repro.serve import report_to_json
+
+        url, _ = server_factory()
+        client = ServeClient(url)
+        first = client.classify(SPEC)
+        direct = report_to_json(classify_network(parse_spec(SPEC).extended()))
+        assert {k: v for k, v in first.items() if k != "cache_hit"} == direct
+        assert first["cache_hit"] is False
+        assert client.classify(SPEC)["cache_hit"] is True
+
+    def test_simulate_roundtrip(self, server_factory):
+        url, _ = server_factory()
+        body = ServeClient(url).simulate(SPEC, horizon=200, seed=5)
+        expected = direct_simulate(parse_spec(SPEC), 200, 5)
+        assert {k: body[k] for k in expected} == expected
+        assert body["horizon"] == 200 and body["seed"] == 5
+
+    def test_metrics_exposes_request_counters(self, server_factory):
+        url, _ = server_factory()
+        client = ServeClient(url)
+        client.healthz()
+        text = client.metrics_text()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert 'endpoint="/healthz"' in text
+
+
+class TestStructuredErrors:
+    @pytest.mark.parametrize("method,path,body,status,slug", [
+        ("GET", "/nowhere", None, 404, "not-found"),
+        ("DELETE", "/healthz", None, 405, "method-not-allowed"),
+        ("GET", "/v1/classify", None, 405, "method-not-allowed"),
+        ("POST", "/v1/classify", b"{not json", 400, "bad-request"),
+        ("POST", "/v1/classify", b"", 400, "bad-request"),
+        ("POST", "/v1/simulate", b'{"spec": {"topology": "torus"}}',
+         400, "bad-request"),
+        ("POST", "/v1/sweeps", b'{"axes": 5}', 503, "jobs-disabled"),
+        ("GET", "/v1/sweeps/swp-unknown", None, 503, "jobs-disabled"),
+    ])
+    def test_every_error_body_is_structured_json(self, server_factory,
+                                                 method, path, body,
+                                                 status, slug):
+        url, _ = server_factory()
+        code, headers, raw = _raw(url + path, method, body)
+        assert code == status
+        assert headers["Content-Type"].startswith("application/json")
+        parsed = json.loads(raw.decode("utf-8"))
+        assert set(parsed) == {"error", "detail"}
+        assert parsed["error"] == slug
+        assert isinstance(parsed["detail"], str) and parsed["detail"]
+
+    def test_unknown_job_is_404_when_jobs_enabled(self, server_factory,
+                                                  tmp_path):
+        url, _ = server_factory(jobs_dir=str(tmp_path / "jobs"))
+        code, _, raw = _raw(url + "/v1/sweeps/swp-unknown")
+        assert code == 404
+        assert json.loads(raw)["error"] == "not-found"
+
+    def test_oversized_body_is_413(self, server_factory):
+        url, _ = server_factory()
+        code, _, raw = _raw(url + "/v1/classify", "POST", b" " * (1 << 20 + 1))
+        assert code == 413
+        assert json.loads(raw)["error"] == "payload-too-large"
+
+    def test_client_surfaces_error_slug(self, server_factory):
+        url, _ = server_factory()
+        with pytest.raises(ServeError) as exc_info:
+            ServeClient(url).classify({"topology": "torus"})
+        assert exc_info.value.status == 400
+        assert exc_info.value.error == "bad-request"
+
+
+class TestConcurrentDifferential:
+    def test_identical_burst_is_bit_identical_and_coalesced(self, server_factory):
+        """The ISSUE's differential criterion, over real HTTP."""
+        n = 8
+        url, server = server_factory(batch_window=0.25, workers=2)
+        client = ServeClient(url)
+        results: dict[int, dict] = {}
+        errors: list[Exception] = []
+        barrier = threading.Barrier(n)
+
+        def worker(seed):
+            try:
+                barrier.wait(timeout=10)
+                results[seed] = client.simulate(SPEC, horizon=250, seed=seed)
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(results) == n
+
+        spec = parse_spec(SPEC)
+        for seed, body in results.items():
+            expected = direct_simulate(spec, 250, seed)
+            assert {k: body[k] for k in expected} == expected
+
+        batches = {body["batch"]["seq"] for body in results.values()}
+        assert len(batches) < n  # served from fewer than N ensemble runs
+        assert len(server.batcher.batch_log) == len(batches)
+        assert sum(size for _, _, size in server.batcher.batch_log) == n
+
+
+class TestShedding:
+    def test_burst_over_capacity_sheds_cleanly(self, server_factory):
+        """The ISSUE's load criterion: only 200/429, zero 5xx, zero drops,
+        and the shed counter equals the number of 429s exactly."""
+        n = 12
+        url, server = server_factory(queue_limit=2, batch_window=0.3)
+        get_registry().reset()  # clean slate for the equality check
+        client = ServeClient(url)
+        statuses: list[int] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(n)
+
+        def worker(seed):
+            barrier.wait(timeout=10)
+            try:
+                client.simulate(SPEC, horizon=200, seed=seed)
+                code = 200
+            except ServeError as exc:
+                code = exc.status
+                if code == 429:
+                    assert exc.retry_after is not None  # Retry-After was sent
+            with lock:
+                statuses.append(code)
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        assert len(statuses) == n                      # zero dropped requests
+        assert set(statuses) <= {200, 429}             # zero 5xx
+        n_429 = statuses.count(429)
+        assert n_429 >= 1                              # the burst did overload
+        assert statuses.count(200) >= 1                # but some work got done
+
+        snapshot = get_registry().snapshot()
+        shed_series = snapshot["repro_serve_shed_total"]["series"]
+        assert shed_series[0]["value"] == n_429
+        # and the same number is scrape-able as Prometheus text
+        text = client.metrics_text()
+        assert f"repro_serve_shed_total {n_429}" in text
+
+
+class TestSweepsOverHttp:
+    def test_submit_poll_records_end_to_end(self, server_factory, tmp_path):
+        url, _ = server_factory(jobs_dir=str(tmp_path / "jobs"))
+        client = ServeClient(url)
+        job = client.submit_sweep({"point": "region", "axes": {"n": [5, 6]},
+                                   "horizon": 150, "seed": 9})
+        assert job["state"] in ("queued", "running", "done")
+        done = client.wait_sweep(job["id"], timeout=120)
+        assert done["state"] == "done"
+        assert done["completed_points"] == done["total_points"] == 2
+        assert done["summary"]["diagonal_intact"] in (True, False)
+        rows = client.sweep_status(job["id"], records=True)["records"]
+        assert len(rows) == 2
+        # resubmitting the same grid rejoins the finished job
+        again = client.submit_sweep({"point": "region", "axes": {"n": [5, 6]},
+                                     "horizon": 150, "seed": 9})
+        assert again["id"] == job["id"]
+
+    def test_jobs_survive_server_restart(self, server_factory, tmp_path):
+        jobs_dir = str(tmp_path / "jobs")
+        url, _ = server_factory(jobs_dir=jobs_dir)
+        client = ServeClient(url)
+        job = client.submit_sweep({"point": "classify", "axes": {"n": [5]},
+                                   "seed": 2})
+        client.wait_sweep(job["id"], timeout=120)
+        # a second server over the same directory sees the finished job
+        url2, _ = server_factory(jobs_dir=jobs_dir)
+        status = ServeClient(url2).sweep_status(job["id"])
+        assert status["state"] == "done"

@@ -178,3 +178,60 @@ class TestFeasibilityCache:
         cached_classify(_line_spec(out_rate=3))
         assert shared_cache().size >= before
         assert shared_cache() is shared_cache()
+
+
+class TestThreadSafety:
+    def test_hammer_from_many_threads_stays_consistent(self):
+        """8 threads × shared cache over a handful of distinct specs: every
+        lookup returns the right report, counters reconcile exactly, and
+        the bounded table never exceeds its limit."""
+        import threading
+
+        specs = [_line_spec(in_rate=i, out_rate=j)
+                 for i in (1, 2) for j in (1, 2, 3)]
+        expected = {canonical_spec_key(s): _report_fields(
+            classify_network(s.extended())) for s in specs}
+        cache = FeasibilityCache(max_entries=4)  # force eviction churn
+        errors = []
+
+        def worker(tid):
+            rng = np.random.default_rng(tid)
+            try:
+                for _ in range(150):
+                    spec = specs[int(rng.integers(len(specs)))]
+                    report = cache.classify(spec)
+                    assert (_report_fields(report)
+                            == expected[canonical_spec_key(spec)])
+            except Exception as exc:  # noqa: BLE001 - re-raised on main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # every lookup is accounted for: hits + misses == total calls, and
+        # the lock keeps the counters from losing increments
+        assert cache.hits + cache.misses == 8 * 150
+        assert cache.size <= 4
+
+    def test_concurrent_clear_does_not_corrupt(self):
+        import threading
+
+        cache = FeasibilityCache()
+        stop = threading.Event()
+
+        def clearer():
+            while not stop.is_set():
+                cache.clear()
+
+        t = threading.Thread(target=clearer)
+        t.start()
+        try:
+            for _ in range(100):
+                report = cache.classify(_line_spec())
+                assert report.network_class is not None
+        finally:
+            stop.set()
+            t.join()

@@ -198,3 +198,59 @@ class TestRejection:
     def test_missing_file(self):
         with pytest.raises(SweepError, match="cannot read"):
             load_records("/nonexistent/nowhere.jsonl")
+
+
+class TestMultibyteTornTail:
+    """A SIGKILL can land mid-UTF-8-multibyte-sequence: the truncated tail
+    is then not just invalid JSON but invalid *UTF-8*.  ``load_records``
+    must drop it like any other torn final line — never raise
+    ``UnicodeDecodeError`` — while mid-file undecodable bytes stay fatal."""
+
+    def unicode_point(self, params, seed):
+        return {"label": "λ≈0.5 → 队列", "x_seen": params["x"]}
+
+    def _torn_mid_multibyte(self, cp):
+        """Truncate the final line inside one of its multibyte characters,
+        returning the byte prefix (guaranteed undecodable tail)."""
+        data = cp.read_bytes()
+        lines = data.split(b"\n")
+        last = lines[-2] if lines[-1] == b"" else lines[-1]
+        # cut one byte into the last multibyte char of the final record
+        offsets = [i for i, b in enumerate(last) if b >= 0xC0]
+        assert offsets, "fixture record must contain multibyte characters"
+        keep = len(data) - len(last) + offsets[-1] + 1
+        return data[:keep]
+
+    def test_tail_torn_mid_utf8_is_dropped(self):
+        grid = _grid(4)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            run_sweep(grid, self.unicode_point, checkpoint=cp)
+            cp.write_bytes(self._torn_mid_multibyte(cp))
+
+            _, records = load_records(cp)  # pre-fix: UnicodeDecodeError
+            assert sorted(records) == [0, 1, 2]
+            assert records[2]["record"]["label"] == "λ≈0.5 → 队列"
+
+    def test_resume_after_multibyte_tear_matches_full_run(self):
+        grid = _grid(4)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            full = run_sweep(grid, self.unicode_point, checkpoint=cp)
+            cp.write_bytes(self._torn_mid_multibyte(cp))
+
+            resumed = run_sweep(grid, self.unicode_point,
+                                checkpoint=cp, resume=True)
+            assert resumed.records == full.records
+            assert resumed.resumed == 3
+
+    def test_mid_file_undecodable_line_is_still_fatal(self):
+        grid = _grid(4)
+        with tempfile.TemporaryDirectory() as tmp:
+            cp = pathlib.Path(tmp) / "cp.jsonl"
+            run_sweep(grid, self.unicode_point, checkpoint=cp)
+            lines = cp.read_bytes().split(b"\n")
+            lines[2] = lines[2][:-3]  # tear an interior line mid-character
+            cp.write_bytes(b"\n".join(lines))
+            with pytest.raises(SweepError, match="corrupt"):
+                load_records(cp)

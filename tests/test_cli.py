@@ -121,3 +121,62 @@ class TestSweep:
     def test_bad_axis_spec(self, capsys):
         assert main(["sweep", "--axis", "nonsense"]) == 2
         assert "bad axis" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Bad input must exit non-zero with a one-line error — no traceback."""
+
+    def _err_lines(self, capsys):
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        return [line for line in err.splitlines() if line]
+
+    def test_bad_axis_value_is_one_line(self, capsys):
+        assert main(["sweep", "--axis", "n=abc", "--horizon", "64"]) == 2
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1
+        assert lines[0].startswith("error:") and "n='abc'" in lines[0]
+
+    def test_ragged_zip_is_one_line(self, capsys):
+        assert main(["sweep", "--zip", "n=4,5;p=0.3,0.4,0.5",
+                     "--horizon", "64"]) == 2
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1
+        assert "equal lengths" in lines[0]
+
+    def test_bad_zip_syntax_is_one_line(self, capsys):
+        assert main(["sweep", "--zip", "garbage"]) == 2
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1
+        assert "bad axis" in lines[0]
+
+    def test_bad_float_axis_value(self, capsys):
+        # p=x parses as the string "x"; the point function must reject it
+        assert main(["sweep", "--axis", "p=x", "--horizon", "64"]) == 2
+        lines = self._err_lines(capsys)
+        assert len(lines) == 1
+        assert "p='x'" in lines[0]
+
+    def test_unexpected_exception_is_one_line_exit_1(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(_args):
+            raise RuntimeError("wires crossed")
+
+        monkeypatch.setattr(cli, "_run_sweep_command", boom)
+        assert main(["sweep", "--axis", "n=6"]) == 1
+        lines = self._err_lines(capsys)
+        assert lines == ["error: RuntimeError: wires crossed"]
+
+
+class TestServeCommand:
+    def test_serve_help_lists_knobs(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["serve", "--help"])
+        assert exc_info.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--batch-window", "--queue-limit", "--rate",
+                     "--jobs-dir", "--max-horizon"):
+            assert flag in out
