@@ -25,13 +25,14 @@ across enable/disable flips (always re-fetch from the registry; the guard
 ``if reg.enabled`` above also skips any label-building work).  Enable with
 ``repro.obs.configure(metrics=True)``.
 
-Instruments are plain Python values updated without locks: the registry
-is per-process by design (sweep workers each own one), the simulator is
-single-threaded, and under CPython each ``inc``/``set``/``observe`` is a
-handful of bytecode ops.  The *creation* paths (registering an instrument,
-materialising a labeled child) are lock-guarded, so multi-threaded
-consumers like :mod:`repro.serve` never lose an instrument to a
-create/create race.
+Every instrument guards its value updates (and its labeled-child table)
+with a per-instrument lock.  The registry is per-process by design (sweep
+workers each own one) and the simulator hot path is single-threaded —
+there an ``inc``/``set``/``observe`` costs one uncontended acquire — but
+:mod:`repro.serve` updates the same instruments from the event-loop
+thread, the request thread pool, and the jobs worker, and its load tests
+assert counters *exactly* (shed count == number of 429s), so a lost
+read-modify-write is a correctness bug, not noise.
 """
 
 from __future__ import annotations
@@ -97,7 +98,11 @@ NULL_INSTRUMENT = _NullInstrument()
 
 class _Instrument:
     """Common parent/child plumbing: a labeled family with one value slot
-    per distinct label tuple (the unlabeled parent is its own slot)."""
+    per distinct label tuple (the unlabeled parent is its own slot).
+
+    ``_lock`` guards both the child table and this slot's value — serve
+    updates instruments from several threads at once.
+    """
 
     kind = "untyped"
 
@@ -107,13 +112,13 @@ class _Instrument:
         self.label_names: Tuple[str, ...] = tuple(label_names)
         self._labels: LabelValues = ()
         self._children: dict[LabelValues, "_Instrument"] = {}
-        self._child_lock = threading.Lock()
+        self._lock = threading.Lock()
 
     def labels(self, **kv) -> "_Instrument":
         key = _label_key(self.label_names, kv)
         child = self._children.get(key)
         if child is None:
-            with self._child_lock:
+            with self._lock:
                 child = self._children.get(key)
                 if child is None:
                     child = type(self)(self.name, self.help, self.label_names)
@@ -144,7 +149,8 @@ class Counter(_Instrument):
             raise ObservabilityError(
                 f"counter {self.name} cannot decrease (inc({amount}))"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge(_Instrument):
@@ -157,13 +163,16 @@ class Gauge(_Instrument):
         self.value: float = 0
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram(_Instrument):
@@ -200,7 +209,7 @@ class Histogram(_Instrument):
         key = _label_key(self.label_names, kv)
         child = self._children.get(key)
         if child is None:
-            with self._child_lock:
+            with self._lock:
                 child = self._children.get(key)
                 if child is None:
                     child = Histogram(self.name, self.help, self.label_names,
@@ -210,9 +219,11 @@ class Histogram(_Instrument):
         return child  # type: ignore[return-value]
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
-        self.count += 1
+        slot = bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[slot] += 1
+            self.sum += value
+            self.count += 1
 
 
 def _escape(value: object) -> str:

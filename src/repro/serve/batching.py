@@ -24,6 +24,7 @@ hanging any of them.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 from concurrent.futures import Executor
 from typing import Optional
@@ -122,8 +123,23 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     @staticmethod
     def fingerprint(spec: NetworkSpec, horizon: int, loss_p: float) -> str:
-        """Batch key: everything the ensemble shares — not the seed."""
-        return (f"{canonical_spec_key(spec)}:h={horizon}:loss={loss_p!r}"
+        """Batch key: everything the ensemble shares — not the seed.
+
+        :func:`canonical_spec_key` alone is deliberately too coarse here:
+        it normalises edge insertion order and orientation away (right for
+        classification, which only sees the underlying ``G*``), but the
+        executed batch reuses member 0's spec for every replica, and LGG
+        tie-breaking is defined over edge ids/slots.  The order-sensitive
+        digest of the raw edge arrays keeps coalescing conservative:
+        requests share an ensemble only when their specs are structurally
+        identical, so every member stays bit-identical to its own scalar
+        oracle under any tie-break or per-edge loss model.
+        """
+        edge_digest = hashlib.sha256()
+        for eid, u, v in spec.graph.edges():
+            edge_digest.update(f"{eid}:{u}>{v};".encode("ascii"))
+        return (f"{canonical_spec_key(spec)}:eo={edge_digest.hexdigest()}"
+                f":h={horizon}:loss={loss_p!r}"
                 f":R={spec.retention}:rev={spec.revelation.value}"
                 f":exact={spec.exact_injection}")
 

@@ -11,9 +11,11 @@ is two files in the job directory:
   per point, torn-tail-tolerant.  A job killed mid-write loses at most the
   point being written.
 
-Job ids are derived from the grid fingerprint, which buys idempotency for
+Job ids are derived from the grid fingerprint *and* the point type (the
+two inputs that determine the computation), which buys idempotency for
 free: resubmitting the same sweep returns the existing job (done, running,
-or resumable) instead of forking a duplicate.  On startup
+or resumable) instead of forking a duplicate, while the same grid swept
+with a different point function gets its own job and checkpoint.  On startup
 :meth:`JobManager.recover` re-enqueues every non-terminal job; the
 executor's ``resume=True`` path then runs only the missing points, and the
 determinism contract (seeds from the grid, never from scheduling) makes
@@ -26,6 +28,7 @@ traffic.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
@@ -203,9 +206,13 @@ class JobManager:
 
     # -- public API ----------------------------------------------------
     def submit(self, request: Mapping[str, Any]) -> SweepJob:
-        """Create (or rejoin) the job for ``request``; idempotent by grid."""
+        """Create (or rejoin) the job for ``request``; idempotent by
+        (grid, point) — everything that determines the computation."""
         grid, point = grid_from_request(request)
-        job_id = f"swp-{grid.fingerprint()[:16]}"
+        digest = hashlib.sha256(
+            f"{point}:{grid.fingerprint()}".encode("ascii")
+        ).hexdigest()
+        job_id = f"swp-{digest[:16]}"
         with self._lock:
             existing = self._jobs.get(job_id)
             if existing is not None and existing.state in (

@@ -225,7 +225,15 @@ class ReproServer:
             name, sep, value = line.partition(":")
             if sep:
                 headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "").strip() or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise ServeError(f"malformed Content-Length: {raw_length!r}",
+                             status=400, error="bad-request") from None
+        if length < 0:
+            raise ServeError(f"Content-Length cannot be negative, got {length}",
+                             status=400, error="bad-request")
         if length > _MAX_BODY:
             # drain (bounded chunks, never buffered whole) so the client
             # finishes its send and can read the 413 instead of a reset
@@ -446,13 +454,18 @@ class BackgroundServer:
         finally:
             await self.server.aclose()
 
-    def start(self) -> str:
+    def start(self, timeout: float = 10.0) -> str:
         self._thread = threading.Thread(
             target=lambda: asyncio.run(self._main()),
             name="repro-serve-loop", daemon=True,
         )
         self._thread.start()
-        self._ready.wait(timeout=10.0)
+        if not self._ready.wait(timeout=timeout):
+            # never hand back a base_url with an unresolved port
+            raise ServeError(
+                f"background server did not become ready within {timeout:g}s",
+                status=None, error="startup-timeout",
+            )
         if self._error is not None:
             raise self._error
         return self.server.base_url

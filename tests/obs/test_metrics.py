@@ -120,3 +120,38 @@ class TestExport:
         reg.counter("c", "", ("k",)).labels(k='a"b\\c\nd').inc()
         text = reg.render_prometheus()
         assert 'c{k="a\\"b\\\\c\\nd"} 1' in text
+
+
+class TestThreadSafety:
+    def test_concurrent_updates_are_never_lost(self):
+        """repro.serve updates instruments from the event loop, the request
+        pool, and the jobs worker at once — and its load tests assert
+        counters exactly, so every read-modify-write must land."""
+        import threading
+
+        reg = MetricsRegistry()
+        counter = reg.counter("hammer_total", "", ("who",))
+        gauge = reg.gauge("hammer_depth")
+        hist = reg.histogram("hammer_seconds", buckets=(1.0, 2.0))
+        rounds, workers = 2_000, 8
+
+        def work(w: int) -> None:
+            child = counter.labels(who=str(w % 2))
+            for _ in range(rounds):
+                child.inc()
+                gauge.inc(2)
+                gauge.dec()
+                hist.observe(0.5)
+
+        threads = [threading.Thread(target=work, args=(w,))
+                   for w in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert counter.labels(who="0").value == rounds * workers / 2
+        assert counter.labels(who="1").value == rounds * workers / 2
+        assert gauge.value == rounds * workers
+        assert hist.count == rounds * workers
+        assert hist.bucket_counts[0] == rounds * workers
+        assert hist.sum == pytest.approx(0.5 * rounds * workers)

@@ -80,6 +80,50 @@ class TestCoalescingKeys:
         assert MicroBatcher.fingerprint(PATH_SPEC, 300, 0.0) != a
         assert MicroBatcher.fingerprint(GRID_SPEC, 200, 0.0) != a
 
+    def test_fingerprint_is_edge_order_and_orientation_sensitive(self):
+        """LGG tie-breaking is defined over edge ids/slots, so specs whose
+        edge lists are permutations (or orientation flips) of each other
+        must never share a batch — even though ``canonical_spec_key``
+        deliberately unifies them for classification."""
+        from repro.sweep.cache import canonical_spec_key
+
+        base = {"nodes": 4, "edges": [[0, 1], [0, 2], [1, 3], [2, 3]],
+                "in_rates": {"0": 2}, "out_rates": {"3": 1}}
+        permuted = dict(base, edges=[[2, 3], [1, 3], [0, 2], [0, 1]])
+        flipped = dict(base, edges=[[1, 0], [0, 2], [1, 3], [2, 3]])
+
+        a = MicroBatcher.fingerprint(parse_spec(base), 200, 0.0)
+        assert MicroBatcher.fingerprint(parse_spec(base), 200, 0.0) == a
+        for variant in (permuted, flipped):
+            spec = parse_spec(variant)
+            # same canonical key (one flow computation) ...
+            assert canonical_spec_key(spec) == canonical_spec_key(parse_spec(base))
+            # ... but never the same batch
+            assert MicroBatcher.fingerprint(spec, 200, 0.0) != a
+
+    def test_permuted_edge_lists_in_one_window_do_not_coalesce(self):
+        """Two requests whose edge lists are permutations of each other,
+        landing inside one coalescing window: each must be simulated on
+        its *own* edge ordering and match its own scalar oracle."""
+        base = parse_spec({"nodes": 4, "edges": [[0, 1], [0, 2], [1, 3], [2, 3]],
+                           "in_rates": {"0": 2}, "out_rates": {"3": 1}})
+        perm = parse_spec({"nodes": 4, "edges": [[2, 3], [1, 3], [0, 2], [0, 1]],
+                           "in_rates": {"0": 2}, "out_rates": {"3": 1}})
+
+        async def scenario():
+            batcher = MicroBatcher(window=0.05)
+            results = await asyncio.gather(
+                batcher.simulate(base, 200, 3),
+                batcher.simulate(perm, 200, 11),
+            )
+            return batcher, results
+
+        batcher, (r_base, r_perm) = asyncio.run(scenario())
+        assert len(batcher.batch_log) == 2
+        assert sorted(size for _, _, size in batcher.batch_log) == [1, 1]
+        assert _strip(r_base) == direct_simulate(base, 200, 3)
+        assert _strip(r_perm) == direct_simulate(perm, 200, 11)
+
 
 class TestFlushTriggers:
     def test_max_batch_flushes_without_waiting_for_window(self):

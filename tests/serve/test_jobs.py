@@ -104,6 +104,25 @@ class TestLifecycle:
         mgr.run_job(first.id)
         assert mgr.submit(REQUEST).state is JobState.DONE  # rejoins, no rerun
 
+    def test_point_type_gets_its_own_job_and_checkpoint(self, tmp_path):
+        """Identical axes/seed but a different point function must fork a
+        new job: rejoining across point types would hand back the wrong
+        record schema and share one checkpoint file between two different
+        computations."""
+        mgr = _manager(tmp_path)
+        # no pinned horizon, so region and classify build the *same* grid
+        region = mgr.submit({"axes": {"n": [5, 6]}, "seed": 9})
+        classify = mgr.submit({"axes": {"n": [5, 6]}, "seed": 9,
+                               "point": "classify"})
+        assert classify.id != region.id
+        assert classify.state is JobState.QUEUED  # a fresh job, not a rejoin
+        assert mgr.checkpoint_path(classify.id) != mgr.checkpoint_path(region.id)
+        mgr.run_job(region.id)
+        mgr.run_job(classify.id)
+        assert "confusion" in mgr.status(region.id).summary
+        assert "confusion" not in mgr.status(classify.id).summary
+        assert all("bounded" not in row for row in mgr.records(classify.id))
+
     def test_status_unknown_job_is_404(self, tmp_path):
         with pytest.raises(ServeError) as exc_info:
             _manager(tmp_path).status("swp-missing")

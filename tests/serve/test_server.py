@@ -12,9 +12,12 @@ Three of the ISSUE's acceptance criteria live here:
   JSON.
 """
 
+import asyncio
 import json
+import socket
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import pytest
@@ -120,6 +123,27 @@ class TestStructuredErrors:
         code, _, raw = _raw(url + "/v1/sweeps/swp-unknown")
         assert code == 404
         assert json.loads(raw)["error"] == "not-found"
+
+    @pytest.mark.parametrize("value", ["banana", "12abc", "-5"])
+    def test_malformed_content_length_is_structured_400(self, server_factory,
+                                                        value):
+        """urllib always sends a well-formed Content-Length, so speak raw
+        HTTP: a garbage (or negative) header must yield the structured 400
+        contract, not a dropped connection."""
+        url, _ = server_factory()
+        parts = urllib.parse.urlsplit(url)
+        with socket.create_connection((parts.hostname, parts.port),
+                                      timeout=10) as sock:
+            sock.sendall((f"POST /v1/classify HTTP/1.1\r\nHost: t\r\n"
+                          f"Content-Length: {value}\r\n\r\n").encode("ascii"))
+            data = b""
+            while chunk := sock.recv(1 << 16):
+                data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        assert head.split(b"\r\n", 1)[0] == b"HTTP/1.1 400 Bad Request"
+        parsed = json.loads(body)
+        assert parsed["error"] == "bad-request"
+        assert "Content-Length" in parsed["detail"]
 
     def test_oversized_body_is_413(self, server_factory):
         url, _ = server_factory()
@@ -244,3 +268,17 @@ class TestSweepsOverHttp:
         url2, _ = server_factory(jobs_dir=jobs_dir)
         status = ServeClient(url2).sweep_status(job["id"])
         assert status["state"] == "done"
+
+
+class TestBackgroundServerLifecycle:
+    def test_start_raises_when_loop_never_becomes_ready(self):
+        """A stalled loop thread must surface as an error, never as a
+        base_url pointing at the unresolved port 0."""
+        srv = BackgroundServer()
+
+        async def stall():  # stands in for _main; never signals readiness
+            await asyncio.sleep(2.0)
+
+        srv._main = stall
+        with pytest.raises(ServeError, match="ready"):
+            srv.start(timeout=0.05)
