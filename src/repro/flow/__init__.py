@@ -13,8 +13,11 @@ implements, from scratch:
   paper's reference [6]), FIFO and highest-label variants,
 * :mod:`~repro.flow.mincut` — cut extraction and the cut taxonomy of
   Section V (trivial source cut / sink cut / interior S-D-cut),
+* :mod:`~repro.flow.warmstart` — the parametric warm-start engine: one
+  cold solve, then monotone capacity increases answered by in-place
+  residual re-augmentation (Dinic-on-residual or warm push-relabel),
 * :mod:`~repro.flow.feasibility` — Definitions 3–4: feasible, unsaturated,
-  saturated; the certified ε margin; ``f*``,
+  saturated; the certified ε margin; ``f*`` — all on one warm chain,
 * :mod:`~repro.flow.decomposition` — flow → path decomposition, used by the
   maximum-flow routing baseline (the ``E_t^Φ`` of the proofs).
 """
@@ -34,6 +37,7 @@ from repro.flow.decomposition import (
     decompose_paths,
     edge_flow_from_result,
 )
+from repro.flow.warmstart import ParametricMaxFlow, source_arc_updates
 from repro.flow.cut_enum import CutFamily, count_min_cuts, enumerate_min_cuts
 from repro.flow.capacity_scaling import capacity_scaling
 from repro.flow.distributed_pr import DistributedRun, distributed_push_relabel
@@ -55,6 +59,8 @@ __all__ = [
     "classify_network",
     "f_star",
     "feasible_flow",
+    "ParametricMaxFlow",
+    "source_arc_updates",
     "PathDecomposition",
     "decompose_paths",
     "edge_flow_from_result",

@@ -3,6 +3,12 @@
 O(V² · E) in general, O(E · sqrt(V)) on unit-capacity networks — which is
 exactly what the extended graphs ``G*`` of this library look like away from
 the virtual arcs, so this is the default solver.
+
+The phase loop is factored out as :func:`augment_residual` so the
+parametric warm-start engine (:mod:`repro.flow.warmstart`) can re-run it on
+a residual network that already carries flow: Dinic never assumes the flow
+starts at zero, so "continue augmenting from here" is the same code path as
+"solve from scratch".
 """
 
 from __future__ import annotations
@@ -12,17 +18,32 @@ from collections import deque
 from repro.flow.residual import FlowProblem, FlowResult, Residual
 from repro.obs.metrics import get_registry
 
-__all__ = ["dinic"]
+__all__ = ["dinic", "augment_residual"]
 
 
-def dinic(problem: FlowProblem) -> FlowResult:
-    """Compute a maximum ``source -> sink`` flow with Dinic's algorithm."""
-    res = Residual(problem)
+def augment_residual(res: Residual, *, target_gain=None) -> tuple:
+    """Run Dinic phases on ``res`` until no augmenting path remains.
+
+    Returns ``(gained, phases, augmentations, arc_pushes)`` where ``gained``
+    is the flow added on top of whatever ``res`` already carried and
+    ``arc_pushes`` counts individual residual-arc pushes (the work metric
+    mirrored into ``repro_flow_warm_augment_arcs_total`` by the warm-start
+    engine).
+
+    ``target_gain`` stops the phase loop as soon as ``gained`` reaches it,
+    skipping the final no-path BFS.  Callers pass it only when reaching the
+    target *certifies* maximality (e.g. the feasibility probes, whose
+    target equals the total source-arc capacity — an upper bound no flow
+    can exceed); the flow cannot overshoot a capacity bound, so stopping
+    there is exact.
+    """
+    problem = res.problem
     n, s, t = problem.n, problem.source, problem.sink
     level = [-1] * n
     it = [0] * n  # per-node iterator into res.adj (current-arc optimisation)
     phases = 0
     augmentations = 0
+    arc_pushes = 0
 
     def bfs() -> bool:
         for i in range(n):
@@ -32,7 +53,10 @@ def dinic(problem: FlowProblem) -> FlowResult:
         while queue:
             u = queue.popleft()
             for a in res.adj[u]:
-                if res.residual[a] > 0:
+                # truthiness == "> 0": residuals are never negative, and
+                # Fraction.__bool__ (an int != 0) is far cheaper than the
+                # Fraction.__gt__ rational comparison on this hot path
+                if res.residual[a]:
                     v = res.to[a]
                     if level[v] == -1:
                         level[v] = level[u] + 1
@@ -48,7 +72,7 @@ def dinic(problem: FlowProblem) -> FlowResult:
         retreat to the saturated arc; on a dead end, prune the node from the
         level graph and retreat one step.
         """
-        nonlocal augmentations
+        nonlocal augmentations, arc_pushes
         total = 0
         path: list[int] = []  # residual arc indices from s to the current node
         u = s
@@ -59,9 +83,10 @@ def dinic(problem: FlowProblem) -> FlowResult:
                     res.push(a, bottleneck)
                 total += bottleneck
                 augmentations += 1
+                arc_pushes += len(path)
                 # retreat to just before the first saturated arc
                 for i, a in enumerate(path):
-                    if res.residual[a] == 0:
+                    if not res.residual[a]:
                         del path[i:]
                         break
                 u = res.to[path[-1]] if path else s
@@ -71,7 +96,7 @@ def dinic(problem: FlowProblem) -> FlowResult:
             while it[u] < len(adj_u):
                 a = adj_u[it[u]]
                 v = res.to[a]
-                if res.residual[a] > 0 and level[v] == level[u] + 1:
+                if res.residual[a] and level[v] == level[u] + 1:
                     path.append(a)
                     u = v
                     advanced = True
@@ -87,12 +112,19 @@ def dinic(problem: FlowProblem) -> FlowResult:
             u = res.to[a ^ 1]
             it[u] += 1
 
-    value = 0
-    while bfs():
+    gained = 0
+    while (target_gain is None or gained < target_gain) and bfs():
         phases += 1
         for i in range(n):
             it[i] = 0
-        value = value + blocking_flow()
+        gained = gained + blocking_flow()
+    return gained, phases, augmentations, arc_pushes
+
+
+def dinic(problem: FlowProblem) -> FlowResult:
+    """Compute a maximum ``source -> sink`` flow with Dinic's algorithm."""
+    res = Residual(problem)
+    value, phases, augmentations, _ = augment_residual(res)
 
     reg = get_registry()
     if reg.enabled:

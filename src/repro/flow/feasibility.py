@@ -28,15 +28,18 @@ from repro.errors import FlowError
 from repro.flow.maxflow import max_flow
 from repro.flow.mincut import CutKind, MinCut, classify_cut, is_unique_min_cut, min_cut
 from repro.flow.residual import FlowProblem, FlowResult
+from repro.flow.warmstart import ParametricMaxFlow, source_arc_updates
 
 __all__ = [
     "NetworkClass",
     "FeasibilityReport",
     "classify_network",
+    "classify_network_cold",
     "f_star",
     "feasible_flow",
     "certification_epsilon",
     "max_unsaturation_margin",
+    "max_unsaturation_margin_cold",
 ]
 
 
@@ -126,7 +129,78 @@ def certification_epsilon(ext) -> Fraction:
 
 
 def classify_network(ext, algorithm: str = "dinic") -> FeasibilityReport:
-    """Full Definitions 3–4 classification of an extended graph ``G*``."""
+    """Full Definitions 3–4 classification of an extended graph ``G*``.
+
+    One *cold* max-flow solve, then one shared warm-start chain
+    (:class:`~repro.flow.warmstart.ParametricMaxFlow`): the ε-scaled
+    certification probe and the ``f*`` relaxation only *raise* the virtual
+    ``(s*, v)`` capacities, so each is an incremental re-augmentation of
+    the base solve's residual rather than a solve from scratch.  The
+    verdicts are bit-identical to :func:`classify_network_cold` (asserted
+    by the differential matrix in ``tests/flow/test_warmstart.py``).
+    """
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
+    engine = ParametricMaxFlow(_exact_problem(ext), algorithm)
+    base = engine.result
+    base_value = base.value
+    # cut facts snapshot the base residual — extract before advancing
+    cut = min_cut(base)
+    kind = classify_cut(cut, base.problem)
+    unique = is_unique_min_cut(base)
+
+    big = sum(ext.out_rates.values(), start=Fraction(0)) + 1
+
+    def _raise_to(caps: dict) -> object:
+        """Advance the chain; max() keeps the schedule monotone when a
+        requested cap sits below the one already reached."""
+        current = engine.problem.capacities
+        updates = {
+            j: c if c > current[j] else current[j]
+            for j, c in source_arc_updates(ext, caps).items()
+        }
+        return engine.raise_arc_capacities(updates)
+
+    if base_value < arrival:
+        fs = _raise_to({v: big for v in ext.in_rates})
+        return FeasibilityReport(
+            network_class=NetworkClass.INFEASIBLE,
+            arrival_rate=arrival,
+            max_flow_value=base_value,
+            f_star=fs,
+            certified_epsilon=None,
+            min_cut=cut,
+            cut_kind=kind,
+            unique_min_cut=unique,
+        )
+
+    eps = certification_epsilon(ext)
+    scaled_caps = {v: (1 + eps) * Fraction(r) for v, r in ext.in_rates.items()}
+    # (1+ε)·arrival is the total source-arc capacity — a certificate that
+    # lets the warm step stop the moment the probe saturates
+    scaled_value = engine.raise_arc_capacities(
+        source_arc_updates(ext, scaled_caps), target_value=(1 + eps) * arrival
+    )
+    unsaturated = scaled_value == (1 + eps) * arrival
+    fs = _raise_to({v: big for v in ext.in_rates})
+
+    return FeasibilityReport(
+        network_class=NetworkClass.UNSATURATED if unsaturated else NetworkClass.SATURATED,
+        arrival_rate=arrival,
+        max_flow_value=base_value,
+        f_star=fs,
+        certified_epsilon=eps if unsaturated else None,
+        min_cut=cut,
+        cut_kind=kind,
+        unique_min_cut=unique,
+    )
+
+
+def classify_network_cold(ext, algorithm: str = "dinic") -> FeasibilityReport:
+    """The pre-warm-start classifier: three independent cold solves.
+
+    Kept as the differential/benchmark twin of :func:`classify_network` —
+    same verdicts, no residual reuse.
+    """
     arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
     base = feasible_flow(ext, algorithm)
     cut = min_cut(base)
@@ -171,6 +245,79 @@ def max_unsaturation_margin(ext, *, tol: Fraction = Fraction(1, 1024), algorithm
     rationals, so the returned value is a certified *lower* bound with
     ``returned + tol`` an upper bound.  Returns 0 for saturated/infeasible
     networks.
+
+    One cold solve (ε = 0), then every probe of the exponential bracket
+    and the bisection is a warm parametric step: each probes ε > lo from a
+    :meth:`~repro.flow.warmstart.ParametricMaxFlow.fork` of the engine
+    state at the last *feasible* ε (``lo``), so an infeasible probe costs
+    only the marginal augmentation between ``lo`` and the probe — never a
+    re-solve from scratch — and is then discarded.  Each infeasible probe
+    additionally banks its min cut as a *certificate*: a cut's capacity is
+    linear in ε (``rest + (1 + ε)·inCross``), so later probes it blocks
+    are refuted in O(1) with no flow work at all (the Gallo–Grigoriadis–
+    Tarjan parametric-cut structure).  The lo/hi bracket trajectory is
+    identical to :func:`max_unsaturation_margin_cold`.
+    """
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
+    if arrival <= 0:
+        raise FlowError("margin undefined for a network with no injections")
+
+    engine = ParametricMaxFlow(_exact_problem(ext), algorithm)  # state at ε = 0
+    if engine.value != arrival:
+        return Fraction(0)
+
+    # arc index of (s*, v) per source node, computed once for all probes
+    arc_of = source_arc_updates(ext, {v: v for v in ext.in_rates})
+    base_caps = engine.problem.capacities  # only source arcs are ever raised
+    # (inCross, rest) per banked min cut: capacity at ε is rest + (1+ε)·inCross
+    cut_certs: list[tuple[Fraction, Fraction]] = []
+
+    def probe(eps: Fraction) -> "ParametricMaxFlow | None":
+        """Engine advanced to ε, or None when ε is infeasible (discarded)."""
+        scale = 1 + eps
+        target = scale * arrival
+        if any(rest + scale * in_cross < target for in_cross, rest in cut_certs):
+            return None  # a banked cut already refutes this ε
+        fork = engine.fork()
+        updates = {j: scale * Fraction(ext.in_rates[v]) for j, v in arc_of.items()}
+        value = fork.raise_arc_capacities(updates, target_value=target)
+        if value == target:
+            return fork
+        cut = min_cut(fork.result)
+        in_cross = rest = Fraction(0)
+        for j in cut.arcs:
+            v = arc_of.get(j)
+            if v is not None:
+                in_cross += Fraction(ext.in_rates[v])
+            else:
+                rest += Fraction(base_caps[j])
+        cut_certs.append((in_cross, rest))
+        return None
+
+    lo = Fraction(0)
+    # exponential search for an infeasible upper bracket
+    hi = Fraction(1)
+    while (advanced := probe(hi)) is not None:
+        engine = advanced  # restart point: last feasible residual
+        lo = hi
+        hi *= 2
+        if hi > 2**20:  # pathological: essentially unbounded slack
+            return lo
+    while hi - lo > tol:
+        mid = (lo + hi) / 2
+        if (advanced := probe(mid)) is not None:
+            engine = advanced
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def max_unsaturation_margin_cold(ext, *, tol: Fraction = Fraction(1, 1024), algorithm: str = "dinic") -> Fraction:
+    """The pre-warm-start margin search: every probe a cold solve.
+
+    Kept as the differential/benchmark twin of
+    :func:`max_unsaturation_margin` — identical brackets and result.
     """
     arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
     if arrival <= 0:

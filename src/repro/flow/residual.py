@@ -62,6 +62,23 @@ class FlowProblem:
         return len(self.tails)
 
     @classmethod
+    def _trusted(cls, *, n, tails, heads, capacities, source, sink) -> "FlowProblem":
+        """Construct without re-running ``__post_init__`` validation.
+
+        Internal fast path for the parametric warm-start engine, which
+        rebuilds the problem every step with capacities it has already
+        checked (same topology, monotone increases of validated values).
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "n", n)
+        object.__setattr__(self, "tails", tails)
+        object.__setattr__(self, "heads", heads)
+        object.__setattr__(self, "capacities", capacities)
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "sink", sink)
+        return self
+
+    @classmethod
     def from_extended(cls, ext, *, source_cap_override: dict[int, Number] | None = None) -> "FlowProblem":
         """Build the ``s* -> d*`` instance from an
         :class:`~repro.graphs.extended.ExtendedGraph`.
@@ -116,6 +133,21 @@ class Residual:
         """Move ``amount`` units of residual capacity along ``arc``."""
         self.residual[arc] -= amount
         self.residual[arc ^ 1] += amount
+
+    def fork(self) -> "Residual":
+        """An independent copy sharing the immutable topology arrays.
+
+        ``to`` and ``adj`` are never mutated after construction, so forks
+        alias them; only the ``residual`` array (the flow state) is copied.
+        This makes checkpoint/rollback in the parametric warm-start engine
+        an O(m) list copy instead of a full rebuild.
+        """
+        clone = Residual.__new__(Residual)
+        clone.problem = self.problem
+        clone.to = self.to
+        clone.adj = self.adj
+        clone.residual = list(self.residual)
+        return clone
 
     def flows(self) -> list[Number]:
         """Per-original-arc flow values (the backward residual)."""

@@ -368,6 +368,9 @@ class ReproServer:
         return out
 
     async def _classify(self, request: _HttpRequest) -> dict:
+        # Cache misses run classify_network's warm-started parametric chain
+        # (one cold solve + two incremental re-augmentations), so even an
+        # all-miss workload pays far less than three solves per request.
         with self.admission.try_admit():
             payload = request.json()
             if not isinstance(payload, dict):

@@ -103,7 +103,14 @@ class FeasibilityCache:
         self.evictions = 0
 
     def classify(self, spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
-        """``classify_network(spec.extended(), algorithm)``, memoized."""
+        """``classify_network(spec.extended(), algorithm)``, memoized.
+
+        A miss pays exactly one cold max-flow solve: ``classify_network``
+        runs its base / ε-scaled / ``f*`` chain on a single warm-started
+        :class:`~repro.flow.warmstart.ParametricMaxFlow` engine, so the
+        cache's unit of work is "one cold solve plus two parametric
+        steps", not three independent solves.
+        """
         key = (canonical_spec_key(spec), algorithm)
         reg = get_registry()
         with self._lock:

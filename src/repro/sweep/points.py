@@ -29,11 +29,16 @@ __all__ = ["random_instance_spec", "classify_point", "region_point"]
 def _param(params: Mapping[str, Any], key: str, cast, default):
     """A pinned grid value cast to its type, or ``default()`` when unpinned.
 
+    "Unpinned" means the key is absent, ``None``, or the empty string (a
+    ragged zipped axis pads short columns with ``""``) — *not* merely
+    falsy: ``p=0`` and ``in_rate=0`` are legitimate pinned values and must
+    reach ``cast``, not silently fall back to the default draw.
+
     A value that will not cast (``--axis n=abc``) is a one-line
     :class:`SweepError`, never a raw ``ValueError`` traceback.
     """
     raw = params.get(key)
-    if not raw:
+    if raw is None or raw == "":
         return cast(default())
     try:
         return cast(raw)
@@ -64,6 +69,10 @@ def random_instance_spec(params: Mapping[str, Any], seed: int) -> NetworkSpec:
         )
     in_hi = _param(params, "in_rate", int, lambda: 2)
     out_hi = _param(params, "out_rate", int, lambda: 3)
+    if in_hi < 1 or out_hi < 1:
+        raise SweepError(
+            f"rate ceilings must be >= 1, got in_rate={in_hi} out_rate={out_hi}"
+        )
     g = gen.random_gnp(n, p, seed=int(rng.integers(0, 2**31 - 1)),
                        ensure_connected=True)
     nodes = rng.permutation(n)

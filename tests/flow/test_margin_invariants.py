@@ -1,0 +1,122 @@
+"""Invariants of the warm-started max-unsaturation-margin search.
+
+The margin is a certified *lower* bound with ``margin + tol`` an upper
+bound: ``(1 + margin)·in`` must still be feasible and
+``(1 + margin + tol)·in`` must not (the ε-feasible set is an interval
+``[0, ε*]``, so infeasibility at the bisection's ``hi`` transfers to
+every larger ε).  The warm search must reproduce the cold search's
+result exactly, and the two documented escape hatches — no injections,
+essentially-unbounded slack — must keep working.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowError
+from repro.flow import ALGORITHMS
+from repro.flow.feasibility import (
+    _exact_problem,
+    max_unsaturation_margin,
+    max_unsaturation_margin_cold,
+)
+from repro.flow.maxflow import max_flow
+from repro.graphs import build_extended_graph
+from repro.graphs import generators as gen
+from repro.graphs.multigraph import MultiGraph
+
+TOL = Fraction(1, 512)
+
+
+def _feasible_at(ext, eps: Fraction, algorithm: str = "dinic") -> bool:
+    """Ground truth by an independent cold solve at scale (1 + eps)."""
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()),
+                  start=Fraction(0))
+    caps = {v: (1 + eps) * Fraction(r) for v, r in ext.in_rates.items()}
+    res = max_flow(_exact_problem(ext, source_cap_override=caps), algorithm)
+    return res.value == (1 + eps) * arrival
+
+
+@st.composite
+def random_networks(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n = draw(st.integers(4, 10))
+    p = draw(st.floats(0.3, 0.75))
+    g = gen.random_gnp(n, p, seed=seed, ensure_connected=True)
+    rng = np.random.default_rng(seed)
+    nodes = rng.permutation(n)
+    k = draw(st.integers(1, 3))
+    in_rates = {int(nodes[i]): Fraction(int(rng.integers(1, 4)),
+                                        int(rng.integers(1, 3)))
+                for i in range(k)}
+    out_rates = {int(nodes[-(j + 1)]): Fraction(int(rng.integers(1, 5)))
+                 for j in range(draw(st.integers(1, 2)))}
+    return build_extended_graph(g, in_rates, out_rates)
+
+
+class TestMarginCertificate:
+    @given(ext=random_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_margin_feasible_margin_plus_tol_not(self, ext):
+        margin = max_unsaturation_margin(ext, tol=TOL)
+        # the returned margin is itself feasible (a certified lower bound)
+        if margin > 0:
+            assert _feasible_at(ext, margin)
+        # ... and tol past it is infeasible, unless the search bailed out
+        # on the unbounded-slack path (margin capped at 2**20)
+        if margin < 2**20 and _feasible_at(ext, Fraction(0)):
+            assert not _feasible_at(ext, margin + TOL)
+
+    @given(ext=random_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_infeasible_or_saturated_margin_is_zero(self, ext):
+        margin = max_unsaturation_margin(ext, tol=TOL)
+        if not _feasible_at(ext, Fraction(0)):
+            assert margin == 0
+
+
+class TestWarmEqualsCold:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    @given(ext=random_networks())
+    @settings(max_examples=10, deadline=None)
+    def test_identical_result_per_algorithm(self, algorithm, ext):
+        warm = max_unsaturation_margin(ext, tol=TOL, algorithm=algorithm)
+        cold = max_unsaturation_margin_cold(ext, tol=TOL, algorithm=algorithm)
+        assert warm == cold  # exact Fraction equality, same bracket walk
+
+
+class TestEdgePaths:
+    def test_no_injections_raises(self):
+        g = gen.random_gnp(5, 0.6, seed=1, ensure_connected=True)
+        ext = build_extended_graph(g, {}, {4: 2})
+        with pytest.raises(FlowError, match="no injections"):
+            max_unsaturation_margin(ext)
+        with pytest.raises(FlowError, match="no injections"):
+            max_unsaturation_margin_cold(ext)
+
+    def test_unbounded_slack_returns_bracket_cap(self):
+        # A 3-node path with a microscopic injection: even (1 + 2**20)·in
+        # stays far below the unit edge capacity, so no probe is ever
+        # infeasible and the exponential bracket gives up at 2**20.
+        g = MultiGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        ext = build_extended_graph(g, {0: Fraction(1, 2**22)}, {2: 1})
+        assert max_unsaturation_margin(ext) == 2**20
+        assert max_unsaturation_margin_cold(ext) == 2**20
+
+    def test_saturated_chain_is_zero(self):
+        # in == capacity exactly: feasible with zero slack
+        g = MultiGraph(2)
+        g.add_edge(0, 1)
+        ext = build_extended_graph(g, {0: 1}, {1: 1})
+        assert max_unsaturation_margin(ext) == 0
+
+    def test_infeasible_is_zero(self):
+        g = MultiGraph(2)
+        g.add_edge(0, 1)
+        ext = build_extended_graph(g, {0: 5}, {1: 1})
+        assert max_unsaturation_margin(ext) == 0
