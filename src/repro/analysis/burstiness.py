@@ -19,6 +19,7 @@ from fractions import Fraction
 from typing import Sequence, Union
 
 from repro.errors import SimulationError
+from repro.numeric import common_denominator, scale_int
 
 __all__ = ["max_excess", "is_rate_sigma_bounded", "effective_rate"]
 
@@ -34,14 +35,21 @@ def max_excess(injection_totals: Sequence[int], rate: Number) -> Fraction:
     """
     if rate < 0:
         raise SimulationError(f"rate must be >= 0, got {rate}")
+    # Kadane-style scan in integers scaled by rate's denominator: the
+    # running value is q·(C(t) − C(t1) − r(t − t1)) maximised over t1, so
+    # the hot loop is add/compare on machine ints instead of Fraction gcds
     r = Fraction(rate)
-    best = Fraction(0)
-    running = Fraction(0)   # max over t1 of C(t) - C(t1) - r (t - t1), Kadane-style
+    den = common_denominator([r])
+    p = scale_int(r, den)
+    best = 0
+    running = 0
     for x in injection_totals:
-        running = max(Fraction(0), running + int(x) - r)
-        if running > best:
+        running += int(x) * den - p
+        if running < 0:
+            running = 0
+        elif running > best:
             best = running
-    return best
+    return Fraction(best, den)
 
 
 def is_rate_sigma_bounded(

@@ -22,6 +22,7 @@ from fractions import Fraction
 from repro.errors import InfeasibleNetworkError
 from repro.flow.feasibility import max_unsaturation_margin
 from repro.network.spec import NetworkSpec
+from repro.numeric import common_denominator, scale_int
 
 __all__ = [
     "PaperBounds",
@@ -73,7 +74,8 @@ def paper_epsilon(spec: NetworkSpec, *, tol: Fraction = Fraction(1, 256)) -> Fra
         raise InfeasibleNetworkError(
             "paper ε undefined: the network is not unsaturated (Definition 4)"
         )
-    return margin * min(Fraction(r) for r in spec.in_rates.values())
+    # in-rates are ints already; one Fraction multiply, no per-rate wrapping
+    return margin * min(spec.in_rates.values())
 
 
 @dataclass(frozen=True)
@@ -93,8 +95,15 @@ class PaperBounds:
 def y_constant(spec: NetworkSpec, f_star_value, epsilon: Fraction) -> Fraction:
     """``Y = (5 n f* / ε + 3 n) Δ²``."""
     n = spec.n
-    delta = Fraction(spec.graph.max_degree())
-    return (5 * n * Fraction(f_star_value) / epsilon + 3 * n) * delta * delta
+    delta = spec.graph.max_degree()
+    fs = Fraction(f_star_value)
+    eps = Fraction(epsilon)
+    # the only ratio in Section III's constants: hoist it once through a
+    # common denominator so f*/ε is a single integer-over-integer Fraction
+    # instead of a rational division feeding the Fraction arithmetic chain
+    den = common_denominator([fs, eps])
+    ratio = Fraction(scale_int(fs, den), scale_int(eps, den))
+    return (5 * n * ratio + 3 * n) * (delta * delta)
 
 
 def property2_threshold(spec: NetworkSpec, y: Fraction) -> Fraction:

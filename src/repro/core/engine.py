@@ -36,6 +36,7 @@ from typing import Optional
 import numpy as np
 
 from repro._rng import SeedLike, as_generator
+from repro.core import fastpath
 from repro.core.lgg_fast import HalfEdges
 from repro.core.pipeline import (
     DEFAULT_PIPELINE,
@@ -93,6 +94,11 @@ class SimulationConfig:
     profile_stages: bool = False            # accumulate per-stage wall-clock timings
     trace: Optional[object] = None          # TraceSink for this run (None → the
                                             # process-global sink from repro.obs)
+    numeric_fastpath: Optional[bool] = None  # integer LGG kernel: None = auto
+                                             # (use when eligible), False = always
+                                             # run the stage pipeline, True =
+                                             # require the kernel (raise if the
+                                             # run is not eligible)
 
 
 @dataclass
@@ -211,8 +217,9 @@ class Simulator:
                 max_queue0=self.trajectory.max_queues[-1],
             ))
         tick = perf_counter()
-        for _ in range(steps):
-            self.step()
+        if not fastpath.maybe_run(self, steps):
+            for _ in range(steps):
+                self.step()
         result = self.result()
         if tr.enabled:
             tr.emit(run_end_record(

@@ -40,6 +40,7 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from repro._rng import SeedLike, as_generator, spawn
+from repro.core import fastpath
 from repro.core.engine import SimulationConfig, SimulationResult
 from repro.core.lgg_fast import HalfEdges
 from repro.core.pipeline import DEFAULT_PIPELINE, StagePipeline, StageTiming, StepState
@@ -330,8 +331,9 @@ class EnsembleSimulator:
                 max_queue0=self.max_hist[-1],
             ))
         tick = perf_counter()
-        for _ in range(steps):
-            self.step()
+        if not fastpath.maybe_run_ensemble(self, steps):
+            for _ in range(steps):
+                self.step()
         result = self.result()
         if tr.enabled:
             tr.emit(run_end_record(

@@ -42,15 +42,15 @@ class HalfEdges:
 
     @classmethod
     def from_graph(cls, graph: MultiGraph) -> "HalfEdges":
-        adj = graph.adjacency()
-        n = graph.n
-        senders = np.repeat(np.arange(n, dtype=np.int64), np.diff(adj.indptr))
+        # Zero-copy view of the shared CSR topology: the arrays are frozen
+        # on the CSRTopology side, so aliasing is safe.
+        csr = graph.to_csr()
         return cls(
-            senders=senders,
-            receivers=adj.neighbors.copy(),
-            edge_ids=adj.edge_ids.copy(),
-            indptr=adj.indptr.copy(),
-            num_edge_slots=graph.num_edge_slots,
+            senders=csr.senders,
+            receivers=csr.neighbors,
+            edge_ids=csr.edge_ids,
+            indptr=csr.indptr,
+            num_edge_slots=csr.num_edge_slots,
         )
 
     @property

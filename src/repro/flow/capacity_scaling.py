@@ -55,7 +55,7 @@ def capacity_scaling(problem: FlowProblem) -> FlowResult:
             found = False
             while queue and not found:
                 u = queue.popleft()
-                for a in res.adj[u]:
+                for a in res.topology.arcs_of(u):
                     if res.residual[a] >= delta:
                         v = res.to[a]
                         if parent[v] == -1:

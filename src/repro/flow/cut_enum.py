@@ -45,7 +45,7 @@ def _residual_sccs(result: FlowResult) -> tuple[np.ndarray, list[list[int]]]:
     n_comp = 0
 
     def neighbors(u: int) -> list[int]:
-        return [res.to[a] for a in res.adj[u] if res.residual[a] > 0]
+        return [res.to[a] for a in res.topology.arcs_of(u) if res.residual[a] > 0]
 
     for root in range(n):
         if index[root] != -1:

@@ -39,8 +39,13 @@ def augment_residual(res: Residual, *, target_gain=None) -> tuple:
     """
     problem = res.problem
     n, s, t = problem.n, problem.source, problem.sink
+    topo = res.topology
+    indptr, arcs = topo.indptr, topo.arcs
+    to, residual = res.to, res.residual
     level = [-1] * n
-    it = [0] * n  # per-node iterator into res.adj (current-arc optimisation)
+    # per-node current-arc cursor, as an *absolute* index into the flat
+    # topology.arcs array; node u's arcs live in [indptr[u], indptr[u+1])
+    it = list(indptr[:n])
     phases = 0
     augmentations = 0
     arc_pushes = 0
@@ -52,12 +57,13 @@ def augment_residual(res: Residual, *, target_gain=None) -> tuple:
         queue = deque([s])
         while queue:
             u = queue.popleft()
-            for a in res.adj[u]:
+            for i in range(indptr[u], indptr[u + 1]):
+                a = arcs[i]
                 # truthiness == "> 0": residuals are never negative, and
                 # Fraction.__bool__ (an int != 0) is far cheaper than the
                 # Fraction.__gt__ rational comparison on this hot path
-                if res.residual[a]:
-                    v = res.to[a]
+                if residual[a]:
+                    v = to[a]
                     if level[v] == -1:
                         level[v] = level[u] + 1
                         queue.append(v)
@@ -78,7 +84,7 @@ def augment_residual(res: Residual, *, target_gain=None) -> tuple:
         u = s
         while True:
             if u == t:
-                bottleneck = min(res.residual[a] for a in path)
+                bottleneck = min(residual[a] for a in path)
                 for a in path:
                     res.push(a, bottleneck)
                 total += bottleneck
@@ -86,17 +92,17 @@ def augment_residual(res: Residual, *, target_gain=None) -> tuple:
                 arc_pushes += len(path)
                 # retreat to just before the first saturated arc
                 for i, a in enumerate(path):
-                    if not res.residual[a]:
+                    if not residual[a]:
                         del path[i:]
                         break
-                u = res.to[path[-1]] if path else s
+                u = to[path[-1]] if path else s
                 continue
-            adj_u = res.adj[u]
+            end = indptr[u + 1]
             advanced = False
-            while it[u] < len(adj_u):
-                a = adj_u[it[u]]
-                v = res.to[a]
-                if res.residual[a] and level[v] == level[u] + 1:
+            while it[u] < end:
+                a = arcs[it[u]]
+                v = to[a]
+                if residual[a] and level[v] == level[u] + 1:
                     path.append(a)
                     u = v
                     advanced = True
@@ -109,14 +115,14 @@ def augment_residual(res: Residual, *, target_gain=None) -> tuple:
                 return total
             level[u] = -1
             a = path.pop()
-            u = res.to[a ^ 1]
+            u = to[a ^ 1]
             it[u] += 1
 
     gained = 0
     while (target_gain is None or gained < target_gain) and bfs():
         phases += 1
         for i in range(n):
-            it[i] = 0
+            it[i] = indptr[i]
         gained = gained + blocking_flow()
     return gained, phases, augmentations, arc_pushes
 

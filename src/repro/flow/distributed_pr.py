@@ -61,12 +61,13 @@ def distributed_push_relabel(
     """
     res = Residual(problem)
     n, s, t = problem.n, problem.source, problem.sink
+    topo = res.topology
     height = [0] * n
     height[s] = n
     excess = [0] * n
 
     # initial saturation of the source arcs
-    for a in res.adj[s]:
+    for a in topo.arcs_of(s):
         cap = res.residual[a]
         if cap > 0:
             v = res.to[a]
@@ -100,7 +101,7 @@ def distributed_push_relabel(
         pushed_nodes: set[int] = set()
         for u in active:
             remaining = excess[u]
-            for a in res.adj[u]:
+            for a in topo.arcs_of(u):
                 if remaining <= 0:
                     break
                 if res.residual[a] > 0 and height[u] == height[res.to[a]] + 1:
@@ -122,7 +123,7 @@ def distributed_push_relabel(
         for u in active:
             if u in pushed_nodes:
                 continue
-            options = [height[res.to[a]] for a in res.adj[u] if res.residual[a] > 0]
+            options = [height[res.to[a]] for a in topo.arcs_of(u) if res.residual[a] > 0]
             if options:
                 new_heights[u] = min(options) + 1
         height = new_heights

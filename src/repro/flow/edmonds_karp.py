@@ -19,6 +19,9 @@ def edmonds_karp(problem: FlowProblem) -> FlowResult:
     """Compute a maximum ``source -> sink`` flow by BFS augmentation."""
     res = Residual(problem)
     s, t = problem.source, problem.sink
+    topo = res.topology
+    indptr, arcs = topo.indptr, topo.arcs
+    to, residual = res.to, res.residual
     value = 0
     augmentations = 0
     parent_arc = [-1] * problem.n
@@ -31,9 +34,10 @@ def edmonds_karp(problem: FlowProblem) -> FlowResult:
         found = False
         while queue and not found:
             u = queue.popleft()
-            for a in res.adj[u]:
-                if res.residual[a] > 0:
-                    v = res.to[a]
+            for i in range(indptr[u], indptr[u + 1]):
+                a = arcs[i]
+                if residual[a] > 0:
+                    v = to[a]
                     if parent_arc[v] == -1:
                         parent_arc[v] = a
                         if v == t:
@@ -47,14 +51,14 @@ def edmonds_karp(problem: FlowProblem) -> FlowResult:
         v = t
         while v != s:
             a = parent_arc[v]
-            r = res.residual[a]
+            r = residual[a]
             bottleneck = r if bottleneck is None or r < bottleneck else bottleneck
-            v = res.to[a ^ 1]
+            v = to[a ^ 1]
         v = t
         while v != s:
             a = parent_arc[v]
             res.push(a, bottleneck)
-            v = res.to[a ^ 1]
+            v = to[a ^ 1]
         value = value + bottleneck
         augmentations += 1
 

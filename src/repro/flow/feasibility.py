@@ -29,6 +29,7 @@ from repro.flow.maxflow import max_flow
 from repro.flow.mincut import CutKind, MinCut, classify_cut, is_unique_min_cut, min_cut
 from repro.flow.residual import FlowProblem, FlowResult
 from repro.flow.warmstart import ParametricMaxFlow, source_arc_updates
+from repro.numeric import common_denominator, note_fraction_fallback, try_scale, unscale
 
 __all__ = [
     "NetworkClass",
@@ -117,15 +118,94 @@ def certification_epsilon(ext) -> Fraction:
     a feasible ε = 0 flow) gives the converse: feasible at any ε' > 0
     implies feasible at every smaller positive ε.
     """
-    from math import lcm
-
     arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
     if arrival <= 0:
         return Fraction(1)  # no injections: vacuously unsaturated at any ε
-    dens = [Fraction(c).denominator for c in ext.capacities]
-    dens.append(arrival.denominator)
-    L = lcm(*dens) if dens else 1
+    L = common_denominator(list(ext.capacities) + [arrival])
     return Fraction(1, 2 * L * (int(arrival) + 2))
+
+
+def _classify_scaled(ext, algorithm: str) -> Optional[FeasibilityReport]:
+    """Integer fast path of :func:`classify_network`, or ``None`` to decline.
+
+    Every capacity of ``G*``, the ε-scaled source capacities, the ``f*``
+    relaxation bound and the verdict thresholds are scaled by one common
+    denominator ``D`` (:func:`repro.numeric.try_scale`).  Scaling by a
+    positive constant preserves order, sign and positivity, so the solver
+    chain takes *bit-identical* decisions — same residual structure, same
+    min-cut arcs, same uniqueness — while running gcd-free machine-int
+    arithmetic instead of ``Fraction``.  Report values are unscaled via
+    exact ``Fraction(x, D)`` at the end.  Declines (``None``) when the
+    denominator or any scaled magnitude exceeds the magnitude guard.
+    """
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
+    eps = certification_epsilon(ext)
+    big = sum((Fraction(r) for r in ext.out_rates.values()), start=Fraction(0)) + 1
+    p = FlowProblem.from_extended(ext)
+    m = p.num_arcs
+    src_nodes = list(ext.in_rates)
+
+    batch: list = [Fraction(c) for c in p.capacities]
+    batch.extend((1 + eps) * Fraction(ext.in_rates[v]) for v in src_nodes)
+    batch.extend((big, arrival, (1 + eps) * arrival))
+    scaled = try_scale(batch)
+    if scaled is None:
+        return None
+    ints, den = scaled
+    cap_ints = ints[:m]
+    probe_caps = dict(zip(src_nodes, ints[m : m + len(src_nodes)]))
+    big_int, arrival_int, target_int = ints[m + len(src_nodes) :]
+    int_problem = FlowProblem._trusted(
+        n=p.n, tails=p.tails, heads=p.heads,
+        capacities=cap_ints, source=p.source, sink=p.sink,
+    )
+
+    engine = ParametricMaxFlow(int_problem, algorithm)
+    base = engine.result
+    base_value = base.value
+    # cut facts snapshot the base residual — extract before advancing
+    cut = min_cut(base)
+    kind = classify_cut(cut, base.problem)
+    unique = is_unique_min_cut(base)
+    cut = MinCut(side=cut.side, arcs=cut.arcs, capacity=unscale(cut.capacity, den))
+
+    def _raise_to(caps: dict) -> object:
+        current = engine.problem.capacities
+        updates = {
+            j: c if c > current[j] else current[j]
+            for j, c in source_arc_updates(ext, caps).items()
+        }
+        return engine.raise_arc_capacities(updates)
+
+    if base_value < arrival_int:
+        fs = _raise_to({v: big_int for v in src_nodes})
+        return FeasibilityReport(
+            network_class=NetworkClass.INFEASIBLE,
+            arrival_rate=arrival,
+            max_flow_value=unscale(base_value, den),
+            f_star=unscale(fs, den),
+            certified_epsilon=None,
+            min_cut=cut,
+            cut_kind=kind,
+            unique_min_cut=unique,
+        )
+
+    scaled_value = engine.raise_arc_capacities(
+        source_arc_updates(ext, probe_caps), target_value=target_int
+    )
+    unsaturated = scaled_value == target_int
+    fs = _raise_to({v: big_int for v in src_nodes})
+
+    return FeasibilityReport(
+        network_class=NetworkClass.UNSATURATED if unsaturated else NetworkClass.SATURATED,
+        arrival_rate=arrival,
+        max_flow_value=unscale(base_value, den),
+        f_star=unscale(fs, den),
+        certified_epsilon=eps if unsaturated else None,
+        min_cut=cut,
+        cut_kind=kind,
+        unique_min_cut=unique,
+    )
 
 
 def classify_network(ext, algorithm: str = "dinic") -> FeasibilityReport:
@@ -138,7 +218,19 @@ def classify_network(ext, algorithm: str = "dinic") -> FeasibilityReport:
     the base solve's residual rather than a solve from scratch.  The
     verdicts are bit-identical to :func:`classify_network_cold` (asserted
     by the differential matrix in ``tests/flow/test_warmstart.py``).
+
+    The whole chain runs on the :mod:`repro.numeric` integer fast path —
+    all capacities scaled to one common denominator, hot loops in machine
+    ints — with a checked fallback to ``Fraction`` capacities when the
+    magnitudes outgrow the guard (recorded in
+    ``repro_core_fraction_fallbacks_total``).  Either route produces
+    value-identical reports; :func:`classify_network_cold` stays pure
+    ``Fraction`` as the differential oracle.
     """
+    report = _classify_scaled(ext, algorithm)
+    if report is not None:
+        return report
+    note_fraction_fallback()
     arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
     engine = ParametricMaxFlow(_exact_problem(ext), algorithm)
     base = engine.result

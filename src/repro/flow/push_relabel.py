@@ -34,6 +34,9 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
         raise FlowError(f"unknown push-relabel variant {variant!r}")
     res = Residual(problem)
     n, s, t = problem.n, problem.source, problem.sink
+    topo = res.topology
+    indptr, arcs = topo.indptr, topo.arcs
+    to, residual = res.to, res.residual
 
     height = [0] * n
     excess: list = [0] * n
@@ -41,7 +44,9 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
     height[s] = n
     count[0] = n - 1
     count[n] = 1
-    it = [0] * n  # current-arc pointers
+    # per-node current-arc cursor: absolute index into the flat arcs array,
+    # ranging over [indptr[u], indptr[u+1])
+    it = list(indptr[:n])
 
     active: deque[int] = deque()
     in_active = [False] * n
@@ -54,10 +59,11 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
             active.append(v)
 
     # saturate every source arc
-    for a in res.adj[s]:
-        cap = res.residual[a]
+    for i in range(indptr[s], indptr[s + 1]):
+        a = arcs[i]
+        cap = residual[a]
         if cap > 0:
-            v = res.to[a]
+            v = to[a]
             res.push(a, cap)
             excess[v] += cap
             excess[s] -= cap
@@ -65,8 +71,8 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
 
     def push(u: int, a: int) -> None:
         nonlocal pushes
-        v = res.to[a]
-        amount = excess[u] if excess[u] < res.residual[a] else res.residual[a]
+        v = to[a]
+        amount = excess[u] if excess[u] < residual[a] else residual[a]
         res.push(a, amount)
         excess[u] -= amount
         excess[v] += amount
@@ -78,7 +84,11 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
         relabels += 1
         old = height[u]
         new = min(
-            (height[res.to[a]] for a in res.adj[u] if res.residual[a] > 0),
+            (
+                height[to[arcs[i]]]
+                for i in range(indptr[u], indptr[u + 1])
+                if residual[arcs[i]] > 0
+            ),
             default=2 * n - 1,
         ) + 1
         count[old] -= 1
@@ -91,18 +101,18 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
                     count[height[w]] += 1
         height[u] = new
         count[new] += 1
-        it[u] = 0
+        it[u] = indptr[u]
 
     def discharge(u: int) -> None:
+        end = indptr[u + 1]
         while excess[u] > 0:
-            adj_u = res.adj[u]
-            if it[u] == len(adj_u):
+            if it[u] == end:
                 relabel(u)
                 if height[u] >= 2 * n:
                     break
                 continue
-            a = adj_u[it[u]]
-            if res.residual[a] > 0 and height[u] == height[res.to[a]] + 1:
+            a = arcs[it[u]]
+            if residual[a] > 0 and height[u] == height[to[a]] + 1:
                 push(u, a)
             else:
                 it[u] += 1
@@ -138,8 +148,8 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
         # re-route activation through the buckets
         def push_h(u: int, a: int) -> None:
             nonlocal pushes
-            v = res.to[a]
-            amount = excess[u] if excess[u] < res.residual[a] else res.residual[a]
+            v = to[a]
+            amount = excess[u] if excess[u] < residual[a] else residual[a]
             res.push(a, amount)
             excess[u] -= amount
             excess[v] += amount
@@ -154,13 +164,13 @@ def push_relabel(problem: FlowProblem, variant: Variant = "highest") -> FlowResu
             in_bucket[u] = False
             if u in (s, t) or excess[u] <= 0:
                 continue
+            end = indptr[u + 1]
             while excess[u] > 0 and height[u] < 2 * n:
-                adj_u = res.adj[u]
-                if it[u] == len(adj_u):
+                if it[u] == end:
                     relabel(u)
                     continue
-                a = adj_u[it[u]]
-                if res.residual[a] > 0 and height[u] == height[res.to[a]] + 1:
+                a = arcs[it[u]]
+                if residual[a] > 0 and height[u] == height[to[a]] + 1:
                     push_h(u, a)
                 else:
                     it[u] += 1

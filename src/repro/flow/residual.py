@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import FlowError
 
-__all__ = ["FlowProblem", "FlowResult", "Residual"]
+__all__ = ["FlowProblem", "FlowResult", "FlowTopology", "Residual"]
 
 Number = Union[int, float, Fraction]
 
@@ -94,40 +94,105 @@ class FlowProblem:
             for i, (kind, ref) in enumerate(zip(ext.kinds, ext.refs)):
                 if kind is ArcKind.SOURCE and int(ref) in source_cap_override:
                     caps[i] = source_cap_override[int(ref)]
+        tails, heads = ext.arc_lists  # cached on G*, aliased (never mutated)
         return cls(
             n=ext.n,
-            tails=[int(t) for t in ext.tails],
-            heads=[int(h) for h in ext.heads],
+            tails=tails,
+            heads=heads,
             capacities=caps,
             source=ext.s_star,
             sink=ext.d_star,
         )
 
 
+class FlowTopology:
+    """Immutable flat CSR over the paired residual arcs of a problem.
+
+    Node ``u``'s outgoing residual arcs occupy ``arcs[indptr[u]:indptr[u+1]]``
+    in the same order the old per-node list-of-lists adjacency held them
+    (ascending original-arc id), so solvers that walk the arcs in order make
+    bit-identical decisions.  ``to[a]`` is the head of residual arc ``a``.
+    Built once per :class:`FlowProblem` topology and shared by every fork —
+    the parametric warm-start engine swaps ``problem`` (new capacities, same
+    tails/heads) without touching it.
+    """
+
+    __slots__ = ("n", "to", "indptr", "arcs")
+
+    def __init__(self, problem: FlowProblem) -> None:
+        n = problem.n
+        m = problem.num_arcs
+        tails, heads = problem.tails, problem.heads
+        to: list[int] = [0] * (2 * m)
+        counts = [0] * (n + 1)
+        for j in range(m):
+            u, v = tails[j], heads[j]
+            to[2 * j] = v
+            to[2 * j + 1] = u
+            counts[u + 1] += 1
+            counts[v + 1] += 1
+        indptr = counts
+        for i in range(1, n + 1):
+            indptr[i] += indptr[i - 1]
+        arcs: list[int] = [0] * (2 * m)
+        cursor = indptr[:n]
+        # Arc order within each node region matches the old append order:
+        # iterate original arcs in id order, forward slot before backward.
+        for j in range(m):
+            u, v = tails[j], heads[j]
+            cu = cursor[u]
+            arcs[cu] = 2 * j
+            cursor[u] = cu + 1
+            cv = cursor[v]
+            arcs[cv] = 2 * j + 1
+            cursor[v] = cv + 1
+        self.n = n
+        self.to = to
+        self.indptr = indptr
+        self.arcs = arcs
+
+    def arcs_of(self, u: int) -> list[int]:
+        """Outgoing residual arcs of ``u`` (a fresh slice; cheap, compat)."""
+        return self.arcs[self.indptr[u] : self.indptr[u + 1]]
+
+
 class Residual:
     """Mutable residual network for a :class:`FlowProblem`.
 
     Residual arc ``2j`` is the forward copy of original arc ``j``; ``2j ^ 1``
-    is always its partner.  Adjacency is a per-node list of residual arc
-    indices, built once.
+    is always its partner.  Adjacency lives in a shared flat
+    :class:`FlowTopology`; solvers index ``topology.arcs`` through
+    ``topology.indptr`` directly, keeping their per-node cursors as absolute
+    positions in one flat list instead of chasing per-node sublists.
     """
 
-    __slots__ = ("problem", "to", "residual", "adj")
+    __slots__ = ("problem", "to", "residual", "topology", "_adj")
 
     def __init__(self, problem: FlowProblem) -> None:
         self.problem = problem
         m = problem.num_arcs
-        self.to: list[int] = [0] * (2 * m)
-        self.residual: list[Number] = [0] * (2 * m)
-        self.adj: list[list[int]] = [[] for _ in range(problem.n)]
-        for j, (u, v, c) in enumerate(zip(problem.tails, problem.heads, problem.capacities)):
-            f, b = 2 * j, 2 * j + 1
-            self.to[f] = v
-            self.to[b] = u
-            self.residual[f] = c
-            self.residual[b] = 0
-            self.adj[u].append(f)
-            self.adj[v].append(b)
+        topo = FlowTopology(problem)
+        self.topology = topo
+        self.to = topo.to
+        residual: list[Number] = [0] * (2 * m)
+        caps = problem.capacities
+        for j in range(m):
+            residual[2 * j] = caps[j]
+        self.residual = residual
+        self._adj: list[list[int]] | None = None
+
+    @property
+    def adj(self) -> list[list[int]]:
+        """Per-node residual arc lists — lazy compatibility view.
+
+        Solver hot loops read :attr:`topology` directly; this materialises
+        the old list-of-lists shape for anything that still wants it.
+        """
+        if self._adj is None:
+            t = self.topology
+            indptr, arcs = t.indptr, t.arcs
+            self._adj = [arcs[indptr[u] : indptr[u + 1]] for u in range(t.n)]
+        return self._adj
 
     def push(self, arc: int, amount: Number) -> None:
         """Move ``amount`` units of residual capacity along ``arc``."""
@@ -137,15 +202,17 @@ class Residual:
     def fork(self) -> "Residual":
         """An independent copy sharing the immutable topology arrays.
 
-        ``to`` and ``adj`` are never mutated after construction, so forks
-        alias them; only the ``residual`` array (the flow state) is copied.
-        This makes checkpoint/rollback in the parametric warm-start engine
-        an O(m) list copy instead of a full rebuild.
+        ``topology`` (and its ``to``/``indptr``/``arcs``) is never mutated
+        after construction, so forks alias it; only the ``residual`` array
+        (the flow state) is copied.  This makes checkpoint/rollback in the
+        parametric warm-start engine an O(m) list copy instead of a full
+        rebuild.
         """
         clone = Residual.__new__(Residual)
         clone.problem = self.problem
         clone.to = self.to
-        clone.adj = self.adj
+        clone.topology = self.topology
+        clone._adj = self._adj
         clone.residual = list(self.residual)
         return clone
 
@@ -158,11 +225,14 @@ class Residual:
         seen = np.zeros(self.problem.n, dtype=bool)
         seen[start] = True
         stack = [start]
+        topo = self.topology
+        indptr, arcs, to, residual = topo.indptr, topo.arcs, self.to, self.residual
         while stack:
             u = stack.pop()
-            for a in self.adj[u]:
-                if self.residual[a] > 0:
-                    v = self.to[a]
+            for i in range(indptr[u], indptr[u + 1]):
+                a = arcs[i]
+                if residual[a] > 0:
+                    v = to[a]
                     if not seen[v]:
                         seen[v] = True
                         stack.append(v)
@@ -173,12 +243,15 @@ class Residual:
         seen = np.zeros(self.problem.n, dtype=bool)
         seen[target] = True
         stack = [target]
+        topo = self.topology
+        indptr, arcs, to, residual = topo.indptr, topo.arcs, self.to, self.residual
         while stack:
             v = stack.pop()
-            for a in self.adj[v]:
-                # arc a leaves v; its partner a^1 enters v from self.to[a].
-                if self.residual[a ^ 1] > 0:
-                    u = self.to[a]
+            for i in range(indptr[v], indptr[v + 1]):
+                a = arcs[i]
+                # arc a leaves v; its partner a^1 enters v from to[a].
+                if residual[a ^ 1] > 0:
+                    u = to[a]
                     if not seen[u]:
                         seen[u] = True
                         stack.append(u)

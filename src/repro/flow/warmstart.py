@@ -78,6 +78,9 @@ def _global_relabel(res: Residual) -> list[int]:
     """
     problem = res.problem
     n, s, t = problem.n, problem.source, problem.sink
+    topo = res.topology
+    indptr, arcs = topo.indptr, topo.arcs
+    to, residual = res.to, res.residual
     unset = 2 * n
     height = [unset] * n
     height[t] = 0
@@ -85,12 +88,13 @@ def _global_relabel(res: Residual) -> list[int]:
     while queue:
         w = queue.popleft()
         d = height[w] + 1
-        for a in res.adj[w]:
+        for i in range(indptr[w], indptr[w + 1]):
+            a = arcs[i]
             # arc a leaves w; its partner a^1 runs to[a] -> w
             # (truthiness == "> 0": residuals are never negative, and it
             # skips the costly Fraction rational comparison)
-            if res.residual[a ^ 1]:
-                u = res.to[a]
+            if residual[a ^ 1]:
+                u = to[a]
                 if u != s and height[u] == unset:
                     height[u] = d
                     queue.append(u)
@@ -99,9 +103,10 @@ def _global_relabel(res: Residual) -> list[int]:
     while queue:
         w = queue.popleft()
         d = height[w] + 1
-        for a in res.adj[w]:
-            if res.residual[a ^ 1]:
-                u = res.to[a]
+        for i in range(indptr[w], indptr[w + 1]):
+            a = arcs[i]
+            if residual[a ^ 1]:
+                u = to[a]
                 if u != t and height[u] == unset:
                     height[u] = d
                     queue.append(u)
@@ -115,9 +120,12 @@ def _labeling_valid(res: Residual, height: list[int]) -> bool:
         return False
     residual = res.residual
     to = res.to
-    for u, adj_u in enumerate(res.adj):
+    topo = res.topology
+    indptr, arcs = topo.indptr, topo.arcs
+    for u in range(topo.n):
         hu = height[u]
-        for a in adj_u:
+        for i in range(indptr[u], indptr[u + 1]):
+            a = arcs[i]
             if residual[a] and hu > height[to[a]] + 1:
                 return False
     return True
@@ -132,16 +140,20 @@ def _pr_reaugment(res: Residual, height: list[int] | None) -> tuple:
     """
     problem = res.problem
     n, s, t = problem.n, problem.source, problem.sink
+    topo = res.topology
+    indptr, arcs = topo.indptr, topo.arcs
+    to, residual = res.to, res.residual
     excess: list = [0] * n
     arc_pushes = 0
 
     # Re-create the preflow: every residual arc out of s gets saturated.
     # The flow already routed to t is untouched; the new excess either
     # reaches t (the gain) or drains back to s during discharge.
-    for a in res.adj[s]:
-        amt = res.residual[a]
+    for i in range(indptr[s], indptr[s + 1]):
+        a = arcs[i]
+        amt = residual[a]
         if amt:
-            v = res.to[a]
+            v = to[a]
             if v == t:
                 # direct s->t arcs contribute immediately
                 res.push(a, amt)
@@ -158,7 +170,8 @@ def _pr_reaugment(res: Residual, height: list[int] | None) -> tuple:
     count = [0] * (2 * n + 1)
     for h in height:
         count[min(h, 2 * n)] += 1
-    it = [0] * n
+    # per-node current-arc cursor, absolute into the flat arcs array
+    it = list(indptr[:n])
 
     active: deque[int] = deque()
     in_active = [False] * n
@@ -174,8 +187,8 @@ def _pr_reaugment(res: Residual, height: list[int] | None) -> tuple:
 
     def push(u: int, a: int) -> None:
         nonlocal arc_pushes
-        v = res.to[a]
-        amount = excess[u] if excess[u] < res.residual[a] else res.residual[a]
+        v = to[a]
+        amount = excess[u] if excess[u] < residual[a] else residual[a]
         res.push(a, amount)
         excess[u] -= amount
         excess[v] += amount
@@ -185,7 +198,11 @@ def _pr_reaugment(res: Residual, height: list[int] | None) -> tuple:
     def relabel(u: int) -> None:
         old = height[u]
         new = min(
-            (height[res.to[a]] for a in res.adj[u] if res.residual[a]),
+            (
+                height[to[arcs[i]]]
+                for i in range(indptr[u], indptr[u + 1])
+                if residual[arcs[i]]
+            ),
             default=2 * n - 1,
         ) + 1
         count[old] -= 1
@@ -197,20 +214,20 @@ def _pr_reaugment(res: Residual, height: list[int] | None) -> tuple:
                     count[height[w]] += 1
         height[u] = new
         count[min(new, 2 * n)] += 1
-        it[u] = 0
+        it[u] = indptr[u]
 
     while active:
         u = active.popleft()
         in_active[u] = False
+        end = indptr[u + 1]
         while excess[u]:
-            adj_u = res.adj[u]
-            if it[u] == len(adj_u):
+            if it[u] == end:
                 relabel(u)
                 if height[u] >= 2 * n:
                     break
                 continue
-            a = adj_u[it[u]]
-            if res.residual[a] and height[u] == height[res.to[a]] + 1:
+            a = arcs[it[u]]
+            if residual[a] and height[u] == height[to[a]] + 1:
                 push(u, a)
             else:
                 it[u] += 1

@@ -6,6 +6,8 @@ so two parallel links double the capacity between their endpoints.  This
 subpackage provides:
 
 * :class:`~repro.graphs.multigraph.MultiGraph` — the core container,
+* :class:`~repro.graphs.csr.CSRTopology` — the flat struct-of-arrays
+  snapshot every engine layer aliases (built once, cached on the graph),
 * :mod:`~repro.graphs.generators` — topology generators used by the
   experiments (paths, grids, random graphs, bottleneck gadgets, ...),
 * :mod:`~repro.graphs.extended` — the ``G*`` construction of Fig. 2 / Fig. 4
@@ -13,12 +15,14 @@ subpackage provides:
 * :mod:`~repro.graphs.convert` — networkx interoperability.
 """
 
+from repro.graphs.csr import CSRTopology
 from repro.graphs.multigraph import MultiGraph
 from repro.graphs.extended import ExtendedGraph, build_extended_graph
 from repro.graphs import generators
 from repro.graphs.convert import from_networkx, to_networkx
 
 __all__ = [
+    "CSRTopology",
     "MultiGraph",
     "ExtendedGraph",
     "build_extended_graph",

@@ -43,6 +43,9 @@ def to_networkx(g: MultiGraph) -> nx.MultiGraph:
     """Convert to an ``nx.MultiGraph``; edge ids become the `eid` attribute."""
     out = nx.MultiGraph()
     out.add_nodes_from(range(g.n))
-    for eid, u, v in g.edges():
+    # read the flat edge arrays off the shared CSR snapshot rather than
+    # re-walking the tombstoned edge store
+    csr = g.to_csr()
+    for eid, u, v in zip(csr.eids.tolist(), csr.us.tolist(), csr.vs.tolist()):
         out.add_edge(u, v, eid=eid)
     return out

@@ -1,0 +1,123 @@
+"""Flat struct-of-arrays topology shared by every layer.
+
+:class:`CSRTopology` is the one canonical flat representation of a
+:class:`~repro.graphs.multigraph.MultiGraph`'s live structure.  It is built
+once per topology epoch (cached on the graph, invalidated by mutation) and
+*aliased* — never copied — by every consumer that used to re-derive its own
+arrays: the engine's half-edge view (:class:`repro.core.lgg_fast.HalfEdges`),
+the adjacency view (:class:`repro.graphs.multigraph.Adjacency`), the
+extended-graph arc table, the sweep cache's canonical hashes, and the
+integer LGG kernel's neighbour lists.
+
+Layout
+------
+Half-edge CSR: node ``u``'s incident half-edges occupy slots
+``indptr[u]:indptr[u+1]`` of ``neighbors`` / ``edge_ids`` / ``senders``
+(``senders`` is constant-``u`` over the block — materialised because the
+vectorized selector indexes it wholesale).  Edge list: ``eids[k]`` is the
+id of the ``k``-th live edge with endpoints ``us[k] <= vs[k]`` normalised
+for hashing (the multigraph is undirected, so orientation is cosmetic).
+
+The canonical digest hashes only the flat arrays — node count plus the
+sorted live-edge multiset — so it is invariant to edge-insertion order,
+tombstoned ids, and node-preserving copies, exactly the contract the
+feasibility cache keys rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CSRTopology"]
+
+
+@dataclass(frozen=True)
+class CSRTopology:
+    """Immutable flat-array snapshot of a multigraph's live structure."""
+
+    n: int
+    num_edge_slots: int          # edge ids ever allocated (live + tombstoned)
+    indptr: np.ndarray           # (n+1,) int64 half-edge offsets
+    neighbors: np.ndarray        # (2m,) int64 opposite endpoint per half-edge
+    edge_ids: np.ndarray         # (2m,) int64 connecting edge id per half-edge
+    senders: np.ndarray          # (2m,) int64 owning endpoint per half-edge
+    eids: np.ndarray             # (m,) int64 live edge ids, ascending
+    us: np.ndarray               # (m,) int64 min endpoint per live edge
+    vs: np.ndarray               # (m,) int64 max endpoint per live edge
+
+    @property
+    def m(self) -> int:
+        """Number of live edges."""
+        return len(self.eids)
+
+    @property
+    def num_half_edges(self) -> int:
+        return len(self.neighbors)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_multigraph(cls, graph) -> "CSRTopology":
+        """Build the flat arrays in one pass over the live edges."""
+        n = graph.n
+        live = [(e, u, v) for e, u, v in graph.edges()]
+        counts = np.zeros(n + 1, dtype=np.int64)
+        for _, u, v in live:
+            counts[u + 1] += 1
+            counts[v + 1] += 1
+        indptr = np.cumsum(counts)
+        size = int(indptr[-1])
+        neighbors = np.zeros(size, dtype=np.int64)
+        edge_ids = np.zeros(size, dtype=np.int64)
+        senders = np.zeros(size, dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for e, u, v in live:
+            cu, cv = cursor[u], cursor[v]
+            neighbors[cu] = v
+            edge_ids[cu] = e
+            senders[cu] = u
+            cursor[u] = cu + 1
+            neighbors[cv] = u
+            edge_ids[cv] = e
+            senders[cv] = v
+            cursor[v] = cv + 1
+        eids = np.array([e for e, _, _ in live], dtype=np.int64)
+        us = np.array([u if u <= v else v for _, u, v in live], dtype=np.int64)
+        vs = np.array([v if u <= v else u for _, u, v in live], dtype=np.int64)
+        for arr in (indptr, neighbors, edge_ids, senders, eids, us, vs):
+            arr.setflags(write=False)  # aliased everywhere: freeze
+        return cls(
+            n=n,
+            num_edge_slots=graph.num_edge_slots,
+            indptr=indptr,
+            neighbors=neighbors,
+            edge_ids=edge_ids,
+            senders=senders,
+            eids=eids,
+            us=us,
+            vs=vs,
+        )
+
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def canonical_edges(self) -> list[tuple[int, int]]:
+        """The live-edge multiset as a sorted list of ``(min, max)`` pairs."""
+        return sorted(zip(self.us.tolist(), self.vs.tolist()))
+
+    def canonical_digest(self, extra: dict | None = None) -> str:
+        """sha256 over the flat structure (plus optional ``extra`` payload).
+
+        Two graphs collide iff they share node count and live-edge multiset
+        — the invariance contract of the feasibility cache keys.
+        """
+        payload: dict = {"n": self.n, "edges": self.canonical_edges()}
+        if extra:
+            payload.update(extra)
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        ).hexdigest()

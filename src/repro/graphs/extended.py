@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 from fractions import Fraction
+from functools import cached_property
 from typing import Mapping, Union
 
 import numpy as np
@@ -73,6 +74,18 @@ class ExtendedGraph:
     @property
     def num_arcs(self) -> int:
         return len(self.tails)
+
+    @cached_property
+    def arc_lists(self) -> tuple[list[int], list[int]]:
+        """Arc ``(tails, heads)`` as plain Python-int lists.
+
+        Cached on the (frozen) instance so every
+        :meth:`~repro.flow.residual.FlowProblem.from_extended` call over the
+        same ``G*`` — the feasibility classifier builds several per verdict —
+        shares one conversion instead of re-walking the numpy arrays.  The
+        lists are aliased, never copied; callers must not mutate them.
+        """
+        return [int(t) for t in self.tails], [int(h) for h in self.heads]
 
     def arcs_of_kind(self, kind: ArcKind) -> np.ndarray:
         """Indices of arcs with the given provenance."""

@@ -23,6 +23,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graphs.csr import CSRTopology
 
 __all__ = ["MultiGraph", "Adjacency"]
 
@@ -64,7 +65,7 @@ class MultiGraph:
     2
     """
 
-    __slots__ = ("_n", "_eu", "_ev", "_alive", "_m_alive", "_adj_cache")
+    __slots__ = ("_n", "_eu", "_ev", "_alive", "_m_alive", "_adj_cache", "_csr_cache")
 
     def __init__(self, n: int = 0) -> None:
         if n < 0:
@@ -75,6 +76,7 @@ class MultiGraph:
         self._alive: list[bool] = []
         self._m_alive = 0
         self._adj_cache: Optional[Adjacency] = None
+        self._csr_cache: Optional[CSRTopology] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -106,6 +108,7 @@ class MultiGraph:
         first = self._n
         self._n += k
         self._adj_cache = None
+        self._csr_cache = None
         return range(first, self._n)
 
     def add_edge(self, u: int, v: int) -> int:
@@ -123,6 +126,7 @@ class MultiGraph:
         self._alive.append(True)
         self._m_alive += 1
         self._adj_cache = None
+        self._csr_cache = None
         return eid
 
     def add_edges(self, edges: Iterable[tuple[int, int]]) -> list[int]:
@@ -134,6 +138,7 @@ class MultiGraph:
         self._alive[eid] = False
         self._m_alive -= 1
         self._adj_cache = None
+        self._csr_cache = None
 
     def restore_edge(self, eid: int) -> None:
         """Undo a prior :meth:`remove_edge` (used by topology schedules)."""
@@ -143,6 +148,7 @@ class MultiGraph:
             self._alive[eid] = True
             self._m_alive += 1
             self._adj_cache = None
+            self._csr_cache = None
 
     # ------------------------------------------------------------------
     # basic queries
@@ -228,33 +234,30 @@ class MultiGraph:
         return int(np.count_nonzero(adj.neighbors_of(u) == v))
 
     # ------------------------------------------------------------------
-    # adjacency (cached, shared by all engines)
+    # flat topology (cached, shared by all engines)
     # ------------------------------------------------------------------
-    def adjacency(self) -> Adjacency:
-        """CSR adjacency over live edges (cached until the next mutation)."""
-        if self._adj_cache is None:
-            self._adj_cache = self._build_adjacency()
-        return self._adj_cache
+    def to_csr(self) -> CSRTopology:
+        """The flat struct-of-arrays topology over live edges.
 
-    def _build_adjacency(self) -> Adjacency:
-        n = self._n
-        counts = np.zeros(n + 1, dtype=np.int64)
-        live = [(u, v, e) for e, (u, v, a) in enumerate(zip(self._eu, self._ev, self._alive)) if a]
-        for u, v, _ in live:
-            counts[u + 1] += 1
-            counts[v + 1] += 1
-        indptr = np.cumsum(counts)
-        neighbors = np.zeros(indptr[-1], dtype=np.int64)
-        edge_ids = np.zeros(indptr[-1], dtype=np.int64)
-        cursor = indptr[:-1].copy()
-        for u, v, e in live:
-            neighbors[cursor[u]] = v
-            edge_ids[cursor[u]] = e
-            cursor[u] += 1
-            neighbors[cursor[v]] = u
-            edge_ids[cursor[v]] = e
-            cursor[v] += 1
-        return Adjacency(indptr=indptr, neighbors=neighbors, edge_ids=edge_ids)
+        Built once and cached until the next mutation; every consumer
+        (adjacency views, half-edge arrays, canonical hashes, the integer
+        LGG kernel) aliases these arrays instead of re-deriving its own.
+        """
+        if self._csr_cache is None:
+            self._csr_cache = CSRTopology.from_multigraph(self)
+        return self._csr_cache
+
+    def adjacency(self) -> Adjacency:
+        """CSR adjacency over live edges (cached until the next mutation).
+
+        A zero-copy view of :meth:`to_csr`'s arrays.
+        """
+        if self._adj_cache is None:
+            csr = self.to_csr()
+            self._adj_cache = Adjacency(
+                indptr=csr.indptr, neighbors=csr.neighbors, edge_ids=csr.edge_ids
+            )
+        return self._adj_cache
 
     # ------------------------------------------------------------------
     # connectivity / subgraphs

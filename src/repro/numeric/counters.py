@@ -1,0 +1,82 @@
+"""Fast-path engagement counters, mirrored into :mod:`repro.obs.metrics`.
+
+Two monotone counters answer the question "is the exact integer fast path
+actually running?":
+
+* ``repro_core_fastpath_steps_total`` — simulation steps advanced by the
+  integer LGG kernel (:mod:`repro.core.fastpath`), summed over every
+  replica a batched run covers.
+* ``repro_core_fraction_fallbacks_total`` — times a fast-path candidate
+  had to take the exact ``Fraction`` route instead (magnitude guard,
+  oversized common denominator).
+
+They are plain module-level integers first and metrics second: the
+process-global registry starts *disabled*, but the differential tests must
+still be able to assert "zero fallbacks on an all-integral spec" — so the
+module counters always update, and the registry is mirrored only when
+enabled (the usual zero-cost-when-off discipline).  Updates take a module
+lock because :mod:`repro.serve` drives simulations from a thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "fastpath_steps_total",
+    "fraction_fallbacks_total",
+    "note_fastpath_steps",
+    "note_fraction_fallback",
+    "reset_counters",
+]
+
+_lock = threading.Lock()
+_fastpath_steps = 0
+_fraction_fallbacks = 0
+
+
+def note_fastpath_steps(steps: int) -> None:
+    """Record ``steps`` simulation steps advanced by the integer kernel."""
+    global _fastpath_steps
+    with _lock:
+        _fastpath_steps += int(steps)
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter(
+            "repro_core_fastpath_steps_total",
+            "Simulation steps advanced by the exact integer fast path.",
+        ).inc(int(steps))
+
+
+def note_fraction_fallback(count: int = 1) -> None:
+    """Record a checked fallback from the integer fast path to Fraction."""
+    global _fraction_fallbacks
+    with _lock:
+        _fraction_fallbacks += int(count)
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter(
+            "repro_core_fraction_fallbacks_total",
+            "Fast-path candidates that fell back to exact Fraction arithmetic.",
+        ).inc(int(count))
+
+
+def fastpath_steps_total() -> int:
+    with _lock:
+        return _fastpath_steps
+
+
+def fraction_fallbacks_total() -> int:
+    with _lock:
+        return _fraction_fallbacks
+
+
+def reset_counters() -> None:
+    """Zero the module counters (tests).  Registry instruments are left to
+    :meth:`~repro.obs.metrics.MetricsRegistry.reset`."""
+    global _fastpath_steps, _fraction_fallbacks
+    with _lock:
+        _fastpath_steps = 0
+        _fraction_fallbacks = 0

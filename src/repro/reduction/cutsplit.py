@@ -74,7 +74,7 @@ def interior_min_cut(spec: NetworkSpec) -> Optional[tuple[list[int], list[int]]]
             seen[s] = True
         while stack:
             u = stack.pop()
-            for a in res.adj[u]:
+            for a in res.topology.arcs_of(u):
                 if res.residual[a] > 0:
                     w = res.to[a]
                     if not seen[w]:

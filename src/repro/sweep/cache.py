@@ -22,8 +22,6 @@ never wrong results).
 
 from __future__ import annotations
 
-import hashlib
-import json
 import threading
 from typing import TYPE_CHECKING, Optional
 
@@ -44,21 +42,17 @@ __all__ = [
 ]
 
 
-def _sha256(payload: object) -> str:
-    return hashlib.sha256(
-        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
-    ).hexdigest()
-
-
 def canonical_graph_key(graph: MultiGraph) -> str:
     """Canonical hash of a multigraph's live structure.
 
     Two graphs get the same key iff they have the same node count and the
     same unordered multiset of (undirected) edges — regardless of the order
     edges were inserted, of removed-edge tombstones, and of edge ids.
+    Delegates to the cached CSR snapshot so a sweep hashing the same graph
+    across many cells does not re-walk the edge store each time; the digest
+    payload is byte-identical to the historical format.
     """
-    edges = sorted((u, v) if u <= v else (v, u) for _, u, v in graph.edges())
-    return _sha256({"n": graph.n, "edges": edges})
+    return graph.to_csr().canonical_digest()
 
 
 def canonical_spec_key(spec: NetworkSpec) -> str:
@@ -69,10 +63,7 @@ def canonical_spec_key(spec: NetworkSpec) -> str:
     *simulation*, not the extended graph ``G*``, so specs differing only
     there deliberately share a key (and a flow computation).
     """
-    edges = sorted((u, v) if u <= v else (v, u) for _, u, v in spec.graph.edges())
-    return _sha256({
-        "n": spec.graph.n,
-        "edges": edges,
+    return spec.graph.to_csr().canonical_digest({
         "in": sorted(spec.in_rates.items()),
         "out": sorted(spec.out_rates.items()),
     })

@@ -1,0 +1,147 @@
+"""CSRTopology: the shared flat-array snapshot and its caching contract."""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.lgg_fast import HalfEdges
+from repro.graphs import CSRTopology, MultiGraph
+from repro.graphs import generators as gen
+
+
+def diamond() -> MultiGraph:
+    g = MultiGraph(4)
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 3)
+    g.add_edge(1, 2)
+    return g
+
+
+class TestLayout:
+    def test_halfedge_blocks_match_adjacency(self):
+        g = diamond()
+        csr = g.to_csr()
+        adj = g.adjacency()
+        assert csr.num_half_edges == 2 * csr.m == 10
+        # the adjacency view aliases the same frozen arrays
+        assert adj.indptr is csr.indptr
+        assert adj.neighbors is csr.neighbors
+        assert adj.edge_ids is csr.edge_ids
+        for u in range(g.n):
+            lo, hi = int(csr.indptr[u]), int(csr.indptr[u + 1])
+            assert (csr.senders[lo:hi] == u).all()
+            got = sorted(zip(csr.neighbors[lo:hi].tolist(),
+                             csr.edge_ids[lo:hi].tolist()))
+            want = sorted((v, e) for e, a, v in
+                          ((e, a, (b if a == u else a))
+                           for e, a, b in g.edges() if u in (a, b)))
+            assert [v for v, _ in got] == [v for v, _ in want]
+
+    def test_degrees(self):
+        csr = diamond().to_csr()
+        assert csr.degrees().tolist() == [2, 3, 3, 2]
+
+    def test_edge_list_normalised(self):
+        csr = diamond().to_csr()
+        assert (csr.us <= csr.vs).all()
+        assert csr.canonical_edges() == [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+
+    def test_arrays_frozen(self):
+        csr = diamond().to_csr()
+        with pytest.raises(ValueError):
+            csr.neighbors[0] = 99
+
+    def test_halfedges_alias_csr(self):
+        g = diamond()
+        csr = g.to_csr()
+        half = HalfEdges.from_graph(g)
+        assert half.indptr is csr.indptr
+        assert half.receivers is csr.neighbors
+        assert half.senders is csr.senders
+        assert half.edge_ids is csr.edge_ids
+        assert half.num_edge_slots == csr.num_edge_slots
+
+
+class TestCaching:
+    def test_snapshot_is_cached(self):
+        g = diamond()
+        assert g.to_csr() is g.to_csr()
+
+    def test_mutation_invalidates(self):
+        g = diamond()
+        before = g.to_csr()
+        g.add_edge(0, 3)
+        after = g.to_csr()
+        assert after is not before
+        assert after.m == before.m + 1
+        # the old snapshot is immutable history, not corrupted
+        assert before.m == 5
+
+    def test_remove_edge_invalidates(self):
+        g = diamond()
+        before = g.to_csr()
+        g.remove_edge(0)
+        after = g.to_csr()
+        assert after is not before
+        assert after.m == before.m - 1
+        assert 0 not in after.eids.tolist()
+
+
+class TestCanonicalDigest:
+    def test_matches_historical_payload(self):
+        g = diamond()
+        csr = g.to_csr()
+        payload = {"n": g.n, "edges": sorted(
+            (min(u, v), max(u, v)) for _, u, v in g.edges()
+        )}
+        want = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        assert csr.canonical_digest() == want
+
+    def test_insertion_order_invariant(self):
+        g1 = MultiGraph(3)
+        g1.add_edge(0, 1)
+        g1.add_edge(1, 2)
+        g2 = MultiGraph(3)
+        g2.add_edge(1, 2)
+        g2.add_edge(0, 1)
+        assert g1.to_csr().canonical_digest() == g2.to_csr().canonical_digest()
+
+    def test_tombstone_invariant(self):
+        g1 = MultiGraph(3)
+        g1.add_edge(0, 1)
+        g1.add_edge(1, 2)
+        g2 = MultiGraph(3)
+        g2.add_edge(0, 1)
+        doomed = g2.add_edge(0, 2)
+        g2.add_edge(1, 2)
+        g2.remove_edge(doomed)
+        assert g1.to_csr().canonical_digest() == g2.to_csr().canonical_digest()
+
+    def test_extra_payload_changes_digest(self):
+        csr = diamond().to_csr()
+        assert csr.canonical_digest() != csr.canonical_digest({"in": [(0, 1)]})
+
+    def test_parallel_edges_distinct(self):
+        g1 = MultiGraph(2)
+        g1.add_edge(0, 1)
+        g2 = MultiGraph(2)
+        g2.add_edge(0, 1)
+        g2.add_edge(0, 1)
+        assert g1.to_csr().canonical_digest() != g2.to_csr().canonical_digest()
+
+
+class TestFromGenerators:
+    def test_random_graph_round_trip(self):
+        g = gen.random_gnp(30, 0.2, seed=3, ensure_connected=True)
+        csr = g.to_csr()
+        assert csr.n == 30
+        assert int(csr.degrees().sum()) == csr.num_half_edges
+        edges = {(min(u, v), max(u, v), e) for e, u, v in g.edges()}
+        flat = set(zip(csr.us.tolist(), csr.vs.tolist(), csr.eids.tolist()))
+        assert flat == edges
