@@ -52,7 +52,7 @@ def _percentile(samples, q):
 class TestBatchedThroughput:
     def test_concurrent_burst_beats_serial_5x(self, benchmark, perf_asserts):
         with BackgroundServer(batch_window=0.05, max_batch=64,
-                              workers=2) as url:
+                              threads=2) as url:
             client = ServeClient(url, timeout=120)
             client.simulate(SPEC, horizon=100, seed=0)  # warm-up, off-clock
 
@@ -127,7 +127,7 @@ class TestShedLatency:
     def test_overload_sheds_fast_and_clean(self, benchmark, perf_asserts):
         n_burst = 32
         with BackgroundServer(queue_limit=2, batch_window=0.2,
-                              workers=2) as url:
+                              threads=2) as url:
             client = ServeClient(url, timeout=120)
             client.simulate(SPEC, horizon=100, seed=0)  # warm-up
 

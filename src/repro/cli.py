@@ -187,6 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(0 = no rate gate)")
     p_srv.add_argument("--burst", type=int, default=16,
                        help="token-bucket depth (max back-to-back admits)")
+    p_srv.add_argument("--workers", type=int, default=0,
+                       help="worker processes behind the asyncio frontend "
+                            "(0 = compute in-process on --threads threads); "
+                            "classify requests shard by fingerprint across "
+                            "workers, each owning a private feasibility cache")
+    p_srv.add_argument("--threads", type=int, default=2,
+                       help="in-process compute threads (the only compute "
+                            "tier when --workers 0)")
     p_srv.add_argument("--jobs-dir", default=None, dest="jobs_dir",
                        metavar="DIR",
                        help="enable POST /v1/sweeps, persisting jobs here "
@@ -359,6 +367,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 burst=args.burst,
                 jobs_dir=args.jobs_dir,
                 max_horizon=args.max_horizon,
+                workers=args.workers,
+                threads=args.threads,
             ).run()
             return 0
 

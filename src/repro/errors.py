@@ -58,6 +58,14 @@ class SweepError(ReproError):
     """
 
 
+class LoadGenError(ReproError):
+    """A :mod:`repro.loadgen` schedule or run was misconfigured.
+
+    Raised for non-positive rates, empty schedules, impossible
+    concurrency bounds, and SLO specs with no criteria at all.
+    """
+
+
 class ServeError(ReproError):
     """A :mod:`repro.serve` request failed (client- or server-side).
 

@@ -1,0 +1,52 @@
+"""repro.loadgen — the load-generation harness for the serve tier.
+
+Holds the serve layer to the paper's own standard: stability under an
+*open-loop* arrival process.  A schedule of arrival offsets is fixed up
+front (:mod:`~repro.loadgen.schedules` — Poisson, synchronized bursts,
+constant rate), an asyncio driver fires thousands of concurrent clients
+at those offsets over minimal stdlib HTTP
+(:mod:`~repro.loadgen.runner`), and the per-request latency/status
+records roll up into a :class:`~repro.loadgen.runner.LoadReport` that
+:mod:`~repro.loadgen.slo` gates with p50/p99 latency, shed-rate, and
+throughput objectives.
+
+A closed-loop mode (fixed concurrency, next request on completion) is
+included for capacity measurement — that is what
+``benchmarks/test_perf_serve_scale.py`` uses to show classify
+throughput scaling across ``repro serve --workers N``.
+
+Stdlib only, deterministic schedules (seeded ``random.Random``), no new
+dependencies.
+"""
+
+from repro.errors import LoadGenError
+from repro.loadgen.runner import (
+    LoadReport,
+    RequestResult,
+    RequestSpec,
+    classify_request,
+    percentile,
+    run_closed_loop,
+    run_open_loop,
+    simulate_request,
+)
+from repro.loadgen.schedules import burst_schedule, constant_schedule, poisson_schedule
+from repro.loadgen.slo import SLO, assert_slo, check_slo
+
+__all__ = [
+    "LoadGenError",
+    "LoadReport",
+    "RequestResult",
+    "RequestSpec",
+    "classify_request",
+    "simulate_request",
+    "percentile",
+    "run_open_loop",
+    "run_closed_loop",
+    "poisson_schedule",
+    "burst_schedule",
+    "constant_schedule",
+    "SLO",
+    "check_slo",
+    "assert_slo",
+]

@@ -1,0 +1,347 @@
+"""The load driver: thousands of concurrent clients on one event loop.
+
+Thread-per-client load generators top out at a few hundred clients; this
+driver speaks minimal HTTP/1.1 (``Connection: close``, stdlib asyncio
+sockets, no third-party client) and multiplexes every in-flight request
+on a single event loop, so "thousands of concurrent clients" is a list
+of tasks, not a thread pool.
+
+Two drive modes:
+
+* :func:`run_open_loop` — arrivals fire at their scheduled offsets
+  whether or not earlier requests finished (the stability-test shape:
+  the server must shed, not queue, when the offered rate exceeds
+  capacity).  Scheduled-vs-actual start lag is recorded per request so a
+  saturated *generator* is visible in the report rather than silently
+  flattering the server.
+* :func:`run_closed_loop` — a fixed worker count, next request issued
+  when the previous completes (the throughput-measurement shape: offered
+  load adapts to service rate, so completed/second *is* capacity).
+
+Every request becomes a :class:`RequestResult`; :class:`LoadReport`
+aggregates them into the latency percentiles and shed/error rates the
+SLO layer (:mod:`repro.loadgen.slo`) asserts against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional, Sequence
+from urllib.parse import urlsplit
+
+from repro.errors import LoadGenError
+
+__all__ = [
+    "RequestSpec",
+    "RequestResult",
+    "LoadReport",
+    "classify_request",
+    "simulate_request",
+    "percentile",
+    "run_open_loop",
+    "run_closed_loop",
+]
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One HTTP request the generator will issue."""
+
+    method: str
+    path: str
+    payload: Optional[Mapping[str, Any]] = None
+
+
+def classify_request(spec: Mapping[str, Any]) -> RequestSpec:
+    return RequestSpec("POST", "/v1/classify", {"spec": dict(spec)})
+
+
+def simulate_request(spec: Mapping[str, Any], *, horizon: int = 1000,
+                     seed: int = 0, loss_p: float = 0.0) -> RequestSpec:
+    return RequestSpec("POST", "/v1/simulate", {
+        "spec": dict(spec), "horizon": horizon, "seed": seed, "loss_p": loss_p,
+    })
+
+
+@dataclass
+class RequestResult:
+    """Timing and outcome of one request (times are loop-relative)."""
+
+    index: int
+    scheduled: float       # offset the schedule asked for (0.0 closed-loop)
+    started: float         # when the connect actually began
+    finished: float
+    status: int            # HTTP status; 0 = transport error / timeout
+    error: Optional[str] = None
+    body: Optional[dict] = None
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def lag(self) -> float:
+        """How late the generator fired relative to the schedule."""
+        return self.started - self.scheduled
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]); raises on empty input."""
+    if not samples:
+        raise LoadGenError("percentile of an empty sample set")
+    if not (0.0 <= q <= 1.0):
+        raise LoadGenError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load run."""
+
+    results: list[RequestResult]
+    wall_seconds: float
+    mode: str = "open"
+
+    # -- counts --------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def count(self, status: int) -> int:
+        return sum(1 for r in self.results if r.status == status)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.results if 200 <= r.status < 300)
+
+    @property
+    def shed(self) -> int:
+        return self.count(429)
+
+    @property
+    def errors(self) -> int:
+        """Transport failures plus 5xx — everything that is *not* a clean
+        response or a clean shed."""
+        return sum(1 for r in self.results
+                   if r.status == 0 or r.status >= 500)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.total if self.total else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.total if self.total else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Successful responses per second of wall clock."""
+        return self.ok / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    # -- latency -------------------------------------------------------
+    def latencies(self, *, ok_only: bool = True) -> list[float]:
+        return [r.latency for r in self.results
+                if not ok_only or 200 <= r.status < 300]
+
+    def latency_percentile(self, q: float, *, ok_only: bool = True) -> float:
+        return percentile(self.latencies(ok_only=ok_only), q)
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(0.99)
+
+    @property
+    def max_lag(self) -> float:
+        """Worst scheduled-vs-actual start lag (generator health)."""
+        return max((r.lag for r in self.results), default=0.0)
+
+    def status_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.results:
+            key = str(r.status)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def to_json(self) -> dict:
+        """The record the benchmarks persist (JSON-able, no result spam)."""
+        data = {
+            "mode": self.mode,
+            "total": self.total,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "shed_rate": round(self.shed_rate, 4),
+            "error_rate": round(self.error_rate, 4),
+            "throughput_rps": round(self.throughput, 2),
+            "wall_seconds": round(self.wall_seconds, 4),
+            "status_counts": self.status_counts(),
+            "max_lag_s": round(self.max_lag, 4),
+        }
+        lats = self.latencies()
+        if lats:
+            data["latency_s"] = {
+                "p50": round(percentile(lats, 0.50), 5),
+                "p90": round(percentile(lats, 0.90), 5),
+                "p99": round(percentile(lats, 0.99), 5),
+                "max": round(max(lats), 5),
+            }
+        return data
+
+
+# ----------------------------------------------------------------------
+# the minimal HTTP client
+# ----------------------------------------------------------------------
+async def _fetch(host: str, port: int, request: RequestSpec,
+                 timeout: float, keep_body: bool) -> tuple[int, Optional[str], Optional[dict]]:
+    """One HTTP/1.1 exchange → (status, error_slug, parsed_body)."""
+    body = b""
+    if request.payload is not None:
+        body = json.dumps(request.payload).encode("utf-8")
+    head = (f"{request.method} {request.path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n").encode("ascii")
+    writer = None
+
+    async def exchange() -> bytes:
+        nonlocal writer
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(head + body)
+        await writer.drain()
+        return await reader.read(-1)   # server closes after one response
+
+    try:
+        # wait_for (not asyncio.timeout): the repo supports Python 3.10
+        raw = await asyncio.wait_for(exchange(), timeout)
+    except (asyncio.TimeoutError, TimeoutError):
+        return 0, "timeout", None
+    except (ConnectionError, OSError) as exc:
+        return 0, f"connect:{type(exc).__name__}", None
+    finally:
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+    try:
+        head_bytes, _, payload = raw.partition(b"\r\n\r\n")
+        status = int(head_bytes.split(b"\r\n", 1)[0].split(b" ")[1])
+    except (ValueError, IndexError):
+        return 0, "malformed-response", None
+    parsed: Optional[dict] = None
+    if keep_body:
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            parsed = None
+    return status, None, parsed
+
+
+def _split_url(base_url: str) -> tuple[str, int]:
+    parts = urlsplit(base_url)
+    if parts.scheme != "http" or parts.hostname is None or parts.port is None:
+        raise LoadGenError(
+            f"base_url must look like http://host:port, got {base_url!r}")
+    return parts.hostname, parts.port
+
+
+RequestFactory = Callable[[int], RequestSpec]
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+async def drive_open_loop(base_url: str, schedule: Sequence[float],
+                          factory: RequestFactory, *, timeout: float = 30.0,
+                          max_open: int = 512,
+                          keep_bodies: bool = False) -> LoadReport:
+    """Async body of :func:`run_open_loop` (awaitable form for embedding)."""
+    if not schedule:
+        raise LoadGenError("schedule is empty")
+    if max_open < 1:
+        raise LoadGenError(f"max_open must be >= 1, got {max_open}")
+    host, port = _split_url(base_url)
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    gate = asyncio.Semaphore(max_open)  # bounds fds, never arrival order
+    results: list[Optional[RequestResult]] = [None] * len(schedule)
+
+    async def one(index: int, offset: float) -> None:
+        delay = t0 + offset - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        async with gate:
+            started = loop.time() - t0
+            status, slug, body = await _fetch(
+                host, port, factory(index), timeout, keep_bodies)
+            results[index] = RequestResult(
+                index=index, scheduled=offset, started=started,
+                finished=loop.time() - t0, status=status, error=slug,
+                body=body,
+            )
+
+    await asyncio.gather(*(one(i, off) for i, off in enumerate(schedule)))
+    done = [r for r in results if r is not None]
+    wall = max(loop.time() - t0, max((r.finished for r in done), default=0.0))
+    return LoadReport(results=done, wall_seconds=wall, mode="open")
+
+
+def run_open_loop(base_url: str, schedule: Sequence[float],
+                  factory: RequestFactory, *, timeout: float = 30.0,
+                  max_open: int = 512, keep_bodies: bool = False) -> LoadReport:
+    """Fire ``schedule`` at the server, one task per arrival."""
+    return asyncio.run(drive_open_loop(
+        base_url, schedule, factory, timeout=timeout, max_open=max_open,
+        keep_bodies=keep_bodies,
+    ))
+
+
+async def drive_closed_loop(base_url: str, requests: Sequence[RequestSpec], *,
+                            concurrency: int = 8, timeout: float = 30.0,
+                            keep_bodies: bool = False) -> LoadReport:
+    """Async body of :func:`run_closed_loop`."""
+    if not requests:
+        raise LoadGenError("no requests to run")
+    if concurrency < 1:
+        raise LoadGenError(f"concurrency must be >= 1, got {concurrency}")
+    host, port = _split_url(base_url)
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    results: list[Optional[RequestResult]] = [None] * len(requests)
+    cursor = iter(range(len(requests)))
+
+    async def worker() -> None:
+        for index in cursor:   # shared iterator: each index claimed once
+            started = loop.time() - t0
+            status, slug, body = await _fetch(
+                host, port, requests[index], timeout, keep_bodies)
+            results[index] = RequestResult(
+                index=index, scheduled=started, started=started,
+                finished=loop.time() - t0, status=status, error=slug,
+                body=body,
+            )
+
+    await asyncio.gather(*(worker() for _ in range(min(concurrency,
+                                                       len(requests)))))
+    done = [r for r in results if r is not None]
+    return LoadReport(results=done, wall_seconds=loop.time() - t0,
+                      mode="closed")
+
+
+def run_closed_loop(base_url: str, requests: Sequence[RequestSpec], *,
+                    concurrency: int = 8, timeout: float = 30.0,
+                    keep_bodies: bool = False) -> LoadReport:
+    """``concurrency`` workers drain ``requests``; throughput == capacity."""
+    return asyncio.run(drive_closed_loop(
+        base_url, requests, concurrency=concurrency, timeout=timeout,
+        keep_bodies=keep_bodies,
+    ))

@@ -1,0 +1,99 @@
+"""Open-loop arrival schedules for the load harness.
+
+A *schedule* is a sorted list of arrival offsets in seconds from the
+start of the run.  Open-loop means the offsets are fixed before the run
+and do not react to server latency — exactly the arrival-process framing
+the paper applies to the routed network itself: the adversary (here, the
+load generator) commits to an injection schedule, and stability is a
+property of the *server* under that schedule, not of a cooperating
+client that slows down when the server struggles.
+
+All generators are deterministic functions of their seed (standard
+``random.Random``, never the global RNG), so a recorded SLO run can be
+replayed bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import LoadGenError
+
+__all__ = ["poisson_schedule", "burst_schedule", "constant_schedule"]
+
+
+def _check_count_duration(count: Optional[int], duration: Optional[float]) -> None:
+    if count is None and duration is None:
+        raise LoadGenError("pass count=, duration=, or both")
+    if count is not None and count < 1:
+        raise LoadGenError(f"count must be >= 1, got {count}")
+    if duration is not None and duration <= 0:
+        raise LoadGenError(f"duration must be > 0, got {duration}")
+
+
+def poisson_schedule(rate: float, *, count: Optional[int] = None,
+                     duration: Optional[float] = None,
+                     seed: int = 0) -> list[float]:
+    """Poisson arrivals at ``rate``/s: i.i.d. exponential gaps.
+
+    Stops at ``count`` arrivals, at ``duration`` seconds, or at whichever
+    comes first when both are given.
+    """
+    if rate <= 0:
+        raise LoadGenError(f"rate must be > 0, got {rate}")
+    _check_count_duration(count, duration)
+    rng = random.Random(seed)
+    out: list[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if duration is not None and t > duration:
+            break
+        out.append(t)
+        if count is not None and len(out) >= count:
+            break
+    return out
+
+
+def burst_schedule(*, bursts: int, burst_size: int, period: float,
+                   spread: float = 0.0, seed: int = 0) -> list[float]:
+    """``bursts`` synchronized volleys of ``burst_size`` arrivals.
+
+    Volley ``k`` lands at ``k * period``; with ``spread > 0`` each
+    arrival is jittered uniformly into ``[k*period, k*period + spread]``
+    (a sloppier, more realistic stampede).  This is the adversarial
+    shape for admission control: instantaneous rate is unbounded even
+    when the average rate is tame.
+    """
+    if bursts < 1:
+        raise LoadGenError(f"bursts must be >= 1, got {bursts}")
+    if burst_size < 1:
+        raise LoadGenError(f"burst_size must be >= 1, got {burst_size}")
+    if period <= 0:
+        raise LoadGenError(f"period must be > 0, got {period}")
+    if spread < 0:
+        raise LoadGenError(f"spread must be >= 0, got {spread}")
+    rng = random.Random(seed)
+    out: list[float] = []
+    for k in range(bursts):
+        base = k * period
+        for _ in range(burst_size):
+            out.append(base + (rng.uniform(0.0, spread) if spread else 0.0))
+    out.sort()
+    return out
+
+
+def constant_schedule(rate: float, *, count: Optional[int] = None,
+                      duration: Optional[float] = None) -> list[float]:
+    """Evenly spaced arrivals at ``rate``/s (the deterministic baseline)."""
+    if rate <= 0:
+        raise LoadGenError(f"rate must be > 0, got {rate}")
+    _check_count_duration(count, duration)
+    gap = 1.0 / rate
+    if count is None:
+        count = int(duration * rate)  # type: ignore[operator]
+    out = [gap * (i + 1) for i in range(count)]
+    if duration is not None:
+        out = [t for t in out if t <= duration]
+    return out

@@ -1,0 +1,97 @@
+"""Service-level objectives over a :class:`~repro.loadgen.runner.LoadReport`.
+
+The serve layer's analogue of the paper's stability verdict: a run is
+*acceptable* when latency quantiles stay under their bounds, overload is
+answered by clean sheds (bounded shed rate, zero hard errors), and — for
+throughput runs — capacity clears a floor.  :func:`check_slo` returns
+the violations as strings so harnesses can log them; :func:`assert_slo`
+raises one ``AssertionError`` carrying all of them (benchmarks and CI
+gate on it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import LoadGenError
+from repro.loadgen.runner import LoadReport
+
+__all__ = ["SLO", "check_slo", "assert_slo"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Bounds a load run must satisfy (``None`` = not asserted).
+
+    Attributes
+    ----------
+    p50_s / p99_s:
+        Latency quantile ceilings in seconds, over successful responses.
+    max_shed_rate:
+        Fraction of requests that may be answered ``429``.  Sheds are a
+        *designed* response to overload, so bursty runs set this well
+        above zero; capacity runs set it to 0.
+    max_error_rate:
+        Fraction that may fail hard (transport errors + 5xx).  Defaults
+        to 0: the server's contract is "degrade by shedding, never by
+        breaking".
+    min_throughput_rps:
+        Floor on successful responses/second (closed-loop capacity runs).
+    """
+
+    p50_s: Optional[float] = None
+    p99_s: Optional[float] = None
+    max_shed_rate: Optional[float] = None
+    max_error_rate: float = 0.0
+    min_throughput_rps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.p50_s is None and self.p99_s is None
+                and self.max_shed_rate is None
+                and self.min_throughput_rps is None
+                and self.max_error_rate is None):
+            raise LoadGenError("SLO with no criteria asserts nothing")
+        for name in ("p50_s", "p99_s", "max_shed_rate", "max_error_rate",
+                     "min_throughput_rps"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise LoadGenError(f"{name} must be >= 0, got {value}")
+
+
+def check_slo(report: LoadReport, slo: SLO) -> list[str]:
+    """Every violated bound as a human-readable string (empty = pass)."""
+    violations: list[str] = []
+    ok_lats = report.latencies()
+    if slo.p50_s is not None:
+        if not ok_lats:
+            violations.append("p50 SLO set but no successful responses")
+        elif (p50 := report.latency_percentile(0.50)) > slo.p50_s:
+            violations.append(f"p50 {p50:.4f}s > {slo.p50_s:.4f}s")
+    if slo.p99_s is not None:
+        if not ok_lats:
+            violations.append("p99 SLO set but no successful responses")
+        elif (p99 := report.latency_percentile(0.99)) > slo.p99_s:
+            violations.append(f"p99 {p99:.4f}s > {slo.p99_s:.4f}s")
+    if slo.max_shed_rate is not None and report.shed_rate > slo.max_shed_rate:
+        violations.append(
+            f"shed rate {report.shed_rate:.3f} > {slo.max_shed_rate:.3f} "
+            f"({report.shed}/{report.total} sheds)")
+    if slo.max_error_rate is not None and report.error_rate > slo.max_error_rate:
+        violations.append(
+            f"error rate {report.error_rate:.3f} > {slo.max_error_rate:.3f} "
+            f"({report.errors}/{report.total} hard failures)")
+    if (slo.min_throughput_rps is not None
+            and report.throughput < slo.min_throughput_rps):
+        violations.append(
+            f"throughput {report.throughput:.1f} rps < "
+            f"{slo.min_throughput_rps:.1f} rps")
+    return violations
+
+
+def assert_slo(report: LoadReport, slo: SLO) -> None:
+    """Raise one ``AssertionError`` listing every violated bound."""
+    violations = check_slo(report, slo)
+    if violations:
+        raise AssertionError(
+            "SLO violated: " + "; ".join(violations))

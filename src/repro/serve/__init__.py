@@ -13,6 +13,11 @@ simulation stack:
   throughput inherits the vectorized pipeline's speedup while every
   response stays bit-identical to a scalar :class:`~repro.core.engine.Simulator`
   run.
+* :mod:`repro.serve.workers` — the multi-process worker tier: spawn-
+  context worker processes with warm imports behind a futures interface,
+  classify requests sharded by fingerprint range (each worker owns a
+  private :class:`~repro.sweep.cache.FeasibilityCache` shard), and
+  requeue-and-respawn recovery when a worker dies mid-task.
 * :mod:`repro.serve.admission` — bounded-queue + token-bucket admission
   control: overload degrades to fast ``429 + Retry-After`` responses,
   never to unbounded memory.
@@ -39,6 +44,7 @@ from repro.serve.codec import (
 )
 from repro.serve.jobs import JobManager, JobState, grid_from_request, summarize_rows
 from repro.serve.server import BackgroundServer, ReproServer
+from repro.serve.workers import WorkerPool
 
 __all__ = [
     "ServeError",
@@ -56,4 +62,5 @@ __all__ = [
     "summarize_rows",
     "ReproServer",
     "BackgroundServer",
+    "WorkerPool",
 ]

@@ -16,9 +16,11 @@ changes *when* work happens, never *what* any caller gets back —
 :func:`direct_simulate` is the scalar oracle the server's responses must
 (and do) match exactly.
 
-The batch executes on a worker thread (never on the event loop), and a
-batch that fails delivers the same exception to every member rather than
-hanging any of them.
+The batch executes off the event loop — on a worker thread by default,
+or on a :class:`~repro.serve.workers.WorkerPool` *process* when the
+server runs a multi-process tier (same arguments, same bit-identical
+responses, but under a different GIL) — and a batch that fails delivers
+the same exception to every member rather than hanging any of them.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ import asyncio
 import hashlib
 import itertools
 from concurrent.futures import Executor
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.engine import SimulationConfig, Simulator
 from repro.errors import ServeError
@@ -35,6 +37,9 @@ from repro.network.spec import NetworkSpec
 from repro.obs.metrics import get_registry
 from repro.serve.codec import simulation_response
 from repro.sweep.cache import canonical_spec_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.workers import WorkerPool
 
 __all__ = ["MicroBatcher", "direct_simulate"]
 
@@ -100,10 +105,16 @@ class MicroBatcher:
         ``0`` disables coalescing (every request is a batch of one).
     max_batch:
         A full batch flushes immediately instead of waiting out the window.
+    pool:
+        A started :class:`~repro.serve.workers.WorkerPool`; when set,
+        batches run on worker *processes* (sharded by fingerprint, so a
+        hot config keeps hitting the same worker) instead of ``executor``
+        threads.
     """
 
     def __init__(self, *, executor: Optional[Executor] = None,
-                 window: float = 0.01, max_batch: int = 64) -> None:
+                 window: float = 0.01, max_batch: int = 64,
+                 pool: Optional["WorkerPool"] = None) -> None:
         if window < 0:
             raise ServeError(f"window must be >= 0, got {window}",
                              status=500, error="bad-config")
@@ -113,6 +124,7 @@ class MicroBatcher:
         self.executor = executor
         self.window = window
         self.max_batch = max_batch
+        self.pool = pool
         self._pending: dict[str, _Batch] = {}
         self._seq = itertools.count(1)
         #: append-only in-process log of executed batches — the audit trail
@@ -192,10 +204,17 @@ class MicroBatcher:
                           "Coalesced requests per ensemble batch.",
                           buckets=BATCH_SIZE_BUCKETS).observe(size)
         try:
-            responses = await loop.run_in_executor(
-                self.executor, _run_batch,
-                batch.spec, batch.horizon, batch.loss_p, list(batch.seeds),
-            )
+            if self.pool is not None:
+                responses = await asyncio.wrap_future(self.pool.submit(
+                    "simulate_batch",
+                    (batch.spec, batch.horizon, batch.loss_p, list(batch.seeds)),
+                    shard_key=key,
+                ))
+            else:
+                responses = await loop.run_in_executor(
+                    self.executor, _run_batch,
+                    batch.spec, batch.horizon, batch.loss_p, list(batch.seeds),
+                )
         except Exception as exc:  # deliver the failure to every member
             for fut in batch.futures:
                 if not fut.done():

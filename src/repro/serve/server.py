@@ -11,11 +11,18 @@ Endpoints
 
 Request flow: the asyncio loop parses HTTP and JSON, the
 :class:`~repro.serve.admission.AdmissionController` admits or sheds, and
-all numeric work runs on a small thread pool — ``/v1/simulate`` through
-the :class:`~repro.serve.batching.MicroBatcher` (concurrent identical
+all numeric work runs off the loop — ``/v1/simulate`` through the
+:class:`~repro.serve.batching.MicroBatcher` (concurrent identical
 configs fold into one ensemble batch), ``/v1/classify`` through a shared
-lock-guarded :class:`~repro.sweep.cache.FeasibilityCache`.  Sweep jobs go
-to the :class:`~repro.serve.jobs.JobManager`'s worker thread and persist
+lock-guarded :class:`~repro.sweep.cache.FeasibilityCache`.  With
+``workers=0`` (the default) compute runs on a small in-process thread
+pool; with ``workers=N`` it runs on a
+:class:`~repro.serve.workers.WorkerPool` of ``N`` worker *processes* —
+batches and classifies execute under separate GILs, classify requests
+are routed to the worker owning their fingerprint shard (per-worker
+:class:`FeasibilityCache` ownership), and a worker death is absorbed by
+requeue + respawn.  Sweep jobs go to the
+:class:`~repro.serve.jobs.JobManager`'s worker thread and persist
 through crash-safe JSONL checkpoints, so a restarted server resumes them.
 
 Every non-2xx response body is structured JSON ``{"error": slug,
@@ -45,7 +52,8 @@ from repro.serve.codec import (
     report_to_json,
 )
 from repro.serve.jobs import JobManager
-from repro.sweep.cache import FeasibilityCache
+from repro.serve.workers import WorkerPool
+from repro.sweep.cache import FeasibilityCache, canonical_spec_key
 
 __all__ = ["ReproServer", "BackgroundServer"]
 
@@ -97,16 +105,27 @@ class ReproServer:
         jobs_dir: Optional[str] = None,
         max_horizon: int = MAX_HORIZON,
         cache_entries: Optional[int] = 1024,
-        workers: int = 2,
+        workers: int = 0,
+        threads: int = 2,
     ) -> None:
         self.host = host
+        #: the *requested* port (possibly 0 = ephemeral).  ``self.port``
+        #: is overwritten with the resolved port once bound; keeping the
+        #: request separate means a stop/start cycle re-binds "any free
+        #: port" instead of racing other processes for the old one.
+        self._requested_port = port
         self.port = port
         self.max_horizon = max_horizon
         self.executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-serve"
+            max_workers=threads, thread_name_prefix="repro-serve"
+        )
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(workers, cache_entries=cache_entries)
+            if workers > 0 else None
         )
         self.batcher = MicroBatcher(
-            executor=self.executor, window=batch_window, max_batch=max_batch
+            executor=self.executor, window=batch_window, max_batch=max_batch,
+            pool=self.pool,
         )
         self.admission = AdmissionController(
             max_inflight=queue_limit, rate=rate, burst=burst
@@ -123,16 +142,22 @@ class ReproServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listening socket (resolves ``port`` when it was 0) and
-        enable the metrics registry for the lifetime of the server."""
+        """Bind the listening socket (resolves ``port`` when it was 0),
+        spawn the worker-process tier if one was configured, and enable
+        the metrics registry for the lifetime of the server."""
         from repro import obs
 
         self._obs_restore = obs.configure(metrics=True)
         self._started = time.monotonic()
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port, limit=_MAX_HEADER
+            self._handle_connection, self.host, self._requested_port,
+            limit=_MAX_HEADER,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.pool is not None:
+            # blocking, but deliberate: no connection is accepted until
+            # serve_forever(), and readiness must mean "can compute"
+            self.pool.start()
         if self.jobs is not None:
             self.jobs.recover()
 
@@ -147,6 +172,8 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
         self.batcher.close()
+        if self.pool is not None:
+            self.pool.close()
         if self.jobs is not None:
             self.jobs.shutdown()
         self.executor.shutdown(wait=False)
@@ -363,6 +390,8 @@ class ReproServer:
             "cache": {"size": self.cache.size, "hits": self.cache.hits,
                       "misses": self.cache.misses},
         }
+        if self.pool is not None:
+            out["workers"] = self.pool.health()
         if self.jobs is not None:
             out["jobs"] = self.jobs.counts()
         return out
@@ -376,6 +405,15 @@ class ReproServer:
             if not isinstance(payload, dict):
                 raise ServeError("request body must be a JSON object")
             spec = parse_spec(payload.get("spec", payload))
+            if self.pool is not None:
+                # shard-affine dispatch: the worker owning this key's
+                # fingerprint range holds (or builds) its cache entry
+                out, hit = await asyncio.wrap_future(self.pool.submit(
+                    "classify", (spec, "dinic"),
+                    shard_key=canonical_spec_key(spec),
+                ))
+                out["cache_hit"] = hit
+                return out
             before = self.cache.hits
             loop = asyncio.get_running_loop()
             report = await loop.run_in_executor(
@@ -435,12 +473,14 @@ class BackgroundServer:
     """
 
     def __init__(self, **kwargs) -> None:
+        self._kwargs = dict(kwargs)
         self.server = ReproServer(**kwargs)
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._stop: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._error: Optional[BaseException] = None
+        self._used = False
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
@@ -458,6 +498,16 @@ class BackgroundServer:
             await self.server.aclose()
 
     def start(self, timeout: float = 10.0) -> str:
+        # fresh handshake state every time: a stop()/start() cycle must
+        # re-bind from the *requested* port (0 = any free port), never
+        # race other processes for the previously resolved one — and a
+        # closed server's executor/pool/batcher are gone, so restart
+        # means a fresh ReproServer from the original kwargs
+        self._ready = threading.Event()
+        self._error = None
+        if self._used:
+            self.server = ReproServer(**self._kwargs)
+        self._used = True
         self._thread = threading.Thread(
             target=lambda: asyncio.run(self._main()),
             name="repro-serve-loop", daemon=True,

@@ -22,6 +22,7 @@ never wrong results).
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from typing import TYPE_CHECKING, Optional
 
@@ -36,10 +37,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "canonical_graph_key",
     "canonical_spec_key",
+    "shard_index",
     "FeasibilityCache",
     "shared_cache",
     "cached_classify",
 ]
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Which of ``shards`` owners a canonical key belongs to.
+
+    The partition behind the serve worker tier's fingerprint-range
+    sharding: each worker process owns one shard of the key space and
+    keeps a private :class:`FeasibilityCache` for it, so affinity
+    routing (same key → same worker) reproduces single-process cache
+    semantics without shared memory.  Stable across processes and runs
+    (pure sha256, no per-process seeding), uniform for any ``shards``.
+    """
+    if shards < 1:
+        raise SweepError(f"shards must be >= 1, got {shards}")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
 
 
 def canonical_graph_key(graph: MultiGraph) -> str:
@@ -143,6 +161,16 @@ class FeasibilityCache:
         """Fraction of lookups served from the table (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counters as one JSON-able dict (healthz, worker heartbeats)."""
+        with self._lock:
+            return {
+                "size": len(self._table),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
     def clear(self) -> None:
         with self._lock:

@@ -1,0 +1,224 @@
+"""The load driver and SLO gate: report math on synthetic results, and
+small live open-/closed-loop runs against a real server.
+
+The live tests are deliberately tiny (tens of requests, sub-second
+schedules) — they prove the harness end-to-end; the big runs live in
+``benchmarks/test_perf_serve_scale.py``.
+"""
+
+import socket
+
+import pytest
+
+from repro.errors import LoadGenError
+from repro.loadgen import (
+    SLO,
+    LoadReport,
+    RequestResult,
+    assert_slo,
+    burst_schedule,
+    check_slo,
+    classify_request,
+    constant_schedule,
+    percentile,
+    run_closed_loop,
+    run_open_loop,
+    simulate_request,
+)
+from repro.serve import BackgroundServer
+
+SPEC = {"topology": "path", "n": 5, "in_rate": 1, "out_rate": 2}
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv = BackgroundServer()
+    url = srv.start()
+    yield url
+    srv.stop()
+
+
+def _result(status: int, latency: float, *, index: int = 0,
+            lag: float = 0.0) -> RequestResult:
+    return RequestResult(index=index, scheduled=0.0, started=lag,
+                         finished=lag + latency, status=status)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.50) == 51.0
+        assert percentile(samples, 0.99) == 100.0
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == percentile([1.0, 2.0, 3.0], 0.5)
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(LoadGenError, match="empty"):
+            percentile([], 0.5)
+        with pytest.raises(LoadGenError, match="q"):
+            percentile([1.0], 1.5)
+
+
+class TestLoadReportMath:
+    def _report(self) -> LoadReport:
+        results = (
+            [_result(200, 0.010, index=i) for i in range(6)]
+            + [_result(429, 0.001, index=6)]
+            + [_result(429, 0.001, index=7)]
+            + [_result(500, 0.002, index=8)]
+            + [_result(0, 0.0, index=9)]      # transport error
+        )
+        return LoadReport(results=results, wall_seconds=2.0)
+
+    def test_counts(self):
+        report = self._report()
+        assert report.total == 10
+        assert report.ok == 6
+        assert report.shed == 2
+        assert report.errors == 2            # the 500 and the transport error
+        assert report.shed_rate == pytest.approx(0.2)
+        assert report.error_rate == pytest.approx(0.2)
+        assert report.throughput == pytest.approx(3.0)   # 6 ok / 2 s
+
+    def test_latencies_are_ok_only_by_default(self):
+        report = self._report()
+        assert report.latencies() == pytest.approx([0.010] * 6)
+        assert len(report.latencies(ok_only=False)) == 10
+        assert report.p50 == pytest.approx(0.010)
+        assert report.p99 == pytest.approx(0.010)
+
+    def test_status_counts_and_json(self):
+        data = self._report().to_json()
+        assert data["status_counts"] == {"200": 6, "429": 2, "500": 1, "0": 1}
+        assert data["latency_s"]["p50"] == pytest.approx(0.010)
+        assert data["throughput_rps"] == pytest.approx(3.0)
+
+    def test_max_lag_surfaces_generator_saturation(self):
+        report = LoadReport(results=[_result(200, 0.01, lag=0.3)],
+                            wall_seconds=1.0)
+        assert report.max_lag == pytest.approx(0.3)
+
+
+class TestSLO:
+    def _good(self) -> LoadReport:
+        return LoadReport(results=[_result(200, 0.01, index=i)
+                                   for i in range(10)], wall_seconds=1.0)
+
+    def test_passing_report_has_no_violations(self):
+        slo = SLO(p50_s=0.05, p99_s=0.1, max_shed_rate=0.0,
+                  min_throughput_rps=5.0)
+        assert check_slo(self._good(), slo) == []
+        assert_slo(self._good(), slo)  # does not raise
+
+    def test_each_bound_can_fire(self):
+        report = LoadReport(
+            results=[_result(200, 0.5, index=0), _result(429, 0.0, index=1),
+                     _result(500, 0.0, index=2)],
+            wall_seconds=10.0)
+        slo = SLO(p50_s=0.1, p99_s=0.2, max_shed_rate=0.1,
+                  max_error_rate=0.0, min_throughput_rps=100.0)
+        violations = check_slo(report, slo)
+        assert len(violations) == 5
+        text = " ".join(violations)
+        for needle in ("p50", "p99", "shed rate", "error rate", "throughput"):
+            assert needle in text
+
+    def test_assert_slo_carries_every_violation(self):
+        report = LoadReport(results=[_result(429, 0.0)], wall_seconds=1.0)
+        with pytest.raises(AssertionError, match="shed rate") as exc_info:
+            assert_slo(report, SLO(p50_s=0.1, max_shed_rate=0.0))
+        assert "p50 SLO set but no successful responses" in str(exc_info.value)
+
+    def test_empty_slo_rejected(self):
+        with pytest.raises(LoadGenError, match="asserts nothing"):
+            SLO(p50_s=None, max_error_rate=None)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(LoadGenError, match="p99_s"):
+            SLO(p99_s=-1.0)
+
+
+class TestLiveOpenLoop:
+    def test_poisson_classifies_all_succeed(self, server):
+        schedule = constant_schedule(100.0, count=30)
+        report = run_open_loop(server, schedule,
+                               lambda i: classify_request(SPEC),
+                               keep_bodies=True)
+        assert report.mode == "open"
+        assert report.total == 30
+        assert report.ok == 30 and report.errors == 0
+        assert report.p50 > 0 and report.p99 >= report.p50
+        # bodies were kept and parsed; every one is the same verdict
+        verdicts = {r.body["network_class"] for r in report.results}
+        assert len(verdicts) == 1
+
+    def test_mixed_endpoints(self, server):
+        schedule = constant_schedule(50.0, count=20)
+
+        def factory(i):
+            if i % 2:
+                return simulate_request(SPEC, horizon=100, seed=i)
+            return classify_request(SPEC)
+
+        report = run_open_loop(server, schedule, factory)
+        assert report.ok == 20 and report.errors == 0
+
+    def test_burst_against_rate_limit_sheds_not_breaks(self):
+        """The shed accounting chain: generator 429 count == controller
+        shed count, zero hard errors — overload degrades, never breaks."""
+        srv = BackgroundServer(rate=5.0, burst=2)
+        url = srv.start()
+        try:
+            schedule = burst_schedule(bursts=2, burst_size=10, period=0.5)
+            report = run_open_loop(url, schedule,
+                                   lambda i: classify_request(SPEC))
+            assert report.total == 20
+            assert report.errors == 0                   # zero 5xx / drops
+            assert report.shed >= 1                     # the burst overloaded
+            assert report.ok >= 1                       # but work got done
+            assert report.shed == srv.server.admission.shed
+            assert report.ok == srv.server.admission.admitted
+            # the SLO layer sees the same picture
+            assert check_slo(report, SLO(max_shed_rate=1.0)) == []
+            assert check_slo(report, SLO(max_shed_rate=0.0)) != []
+        finally:
+            srv.stop()
+
+    def test_transport_errors_are_recorded_not_raised(self):
+        # grab a port that is certainly closed
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            dead_port = s.getsockname()[1]
+        report = run_open_loop(f"http://127.0.0.1:{dead_port}",
+                               [0.0, 0.0], lambda i: classify_request(SPEC),
+                               timeout=5.0)
+        assert report.total == 2
+        assert report.errors == 2
+        assert all(r.status == 0 for r in report.results)
+        assert report.error_rate == 1.0
+
+    def test_validates_inputs(self, server):
+        with pytest.raises(LoadGenError, match="schedule"):
+            run_open_loop(server, [], lambda i: classify_request(SPEC))
+        with pytest.raises(LoadGenError, match="base_url"):
+            run_open_loop("ftp://nope", [0.0], lambda i: classify_request(SPEC))
+
+
+class TestLiveClosedLoop:
+    def test_throughput_run(self, server):
+        requests = [classify_request(SPEC) for _ in range(24)]
+        report = run_closed_loop(server, requests, concurrency=4)
+        assert report.mode == "closed"
+        assert report.total == 24
+        assert report.ok == 24 and report.errors == 0
+        assert report.throughput > 0
+        assert_slo(report, SLO(max_shed_rate=0.0, min_throughput_rps=1.0))
+
+    def test_validates_inputs(self, server):
+        with pytest.raises(LoadGenError, match="requests"):
+            run_closed_loop(server, [])
+        with pytest.raises(LoadGenError, match="concurrency"):
+            run_closed_loop(server, [classify_request(SPEC)], concurrency=0)

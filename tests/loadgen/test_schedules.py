@@ -1,0 +1,106 @@
+"""Arrival-schedule generators: deterministic, sorted, validated."""
+
+import random
+
+import pytest
+
+from repro.errors import LoadGenError
+from repro.loadgen import burst_schedule, constant_schedule, poisson_schedule
+
+
+class TestPoisson:
+    def test_deterministic_in_seed(self):
+        a = poisson_schedule(50.0, count=200, seed=7)
+        b = poisson_schedule(50.0, count=200, seed=7)
+        assert a == b
+        assert poisson_schedule(50.0, count=200, seed=8) != a
+
+    def test_count_semantics(self):
+        sched = poisson_schedule(10.0, count=64)
+        assert len(sched) == 64
+        assert sched == sorted(sched)
+        assert all(t > 0 for t in sched)
+
+    def test_duration_semantics(self):
+        sched = poisson_schedule(100.0, duration=2.0, seed=3)
+        assert sched and all(t <= 2.0 for t in sched)
+
+    def test_count_and_duration_whichever_first(self):
+        by_count = poisson_schedule(1000.0, count=5, duration=100.0, seed=1)
+        assert len(by_count) == 5
+        by_time = poisson_schedule(2.0, count=10_000, duration=1.0, seed=1)
+        assert all(t <= 1.0 for t in by_time)
+        assert len(by_time) < 10_000
+
+    def test_mean_gap_tracks_rate(self):
+        # law of large numbers at fixed seed: mean gap ~ 1/rate
+        sched = poisson_schedule(100.0, count=5000, seed=0)
+        mean_gap = sched[-1] / len(sched)
+        assert 0.008 < mean_gap < 0.012
+
+    def test_never_touches_global_rng(self):
+        random.seed(123)
+        before = random.random()
+        random.seed(123)
+        poisson_schedule(10.0, count=100, seed=42)
+        assert random.random() == before
+
+    @pytest.mark.parametrize("kwargs", [
+        {"count": None, "duration": None},
+        {"count": 0},
+        {"duration": 0.0},
+    ])
+    def test_rejects_bad_bounds(self, kwargs):
+        with pytest.raises(LoadGenError):
+            poisson_schedule(10.0, **kwargs)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(LoadGenError, match="rate"):
+            poisson_schedule(0.0, count=5)
+
+
+class TestBurst:
+    def test_tight_bursts_land_exactly_on_the_period(self):
+        sched = burst_schedule(bursts=3, burst_size=4, period=0.5)
+        assert len(sched) == 12
+        assert sched == [0.0] * 4 + [0.5] * 4 + [1.0] * 4
+
+    def test_spread_jitters_within_the_window(self):
+        sched = burst_schedule(bursts=2, burst_size=16, period=1.0,
+                               spread=0.25, seed=5)
+        assert sched == sorted(sched)
+        first, second = sched[:16], sched[16:]
+        assert all(0.0 <= t <= 0.25 for t in first)
+        assert all(1.0 <= t <= 1.25 for t in second)
+        assert len(set(first)) > 1  # actually jittered
+
+    def test_deterministic_in_seed(self):
+        kwargs = dict(bursts=2, burst_size=8, period=1.0, spread=0.5)
+        assert burst_schedule(**kwargs, seed=1) == burst_schedule(**kwargs, seed=1)
+        assert burst_schedule(**kwargs, seed=2) != burst_schedule(**kwargs, seed=1)
+
+    @pytest.mark.parametrize("kwargs,field", [
+        ({"bursts": 0, "burst_size": 1, "period": 1.0}, "bursts"),
+        ({"bursts": 1, "burst_size": 0, "period": 1.0}, "burst_size"),
+        ({"bursts": 1, "burst_size": 1, "period": 0.0}, "period"),
+        ({"bursts": 1, "burst_size": 1, "period": 1.0, "spread": -1.0},
+         "spread"),
+    ])
+    def test_rejects_bad_parameters(self, kwargs, field):
+        with pytest.raises(LoadGenError, match=field):
+            burst_schedule(**kwargs)
+
+
+class TestConstant:
+    def test_evenly_spaced(self):
+        sched = constant_schedule(4.0, count=8)
+        assert sched == pytest.approx([0.25 * (i + 1) for i in range(8)])
+
+    def test_duration_clips(self):
+        sched = constant_schedule(10.0, duration=1.0)
+        assert len(sched) == 10
+        assert all(t <= 1.0 for t in sched)
+
+    def test_rejects_nothing_specified(self):
+        with pytest.raises(LoadGenError):
+            constant_schedule(10.0)

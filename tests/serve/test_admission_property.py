@@ -1,0 +1,147 @@
+"""Property-based test of the exact-Fraction token bucket under
+multi-client concurrent bursts.
+
+Satellite of the worker-tier PR.  For *any* arrival schedule — bursts of
+concurrent threads interleaved with arbitrary clock advances — the
+admission controller must:
+
+* answer every caller with either an admit or a 429-shaped shed
+  (``status=429``, ``error='overloaded'``, a ``retry_after`` hint) —
+  never any other exception (the "zero 5xx" contract at its source);
+* keep its books exact: ``admitted`` == number of tickets handed out,
+  ``shed`` == number of 429s raised, even under thread races;
+* respect the (ρ, σ) envelope *exactly*: total admits over any window of
+  length ``T`` is at most ``σ + ρ·T`` — the token bucket's defining
+  inequality, checkable with no slack because the bucket does Fraction
+  arithmetic.
+
+The clock is injectable and only ever advanced between bursts, and the
+advances are dyadic rationals, so the envelope bound is computed in
+exact arithmetic too.
+"""
+
+import threading
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.serve import AdmissionController
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (dyadic values stay exact)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _hammer(controller: AdmissionController, n_threads: int) -> tuple[int, int, list]:
+    """``n_threads`` barrier-synced callers; returns (admits, sheds, junk).
+
+    Tickets are released immediately, so ``max_inflight`` never engages
+    and the rate gate is the only regulator under test.
+    """
+    barrier = threading.Barrier(n_threads)
+    lock = threading.Lock()
+    admits = sheds = 0
+    junk: list = []   # anything that is not an admit or a clean 429
+
+    def caller() -> None:
+        nonlocal admits, sheds
+        barrier.wait(timeout=10)
+        try:
+            ticket = controller.try_admit()
+        except ServeError as exc:
+            if exc.status == 429 and exc.error == "overloaded" \
+                    and exc.retry_after is not None:
+                with lock:
+                    sheds += 1
+            else:
+                with lock:
+                    junk.append(exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - the property under test
+            with lock:
+                junk.append(exc)
+            return
+        ticket.release()
+        with lock:
+            admits += 1
+
+    threads = [threading.Thread(target=caller) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    return admits, sheds, junk
+
+
+# a schedule step: a burst of concurrent callers, then a clock advance
+# (quarters of a second — dyadic, so float addition is exact)
+steps = st.lists(
+    st.tuples(st.integers(1, 8), st.integers(0, 8)),
+    min_size=1, max_size=6,
+)
+
+
+class TestTokenBucketProperty:
+    @given(burst=st.integers(1, 8), rate=st.integers(1, 8), schedule=steps)
+    @settings(max_examples=25, deadline=None)
+    def test_any_schedule_sheds_cleanly_and_respects_the_envelope(
+            self, burst, rate, schedule):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_inflight=10_000, rate=rate, burst=burst, clock=clock,
+        )
+        total_admits = total_sheds = total_calls = 0
+        elapsed = Fraction(0)
+        for n_threads, quarters in schedule:
+            admits, sheds, junk = _hammer(controller, n_threads)
+            assert junk == []                       # zero 5xx at the source
+            assert admits + sheds == n_threads      # every caller answered
+            total_admits += admits
+            total_sheds += sheds
+            total_calls += n_threads
+            clock.advance(quarters / 4)
+            elapsed += Fraction(quarters, 4)
+
+        # the controller's books agree with the callers' ground truth
+        assert controller.admitted == total_admits
+        assert controller.shed == total_sheds
+        assert controller.admitted + controller.shed == total_calls
+        assert controller.inflight == 0             # every ticket released
+
+        # the (ρ, σ) envelope, exactly: admits <= burst + rate * elapsed.
+        # The final advance refills tokens but admits nothing, so the
+        # bound holds over the pre-advance window too, a fortiori.
+        assert Fraction(total_admits) <= Fraction(burst) + Fraction(rate) * elapsed
+
+        # and the bucket never over-fills past its depth
+        tokens = controller.tokens
+        assert tokens is not None and tokens <= burst
+
+    @given(burst=st.integers(1, 6), rate=st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_drained_bucket_recovers_at_exactly_the_refill_rate(
+            self, burst, rate):
+        """After draining σ tokens, one second buys exactly min(ρ, σ)
+        admits — the refill, capped at the bucket depth."""
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_inflight=10_000, rate=rate, burst=burst, clock=clock,
+        )
+        admits, _, junk = _hammer(controller, burst + 5)
+        assert junk == []
+        assert admits == burst                      # depth σ, exactly
+        clock.advance(1.0)
+        admits, _, junk = _hammer(controller, rate + 5)
+        assert junk == []
+        assert admits == min(rate, burst)           # refill ρ·1s, capped at σ

@@ -163,7 +163,7 @@ class TestConcurrentDifferential:
     def test_identical_burst_is_bit_identical_and_coalesced(self, server_factory):
         """The ISSUE's differential criterion, over real HTTP."""
         n = 8
-        url, server = server_factory(batch_window=0.25, workers=2)
+        url, server = server_factory(batch_window=0.25, threads=2)
         client = ServeClient(url)
         results: dict[int, dict] = {}
         errors: list[Exception] = []
@@ -282,3 +282,55 @@ class TestBackgroundServerLifecycle:
         srv._main = stall
         with pytest.raises(ServeError, match="ready"):
             srv.start(timeout=0.05)
+
+    def test_restart_rebinds_a_fresh_ephemeral_port(self):
+        """Regression: a stop()/start() cycle must re-bind from the
+        *requested* port (0 = any free), not race other processes for the
+        previously resolved one.  Here the old port is gone for good —
+        another socket owns it — and the restart must still succeed."""
+        srv = BackgroundServer()
+        url1 = srv.start()
+        first_port = srv.server.port
+        srv.stop()
+
+        squatter = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            squatter.bind(("127.0.0.1", first_port))
+            squatter.listen(1)
+            url2 = srv.start()
+            try:
+                assert srv.server.port != first_port
+                assert url2 != url1
+                assert ServeClient(url2).healthz()["status"] == "ok"
+            finally:
+                srv.stop()
+        finally:
+            squatter.close()
+
+    def test_parallel_servers_get_distinct_ports(self, server_factory):
+        """Parallel pytest workers each embed a server; ephemeral binds
+        must never collide and every instance must be live."""
+        launched = [server_factory() for _ in range(4)]
+        ports = {server.port for _, server in launched}
+        assert len(ports) == len(launched)
+        for url, _ in launched:
+            assert ServeClient(url).healthz()["status"] == "ok"
+
+    def test_restart_with_worker_pool_is_clean(self):
+        """The restart path must rebuild the pool too: the old processes
+        are reaped, the new server answers with fresh workers."""
+        srv = BackgroundServer(workers=1)
+        url1 = srv.start(timeout=120.0)
+        pids1 = srv.server.pool.worker_pids()
+        assert ServeClient(url1).classify(SPEC)["cache_hit"] is False
+        srv.stop()
+        url2 = srv.start(timeout=120.0)
+        try:
+            pids2 = srv.server.pool.worker_pids()
+            assert pids2 != pids1
+            # a fresh pool means a cold shard cache: miss again, then hit
+            client = ServeClient(url2)
+            assert client.classify(SPEC)["cache_hit"] is False
+            assert client.classify(SPEC)["cache_hit"] is True
+        finally:
+            srv.stop()

@@ -1,0 +1,152 @@
+"""Chaos tests: SIGKILL a worker mid-batch and prove nothing is lost.
+
+Satellite of the worker-tier PR.  The recovery contract under test:
+
+* a request whose worker dies mid-task still **completes** — the task is
+  requeued onto the respawned process, not dropped;
+* the respawn is **counted** (``WorkerPool.restarts`` /
+  ``repro_serve_worker_restarts_total``);
+* no response is ever delivered **twice**
+  (``WorkerPool.duplicate_results`` stays 0).
+
+Exercised at two levels: the pool's futures interface directly, and the
+full HTTP path through :class:`BackgroundServer`.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.serve import BackgroundServer, WorkerPool, direct_simulate, parse_spec
+
+SPEC = {"topology": "gnp", "n": 24, "p": 0.3, "seed": 7,
+        "in_rate": 1, "out_rate": 2}
+# ~0.4s of ensemble work (measured): a wide-open window to land a SIGKILL
+CHAOS_HORIZON = 20000
+CHAOS_SEEDS = [0, 1, 2, 3]
+
+
+def _kill_when_inflight(pool: WorkerPool, index: int, timeout: float = 30.0) -> int:
+    """Wait until worker ``index`` has a task in flight, then SIGKILL it."""
+    worker = pool._workers[index]
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        task = worker.inflight
+        process = worker.process
+        if task is not None and process is not None and process.pid is not None:
+            pid = process.pid
+            os.kill(pid, signal.SIGKILL)
+            return pid
+        time.sleep(0.002)
+    raise AssertionError("worker never picked up the task")
+
+
+class TestPoolChaos:
+    def test_sigkill_mid_batch_requeues_and_completes(self):
+        spec = parse_spec(SPEC)
+        with WorkerPool(1, spawn_timeout=120.0) as pool:
+            original_pid = pool.worker_pids()[0]
+            future = pool.submit(
+                "simulate_batch", (spec, CHAOS_HORIZON, 0.0, CHAOS_SEEDS))
+            killed_pid = _kill_when_inflight(pool, 0)
+            assert killed_pid == original_pid
+
+            # the future must still resolve — with the *correct* payload
+            responses = future.result(timeout=300)
+            assert len(responses) == len(CHAOS_SEEDS)
+            for seed, body in zip(CHAOS_SEEDS, responses):
+                assert body == direct_simulate(spec, CHAOS_HORIZON, seed)
+
+            assert pool.restarts == 1
+            assert pool.duplicate_results == 0
+            assert pool.worker_pids()[0] not in (None, killed_pid)
+            assert pool.alive_count == 1
+            # the respawned worker keeps serving
+            assert pool.submit("ping", ("post-chaos",)).result(30) == "post-chaos"
+
+    def test_sigkill_with_queued_backlog_loses_nothing(self):
+        """Tasks queued *behind* the murdered one all still complete, in
+        order, exactly once."""
+        spec = parse_spec(SPEC)
+        with WorkerPool(1, spawn_timeout=120.0) as pool:
+            doomed = pool.submit(
+                "simulate_batch", (spec, CHAOS_HORIZON, 0.0, CHAOS_SEEDS))
+            backlog = [pool.submit("ping", (i,)) for i in range(5)]
+            _kill_when_inflight(pool, 0)
+            assert len(doomed.result(timeout=300)) == len(CHAOS_SEEDS)
+            assert [f.result(60) for f in backlog] == list(range(5))
+            assert pool.restarts == 1
+            assert pool.duplicate_results == 0
+
+    def test_double_kill_double_restart(self):
+        spec = parse_spec(SPEC)
+        with WorkerPool(1, spawn_timeout=120.0) as pool:
+            for _ in range(2):
+                future = pool.submit(
+                    "simulate_batch", (spec, CHAOS_HORIZON, 0.0, [0]))
+                _kill_when_inflight(pool, 0)
+                body = future.result(timeout=300)[0]
+                assert body == direct_simulate(spec, CHAOS_HORIZON, 0)
+            assert pool.restarts == 2
+            assert pool.duplicate_results == 0
+
+
+class TestHTTPChaos:
+    def test_request_survives_worker_murder(self):
+        """Full stack: a /v1/simulate whose worker is SIGKILLed mid-batch
+        still returns 200 with the bit-identical body, and the restart is
+        visible in /healthz and /metrics."""
+        from repro.obs.metrics import get_registry
+
+        get_registry().reset()  # pool-level tests above also count restarts
+        spec = parse_spec(SPEC)
+        srv = BackgroundServer(workers=1)
+        url = srv.start(timeout=120.0)
+        try:
+            payload = json.dumps({
+                "spec": SPEC, "horizon": CHAOS_HORIZON, "seed": 0,
+            }).encode()
+
+            outcome: dict = {}
+
+            def fire() -> None:
+                req = urllib.request.Request(
+                    f"{url}/v1/simulate", data=payload,
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(req, timeout=300) as resp:
+                    outcome["status"] = resp.status
+                    outcome["body"] = json.loads(resp.read())
+
+            client = threading.Thread(target=fire)
+            client.start()
+            pool = srv.server.pool
+            assert pool is not None
+            _kill_when_inflight(pool, 0)
+            client.join(timeout=300)
+            assert not client.is_alive(), "request never completed"
+
+            assert outcome["status"] == 200
+            expected = direct_simulate(spec, CHAOS_HORIZON, 0)
+            assert {k: outcome["body"][k] for k in expected} == expected
+            assert pool.restarts == 1
+            assert pool.duplicate_results == 0
+
+            with urllib.request.urlopen(f"{url}/healthz", timeout=30) as resp:
+                health = json.loads(resp.read())
+            assert health["workers"]["restarts"] == 1
+            assert health["workers"]["alive"] == 1
+
+            with urllib.request.urlopen(f"{url}/metrics", timeout=30) as resp:
+                metrics = resp.read().decode()
+            assert "repro_serve_worker_restarts_total 1" in metrics
+        finally:
+            srv.stop()
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-x", "-q"]))

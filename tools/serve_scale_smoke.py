@@ -1,0 +1,62 @@
+"""CI smoke for the multi-process serve tier + load harness.
+
+Boots the server with 2 worker processes and drives ~200 mixed
+classify/simulate requests through the open-loop load generator
+(Poisson + synchronized bursts), then gates on the SLO layer: zero hard
+errors, bounded shed rate.  Latency floors stay out — shared CI runners
+have unpredictable timing — but the whole chain (spawn, warm imports,
+shard routing, micro-batch dispatch to workers, shed accounting, SLO
+arithmetic) executes for real.
+
+Run as a *file* (``python tools/serve_scale_smoke.py``), not via
+``python - <<EOF``: spawn-context workers re-import ``__main__``, which
+must therefore be an importable path with a main guard.
+"""
+
+from repro.loadgen import (
+    SLO,
+    assert_slo,
+    burst_schedule,
+    classify_request,
+    poisson_schedule,
+    run_open_loop,
+    simulate_request,
+)
+from repro.serve import BackgroundServer, ServeClient
+
+SPEC = {"topology": "gnp", "n": 32, "p": 0.2, "seed": 5,
+        "in_rate": 1, "out_rate": 2}
+
+
+def _factory(i: int):
+    if i % 2:
+        return simulate_request(SPEC, horizon=200, seed=i)
+    return classify_request({**SPEC, "seed": i})
+
+
+def main() -> None:
+    srv = BackgroundServer(workers=2)
+    url = srv.start(timeout=120.0)
+    try:
+        schedule = (poisson_schedule(80.0, count=160, seed=3)
+                    + burst_schedule(bursts=2, burst_size=20, period=1.0))
+        schedule.sort()
+        report = run_open_loop(url, schedule, _factory, timeout=120.0)
+        assert report.total == 200, report.status_counts()
+        assert_slo(report, SLO(max_shed_rate=0.9, max_error_rate=0.0))
+        pool = srv.server.pool
+        assert pool is not None
+        assert pool.restarts == 0 and pool.duplicate_results == 0
+        # coalescing folds many simulate requests into one worker task,
+        # so compare kinds, not counts: both paths crossed the boundary
+        assert pool.completed.get("classify", 0) >= 1, dict(pool.completed)
+        assert pool.completed.get("simulate_batch", 0) >= 1, dict(pool.completed)
+        health = ServeClient(url).healthz()
+        assert health["workers"]["alive"] == 2, health
+    finally:
+        srv.stop()
+    print(f"serve scale smoke OK: {report.to_json()}")
+
+
+if __name__ == "__main__":
+    main()
