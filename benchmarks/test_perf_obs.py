@@ -10,6 +10,11 @@ pre-obs step body — so the diff under test is exactly the seam.
 Also asserts the ISSUE's replay acceptance oracle at benchmark scale:
 a traced ensemble run's JSONL reconstructs the exact P_t series and
 verdicts of the live run.
+
+The span layer extends the same budget: with a span sink *and* the
+metrics registry enabled, the run-level spans (one ``sim.run`` per run —
+never per-step instrumentation) must keep the engine within 3% of the
+fully-disabled configuration.
 """
 
 import time
@@ -17,6 +22,7 @@ import time
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.core.ensemble import EnsembleSimulator
 from repro.core.pipeline import DEFAULT_PIPELINE, RecordingStage, StagePipeline
 from repro.errors import SimulationError
@@ -24,6 +30,7 @@ from repro.graphs import generators as gen
 from repro.network import NetworkSpec
 from repro.network.state import network_state_rows
 from repro.obs import RingBufferSink, get_tracer, replay_trace
+from repro.obs.spans import get_span_sink
 
 REPLICAS = 32
 HORIZON = 200
@@ -103,6 +110,46 @@ class TestDisabledOverhead:
             assert ratio <= 1.03, (
                 f"disabled observability costs {100 * (ratio - 1):.1f}% "
                 f"(budget: 3%)"
+            )
+
+
+class TestEnabledSpanOverhead:
+    def test_spans_and_metrics_within_3pct(self, perf_asserts):
+        """Spans enabled (ring sink + registry) vs everything off.
+
+        Run-level spans fire once per ``run()``, not per step, so the
+        budget is the same 3% as the disabled case — interleaved
+        min-of-N like the twin benchmark above.
+        """
+        assert get_span_sink().enabled is False
+        spec = gadget_spec()
+        ring = RingBufferSink(capacity=4096)
+        _run(EnsembleSimulator, spec)  # warm-up, spans off
+
+        off_times, on_times = [], []
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            off_res = _run(EnsembleSimulator, spec)
+            off_times.append(time.perf_counter() - t0)
+            restore = obs.configure(metrics=True, spans=ring)
+            try:
+                t0 = time.perf_counter()
+                on_res = _run(EnsembleSimulator, spec)
+                on_times.append(time.perf_counter() - t0)
+            finally:
+                obs.configure(**restore)
+
+        assert get_span_sink().enabled is False  # restore round-tripped
+        assert any(r["name"] == "sim.run" for r in ring.records)
+        np.testing.assert_array_equal(on_res.total_queued,
+                                      off_res.total_queued)
+
+        ratio = min(on_times) / min(off_times)
+        print(f"\nspans off: {min(off_times):.4f}s  "
+              f"on: {min(on_times):.4f}s  ratio: {ratio:.4f}")
+        if perf_asserts:
+            assert ratio <= 1.03, (
+                f"enabled spans cost {100 * (ratio - 1):.1f}% (budget: 3%)"
             )
 
 

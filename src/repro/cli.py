@@ -11,6 +11,7 @@ Usage::
         --in-rate 1 --out-rate 1
     python -m repro sweep --axis n=8,10,12 --samples 4 --workers 4 \
         --checkpoint region.jsonl
+    python -m repro obs trace run.jsonl  # span waterfall from a JSONL trace
 """
 
 from __future__ import annotations
@@ -165,6 +166,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump the metrics registry in Prometheus text "
                             "format after the sweep")
 
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities (span traces, waterfalls)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_tr = obs_sub.add_parser(
+        "trace",
+        help="render a span waterfall from a JSONL trace file "
+             "(a --trace output, a server span artifact, ...)",
+    )
+    p_tr.add_argument("path", help="JSONL file holding span records")
+    p_tr.add_argument("--trace-id", default=None, dest="trace_id",
+                      help="render only this trace")
+    p_tr.add_argument("--list", action="store_true", dest="list_traces",
+                      help="list trace ids and span counts instead of "
+                           "rendering waterfalls")
+
     p_srv = sub.add_parser(
         "serve",
         help="HTTP/JSON simulation service (micro-batching, admission "
@@ -298,6 +315,43 @@ def _run_sweep_command(args) -> int:
     return 0
 
 
+def _run_obs_command(args) -> int:
+    import json
+
+    from repro.obs.spans import render_waterfall, span_records
+
+    records: list[dict] = []
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue  # tolerate a torn tail line from a live writer
+    except OSError as exc:
+        raise ReproError(f"cannot read trace file {args.path}: {exc}") from exc
+    spans = span_records(records, args.trace_id)
+    if not spans:
+        what = (f"trace {args.trace_id!r}" if args.trace_id
+                else "any trace")
+        raise ReproError(
+            f"no span records for {what} in {args.path} "
+            f"(did the run have spans enabled?)"
+        )
+    if args.list_traces:
+        counts: dict[str, int] = {}
+        for rec in spans:
+            counts[rec["trace_id"]] = counts.get(rec["trace_id"], 0) + 1
+        for tid, n in counts.items():
+            print(f"{tid}  {n} span{'s' if n != 1 else ''}")
+        return 0
+    print(render_waterfall(spans, args.trace_id))
+    return 0
+
+
 def _run_sink(path):
     """An owned JsonlSink for ``--trace PATH``, or None."""
     if path is None:
@@ -354,6 +408,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "sweep":
             return _run_sweep_command(args)
 
+        if args.command == "obs":
+            return _run_obs_command(args)
+
         if args.command == "serve":
             from repro.serve import ReproServer
 
@@ -380,9 +437,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         if args.command == "simulate":
             from repro.core import SimulationConfig, Simulator
+            from repro.obs.spans import get_span_sink, set_span_sink, span
 
             spec = _spec_from_args(args)
             sink = _run_sink(args.trace)
+            # --trace also collects spans into the same file (unless a
+            # span sink is already configured process-wide)
+            prev_sink = (set_span_sink(sink)
+                         if sink is not None and not get_span_sink().enabled
+                         else None)
             try:
                 cfg = SimulationConfig(
                     horizon=args.horizon,
@@ -391,8 +454,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     trace=sink,
                 )
                 sim = Simulator(spec, config=cfg)
-                res = sim.run()
+                with span("cli.simulate", topology=args.topology,
+                          horizon=args.horizon, seed=args.seed):
+                    res = sim.run()
             finally:
+                if prev_sink is not None:
+                    set_span_sink(prev_sink)
                 if sink is not None:
                     sink.close()
             m = summarize(res)
@@ -411,9 +478,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "ensemble":
             from repro.core import SimulationConfig
             from repro.core.ensemble import EnsembleSimulator
+            from repro.obs.spans import get_span_sink, set_span_sink, span
 
             spec = _spec_from_args(args)
             sink = _run_sink(args.trace)
+            prev_sink = (set_span_sink(sink)
+                         if sink is not None and not get_span_sink().enabled
+                         else None)
             try:
                 config = SimulationConfig(
                     extraction=ExtractionMode(args.extraction),
@@ -429,8 +500,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     loss_p=args.loss_p,
                     uniform_arrivals=args.uniform_arrivals,
                 )
-                res = ens.run(args.horizon)
+                with span("cli.ensemble", topology=args.topology,
+                          horizon=args.horizon, seed=args.seed,
+                          replicas=args.replicas):
+                    res = ens.run(args.horizon)
             finally:
+                if prev_sink is not None:
+                    set_span_sink(prev_sink)
                 if sink is not None:
                     sink.close()
             final_totals = res.final_queues.sum(axis=1)

@@ -51,6 +51,7 @@ from repro.core.policies import LGGPolicy, TransmissionPolicy
 from repro.core.stability import StabilityVerdict, assess_stability
 from repro.core.tiebreak import TieBreak
 from repro.errors import ObservabilityError, SimulationError
+from repro.obs.spans import span
 from repro.obs.trace import (
     config_fingerprint,
     get_tracer,
@@ -205,29 +206,30 @@ class Simulator:
         steps = self.config.horizon if horizon is None else horizon
         tr = self.trace
         fingerprint = None
-        if tr.enabled:
-            fingerprint = config_fingerprint(self.config)
-            tr.emit(run_start_record(
-                backend="scalar",
-                fingerprint=fingerprint,
-                seed=self.config.seed,
-                n=self.spec.n,
-                potential0=self.trajectory.potentials[-1],
-                total_queued0=self.trajectory.total_queued[-1],
-                max_queue0=self.trajectory.max_queues[-1],
-            ))
-        tick = perf_counter()
-        if not fastpath.maybe_run(self, steps):
-            for _ in range(steps):
-                self.step()
-        result = self.result()
-        if tr.enabled:
-            tr.emit(run_end_record(
-                fingerprint=fingerprint,
-                steps=steps,
-                bounded=result.verdict.bounded,
-                wall_time=perf_counter() - tick,
-            ))
+        with span("sim.run", backend="scalar", steps=steps, n=self.spec.n):
+            if tr.enabled:
+                fingerprint = config_fingerprint(self.config)
+                tr.emit(run_start_record(
+                    backend="scalar",
+                    fingerprint=fingerprint,
+                    seed=self.config.seed,
+                    n=self.spec.n,
+                    potential0=self.trajectory.potentials[-1],
+                    total_queued0=self.trajectory.total_queued[-1],
+                    max_queue0=self.trajectory.max_queues[-1],
+                ))
+            tick = perf_counter()
+            if not fastpath.maybe_run(self, steps):
+                for _ in range(steps):
+                    self.step()
+            result = self.result()
+            if tr.enabled:
+                tr.emit(run_end_record(
+                    fingerprint=fingerprint,
+                    steps=steps,
+                    bounded=result.verdict.bounded,
+                    wall_time=perf_counter() - tick,
+                ))
         return result
 
     def result(self) -> SimulationResult:

@@ -46,6 +46,7 @@ from repro.core.lgg_fast import HalfEdges
 from repro.core.pipeline import DEFAULT_PIPELINE, StagePipeline, StageTiming, StepState
 from repro.core.stability import StabilityVerdict, assess_stability
 from repro.errors import ObservabilityError, SimulationError
+from repro.obs.spans import span
 from repro.obs.trace import (
     config_fingerprint,
     get_tracer,
@@ -318,30 +319,32 @@ class EnsembleSimulator:
         steps = self.config.horizon if horizon is None else horizon
         tr = self.trace
         fingerprint = None
-        if tr.enabled:
-            fingerprint = config_fingerprint(self.config)
-            tr.emit(run_start_record(
-                backend="batched",
-                fingerprint=fingerprint,
-                seed=None,  # per-replica seeds; identity lives in the spans
-                n=self.spec.n,
-                replicas=self.R,
-                potential0=self.pot_hist[-1],
-                total_queued0=self.total_hist[-1],
-                max_queue0=self.max_hist[-1],
-            ))
-        tick = perf_counter()
-        if not fastpath.maybe_run_ensemble(self, steps):
-            for _ in range(steps):
-                self.step()
-        result = self.result()
-        if tr.enabled:
-            tr.emit(run_end_record(
-                fingerprint=fingerprint,
-                steps=steps,
-                bounded=[v.bounded for v in result.verdicts],
-                wall_time=perf_counter() - tick,
-            ))
+        with span("sim.run", backend="batched", steps=steps, n=self.spec.n,
+                  replicas=self.R):
+            if tr.enabled:
+                fingerprint = config_fingerprint(self.config)
+                tr.emit(run_start_record(
+                    backend="batched",
+                    fingerprint=fingerprint,
+                    seed=None,  # per-replica seeds; identity lives in the spans
+                    n=self.spec.n,
+                    replicas=self.R,
+                    potential0=self.pot_hist[-1],
+                    total_queued0=self.total_hist[-1],
+                    max_queue0=self.max_hist[-1],
+                ))
+            tick = perf_counter()
+            if not fastpath.maybe_run_ensemble(self, steps):
+                for _ in range(steps):
+                    self.step()
+            result = self.result()
+            if tr.enabled:
+                tr.emit(run_end_record(
+                    fingerprint=fingerprint,
+                    steps=steps,
+                    bounded=[v.bounded for v in result.verdicts],
+                    wall_time=perf_counter() - tick,
+                ))
         return result
 
     def profile_report(self) -> str:

@@ -30,6 +30,7 @@ from repro.flow.mincut import CutKind, MinCut, classify_cut, is_unique_min_cut, 
 from repro.flow.residual import FlowProblem, FlowResult
 from repro.flow.warmstart import ParametricMaxFlow, source_arc_updates
 from repro.numeric import common_denominator, note_fraction_fallback, try_scale, unscale
+from repro.obs.spans import span
 
 __all__ = [
     "NetworkClass",
@@ -227,10 +228,18 @@ def classify_network(ext, algorithm: str = "dinic") -> FeasibilityReport:
     value-identical reports; :func:`classify_network_cold` stays pure
     ``Fraction`` as the differential oracle.
     """
-    report = _classify_scaled(ext, algorithm)
-    if report is not None:
-        return report
-    note_fraction_fallback()
+    with span("flow.classify", algorithm=algorithm) as sp:
+        report = _classify_scaled(ext, algorithm)
+        if report is not None:
+            sp.set("fastpath", True)
+            return report
+        sp.set("fastpath", False)
+        note_fraction_fallback()
+        return _classify_fraction(ext, algorithm)
+
+
+def _classify_fraction(ext, algorithm: str) -> FeasibilityReport:
+    """Exact-``Fraction`` fallback body of :func:`classify_network`."""
     arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
     engine = ParametricMaxFlow(_exact_problem(ext), algorithm)
     base = engine.result

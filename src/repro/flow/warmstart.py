@@ -46,6 +46,7 @@ from repro.flow.dinic import augment_residual
 from repro.flow.maxflow import ALGORITHMS, max_flow
 from repro.flow.residual import FlowProblem, FlowResult, Number, Residual
 from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 
 __all__ = ["ParametricMaxFlow", "source_arc_updates"]
 
@@ -262,7 +263,8 @@ class ParametricMaxFlow:
                 f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
             )
         self.algorithm = algorithm
-        base = max_flow(problem, algorithm)  # the one and only cold solve
+        with span("flow.solve", algorithm=algorithm, kind="cold"):
+            base = max_flow(problem, algorithm)  # the one and only cold solve
         self._res = base.residual
         self._value = base.value
         self._result = base
@@ -331,6 +333,12 @@ class ParametricMaxFlow:
         the Dinic-based engines use it — a push-relabel discharge cannot
         stop mid-flight without leaving preflow excess behind.
         """
+        with span("flow.solve", algorithm=self.algorithm, kind="warm"):
+            return self._raise_arc_capacities(new_caps, target_value=target_value)
+
+    def _raise_arc_capacities(
+        self, new_caps: Mapping[int, Number], *, target_value: Number | None = None,
+    ) -> Number:
         p = self._res.problem
         caps = list(p.capacities)
         changed = False

@@ -76,6 +76,7 @@ class RequestResult:
     status: int            # HTTP status; 0 = transport error / timeout
     error: Optional[str] = None
     body: Optional[dict] = None
+    trace_id: Optional[str] = None   # X-Repro-Trace-Id of the response
 
     @property
     def latency(self) -> float:
@@ -162,6 +163,20 @@ class LoadReport:
         """Worst scheduled-vs-actual start lag (generator health)."""
         return max((r.lag for r in self.results), default=0.0)
 
+    def slowest(self, n: int = 5, *, ok_only: bool = True) -> list[dict]:
+        """The ``n`` slowest requests, with their trace ids.
+
+        This is the p99 escape hatch: a latency regression in a report
+        points directly at the server-side span trees
+        (``GET /v1/trace/{trace_id}``) of its own worst requests.
+        """
+        pool = [r for r in self.results
+                if not ok_only or 200 <= r.status < 300]
+        worst = sorted(pool, key=lambda r: r.latency, reverse=True)[:max(0, n)]
+        return [{"index": r.index, "latency_s": round(r.latency, 5),
+                 "status": r.status, "trace_id": r.trace_id}
+                for r in worst]
+
     def status_counts(self) -> dict[str, int]:
         out: dict[str, int] = {}
         for r in self.results:
@@ -192,15 +207,18 @@ class LoadReport:
                 "p99": round(percentile(lats, 0.99), 5),
                 "max": round(max(lats), 5),
             }
+            data["slowest"] = self.slowest()
         return data
 
 
 # ----------------------------------------------------------------------
 # the minimal HTTP client
 # ----------------------------------------------------------------------
-async def _fetch(host: str, port: int, request: RequestSpec,
-                 timeout: float, keep_body: bool) -> tuple[int, Optional[str], Optional[dict]]:
-    """One HTTP/1.1 exchange → (status, error_slug, parsed_body)."""
+async def _fetch(
+    host: str, port: int, request: RequestSpec, timeout: float,
+    keep_body: bool,
+) -> tuple[int, Optional[str], Optional[dict], Optional[str]]:
+    """One HTTP/1.1 exchange → (status, error_slug, parsed_body, trace_id)."""
     body = b""
     if request.payload is not None:
         body = json.dumps(request.payload).encode("utf-8")
@@ -222,9 +240,9 @@ async def _fetch(host: str, port: int, request: RequestSpec,
         # wait_for (not asyncio.timeout): the repo supports Python 3.10
         raw = await asyncio.wait_for(exchange(), timeout)
     except (asyncio.TimeoutError, TimeoutError):
-        return 0, "timeout", None
+        return 0, "timeout", None, None
     except (ConnectionError, OSError) as exc:
-        return 0, f"connect:{type(exc).__name__}", None
+        return 0, f"connect:{type(exc).__name__}", None, None
     finally:
         if writer is not None:
             writer.close()
@@ -236,14 +254,20 @@ async def _fetch(host: str, port: int, request: RequestSpec,
         head_bytes, _, payload = raw.partition(b"\r\n\r\n")
         status = int(head_bytes.split(b"\r\n", 1)[0].split(b" ")[1])
     except (ValueError, IndexError):
-        return 0, "malformed-response", None
+        return 0, "malformed-response", None, None
+    trace_id: Optional[str] = None
+    for line in head_bytes.split(b"\r\n")[1:]:
+        name, sep, value = line.partition(b":")
+        if sep and name.strip().lower() == b"x-repro-trace-id":
+            trace_id = value.strip().decode("latin-1")
+            break
     parsed: Optional[dict] = None
     if keep_body:
         try:
             parsed = json.loads(payload.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
             parsed = None
-    return status, None, parsed
+    return status, None, parsed, trace_id
 
 
 def _split_url(base_url: str) -> tuple[str, int]:
@@ -281,12 +305,12 @@ async def drive_open_loop(base_url: str, schedule: Sequence[float],
             await asyncio.sleep(delay)
         async with gate:
             started = loop.time() - t0
-            status, slug, body = await _fetch(
+            status, slug, body, trace_id = await _fetch(
                 host, port, factory(index), timeout, keep_bodies)
             results[index] = RequestResult(
                 index=index, scheduled=offset, started=started,
                 finished=loop.time() - t0, status=status, error=slug,
-                body=body,
+                body=body, trace_id=trace_id,
             )
 
     await asyncio.gather(*(one(i, off) for i, off in enumerate(schedule)))
@@ -322,12 +346,12 @@ async def drive_closed_loop(base_url: str, requests: Sequence[RequestSpec], *,
     async def worker() -> None:
         for index in cursor:   # shared iterator: each index claimed once
             started = loop.time() - t0
-            status, slug, body = await _fetch(
+            status, slug, body, trace_id = await _fetch(
                 host, port, requests[index], timeout, keep_bodies)
             results[index] = RequestResult(
                 index=index, scheduled=started, started=started,
                 finished=loop.time() - t0, status=status, error=slug,
-                body=body,
+                body=body, trace_id=trace_id,
             )
 
     await asyncio.gather(*(worker() for _ in range(min(concurrency,

@@ -38,6 +38,13 @@ from pathlib import Path
 from typing import Union
 
 from repro.errors import ObservabilityError
+from repro.obs.merge import (
+    add_snapshots,
+    counter_regressions,
+    merge_worker_snapshots,
+    parse_exposition,
+    render_snapshot,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -45,10 +52,25 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NULL_INSTRUMENT,
+    PROMETHEUS_CONTENT_TYPE,
     get_registry,
 )
 from repro.obs.profile import profile_report, profile_rows
 from repro.obs.replay import ReplayResult, replay_trace
+from repro.obs.spans import (
+    SPAN_SECONDS_METRIC,
+    Span,
+    current_span,
+    current_trace_id,
+    get_span_sink,
+    new_trace_id,
+    normalized_tree,
+    render_waterfall,
+    set_span_sink,
+    span,
+    span_records,
+    span_tree,
+)
 from repro.obs.trace import (
     NULL_SINK,
     WALL_CLOCK_FIELDS,
@@ -83,7 +105,27 @@ __all__ = [
     "Histogram",
     "NULL_INSTRUMENT",
     "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
     "get_registry",
+    # spans
+    "SPAN_SECONDS_METRIC",
+    "Span",
+    "span",
+    "current_span",
+    "current_trace_id",
+    "new_trace_id",
+    "get_span_sink",
+    "set_span_sink",
+    "span_records",
+    "span_tree",
+    "normalized_tree",
+    "render_waterfall",
+    # snapshot merging
+    "add_snapshots",
+    "merge_worker_snapshots",
+    "render_snapshot",
+    "parse_exposition",
+    "counter_regressions",
     # profiling
     "profile_report",
     "profile_rows",
@@ -95,7 +137,20 @@ __all__ = [
 _UNSET = object()
 
 
-def configure(*, trace=_UNSET, metrics=_UNSET) -> dict:
+def _resolve_sink(value, what: str) -> TraceSink:
+    if value is None or value is False:
+        return NULL_SINK
+    if isinstance(value, (str, Path)):
+        return JsonlSink(value)
+    if callable(getattr(value, "emit", None)):
+        return value
+    raise ObservabilityError(
+        f"{what} must be None, a path, or a TraceSink; "
+        f"got {type(value).__name__}"
+    )
+
+
+def configure(*, trace=_UNSET, metrics=_UNSET, spans=_UNSET) -> dict:
     """Configure process-global observability; returns the previous state.
 
     Parameters
@@ -108,6 +163,10 @@ def configure(*, trace=_UNSET, metrics=_UNSET) -> dict:
         before building them.
     metrics:
         ``True``/``False`` — enable or disable the global registry.
+    spans:
+        Same forms as ``trace``, but for the dedicated *span* sink
+        (:mod:`repro.obs.spans`) — kept separate so request tracing does
+        not drag per-step engine records along with it.
 
     The returned dict maps each argument you passed to its previous value
     and round-trips: ``prev = configure(trace=..., metrics=...)`` followed
@@ -115,20 +174,11 @@ def configure(*, trace=_UNSET, metrics=_UNSET) -> dict:
     """
     previous: dict = {}
     if trace is not _UNSET:
-        if trace is None or trace is False:
-            sink: TraceSink = NULL_SINK
-        elif isinstance(trace, (str, Path)):
-            sink = JsonlSink(trace)
-        elif callable(getattr(trace, "emit", None)):
-            sink = trace
-        else:
-            raise ObservabilityError(
-                f"trace must be None, a path, or a TraceSink; "
-                f"got {type(trace).__name__}"
-            )
-        previous["trace"] = set_tracer(sink)
+        previous["trace"] = set_tracer(_resolve_sink(trace, "trace"))
     if metrics is not _UNSET:
         registry = get_registry()
         previous["metrics"] = registry.enabled
         registry.enabled = bool(metrics)
+    if spans is not _UNSET:
+        previous["spans"] = set_span_sink(_resolve_sink(spans, "spans"))
     return previous

@@ -52,7 +52,12 @@ __all__ = [
     "NULL_INSTRUMENT",
     "get_registry",
     "DEFAULT_LATENCY_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
+
+#: The Content-Type a compliant scrape endpoint must serve for
+#: :meth:`MetricsRegistry.render_prometheus` output.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Upper bucket bounds (seconds) used for latency histograms unless the
 #: caller picks their own; the implicit ``+Inf`` bucket is always added.
@@ -89,7 +94,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         pass
 
 
@@ -204,6 +209,10 @@ class Histogram(_Instrument):
         self.bucket_counts = [0] * (len(bounds) + 1)  # last slot = +Inf
         self.sum: float = 0.0
         self.count: int = 0
+        # bucket slot -> (exemplar_id, value): the most recent traced
+        # observation that landed there.  Surfaced via snapshot() only;
+        # the text exposition stays pure 0.0.4.
+        self.exemplars: dict[int, Tuple[str, float]] = {}
 
     def labels(self, **kv) -> "Histogram":
         key = _label_key(self.label_names, kv)
@@ -218,12 +227,14 @@ class Histogram(_Instrument):
                     self._children[key] = child
         return child  # type: ignore[return-value]
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         slot = bisect_left(self.bounds, value)
         with self._lock:
             self.bucket_counts[slot] += 1
             self.sum += value
             self.count += 1
+            if exemplar is not None:
+                self.exemplars[slot] = (str(exemplar), value)
 
 
 def _escape(value: object) -> str:
@@ -302,15 +313,22 @@ class MetricsRegistry:
                 if isinstance(slot, Histogram):
                     if slot.count == 0 and labels == ():
                         continue
-                    series.append({
+                    bound_names = [str(b) for b in slot.bounds] + ["+Inf"]
+                    entry_series = {
                         "labels": dict(labels),
                         "buckets": dict(zip(
-                            [str(b) for b in slot.bounds] + ["+Inf"],
+                            bound_names,
                             _cumulative(slot.bucket_counts),
                         )),
                         "sum": slot.sum,
                         "count": slot.count,
-                    })
+                    }
+                    if slot.exemplars:
+                        entry_series["exemplars"] = {
+                            bound_names[i]: {"trace_id": ex, "value": v}
+                            for i, (ex, v) in sorted(slot.exemplars.items())
+                        }
+                    series.append(entry_series)
                 else:
                     if slot.value == 0 and labels == () and inst._children:
                         continue

@@ -31,6 +31,7 @@ JSONL traces (``tests/obs/test_trace.py`` asserts exactly that).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from dataclasses import fields as dataclass_fields
@@ -61,9 +62,12 @@ __all__ = [
     "read_trace",
 ]
 
-#: Record fields that carry wall-clock time.  Everything else in a trace
-#: is deterministic given ``(spec, config, seed)``.
-WALL_CLOCK_FIELDS = frozenset({"ts", "wall_time"})
+#: Record fields that carry wall-clock time or run-identity randomness.
+#: Everything else in a trace is deterministic given ``(spec, config,
+#: seed)`` — span records (:mod:`repro.obs.spans`) add per-span durations
+#: and a randomly minted ``trace_id``, but their names, ids, parent links,
+#: and attrs stay reproducible.
+WALL_CLOCK_FIELDS = frozenset({"ts", "wall_time", "duration_s", "trace_id"})
 
 
 class TraceSink:
@@ -150,7 +154,9 @@ class RingBufferSink(TraceSink):
     """Keep the newest ``capacity`` records in memory.
 
     ``dropped`` counts records that fell off the old end — a consumer can
-    tell a complete trace from a truncated one.
+    tell a complete trace from a truncated one.  Emission is locked: the
+    serve tier feeds one ring from the event loop, executor threads, and
+    worker-reply relays at once.
     """
 
     def __init__(self, capacity: int = 65536) -> None:
@@ -159,22 +165,27 @@ class RingBufferSink(TraceSink):
         self.capacity = capacity
         self._buf: deque[dict] = deque(maxlen=capacity)
         self.emitted = 0
+        self._lock = threading.Lock()
 
     def emit(self, record: dict) -> None:
-        self._buf.append(record)
-        self.emitted += 1
+        with self._lock:
+            self._buf.append(record)
+            self.emitted += 1
 
     @property
     def records(self) -> list[dict]:
-        return list(self._buf)
+        with self._lock:
+            return list(self._buf)
 
     @property
     def dropped(self) -> int:
-        return self.emitted - len(self._buf)
+        with self._lock:
+            return self.emitted - len(self._buf)
 
     def clear(self) -> None:
-        self._buf.clear()
-        self.emitted = 0
+        with self._lock:
+            self._buf.clear()
+            self.emitted = 0
 
 
 # ----------------------------------------------------------------------

@@ -35,6 +35,7 @@ from repro.core.engine import SimulationConfig, Simulator
 from repro.errors import ServeError
 from repro.network.spec import NetworkSpec
 from repro.obs.metrics import get_registry
+from repro.obs.spans import span
 from repro.serve.codec import simulation_response
 from repro.sweep.cache import canonical_spec_key
 
@@ -77,10 +78,21 @@ def _run_batch(spec: NetworkSpec, horizon: int, loss_p: float,
     return [simulation_response(result.replica(r)) for r in range(len(seeds))]
 
 
+def _run_batch_spanned(spec: NetworkSpec, horizon: int, loss_p: float,
+                       seeds: list[int], trace_ctx: tuple) -> list[dict]:
+    """Thread-pool twin of the worker-process span wrapper: opens the
+    ``worker`` span *in the executor thread*, so the contextvar parents
+    the nested ``sim.run`` span correctly."""
+    with span("worker", parent=trace_ctx, remote_suffix="local",
+              worker="local", kind="simulate_batch"):
+        return _run_batch(spec, horizon, loss_p, seeds)
+
+
 class _Batch:
     """One pending coalescing window for a single fingerprint."""
 
-    __slots__ = ("spec", "horizon", "loss_p", "seeds", "futures", "timer", "seq")
+    __slots__ = ("spec", "horizon", "loss_p", "seeds", "futures", "timer",
+                 "seq", "traces")
 
     def __init__(self, spec: NetworkSpec, horizon: int, loss_p: float, seq: int):
         self.spec = spec
@@ -90,6 +102,7 @@ class _Batch:
         self.futures: list[asyncio.Future] = []
         self.timer: Optional[asyncio.TimerHandle] = None
         self.seq = seq
+        self.traces: list[Optional[tuple]] = []
 
 
 class MicroBatcher:
@@ -156,9 +169,13 @@ class MicroBatcher:
                 f":exact={spec.exact_injection}")
 
     async def simulate(self, spec: NetworkSpec, horizon: int, seed: int,
-                       loss_p: float = 0.0) -> dict:
+                       loss_p: float = 0.0,
+                       trace: Optional[tuple] = None) -> dict:
         """Queue one request; resolves to its response dict after the batch
-        it lands in executes."""
+        it lands in executes.  ``trace`` is the requester's
+        ``(trace_id, span_id)`` context: the executed batch's spans attach
+        to the first traced member (a batch is one unit of work; its
+        spans belong to one tree, not a copy per member)."""
         loop = asyncio.get_running_loop()
         key = self.fingerprint(spec, horizon, loss_p)
         batch = self._pending.get(key)
@@ -172,6 +189,7 @@ class MicroBatcher:
         future: asyncio.Future = loop.create_future()
         batch.seeds.append(seed)
         batch.futures.append(future)
+        batch.traces.append(trace)
         if len(batch.seeds) >= self.max_batch or self.window <= 0:
             self._start_flush(loop, key)
         return await future
@@ -203,18 +221,30 @@ class MicroBatcher:
             reg.histogram("repro_serve_batch_size",
                           "Coalesced requests per ensemble batch.",
                           buckets=BATCH_SIZE_BUCKETS).observe(size)
+        trace_ctx = next((t for t in batch.traces if t is not None), None)
         try:
-            if self.pool is not None:
-                responses = await asyncio.wrap_future(self.pool.submit(
-                    "simulate_batch",
-                    (batch.spec, batch.horizon, batch.loss_p, list(batch.seeds)),
-                    shard_key=key,
-                ))
-            else:
-                responses = await loop.run_in_executor(
-                    self.executor, _run_batch,
-                    batch.spec, batch.horizon, batch.loss_p, list(batch.seeds),
-                )
+            with span("batch.exec", parent=trace_ctx, size=size,
+                      seq=batch.seq) as sp:
+                ctx = sp.context() if sp.span_id is not None else None
+                if self.pool is not None:
+                    responses = await asyncio.wrap_future(self.pool.submit(
+                        "simulate_batch",
+                        (batch.spec, batch.horizon, batch.loss_p,
+                         list(batch.seeds)),
+                        shard_key=key, trace=ctx,
+                    ))
+                elif ctx is not None:
+                    responses = await loop.run_in_executor(
+                        self.executor, _run_batch_spanned,
+                        batch.spec, batch.horizon, batch.loss_p,
+                        list(batch.seeds), ctx,
+                    )
+                else:
+                    responses = await loop.run_in_executor(
+                        self.executor, _run_batch,
+                        batch.spec, batch.horizon, batch.loss_p,
+                        list(batch.seeds),
+                    )
         except Exception as exc:  # deliver the failure to every member
             for fut in batch.futures:
                 if not fut.done():

@@ -17,6 +17,7 @@ import urllib.request
 from typing import Any, Mapping, Optional
 
 from repro.errors import ServeError
+from repro.serve.codec import TRACE_HEADER
 
 __all__ = ["ServeClient"]
 
@@ -24,13 +25,19 @@ __all__ = ["ServeClient"]
 class ServeClient:
     """HTTP client for one :class:`~repro.serve.server.ReproServer`.
 
+    ``last_trace_id`` holds the :data:`TRACE_HEADER` value of the most
+    recent response (success or structured error) — feed it straight to
+    :meth:`trace` to pull the request's span tree.
+
     >>> client = ServeClient("http://127.0.0.1:8421")    # doctest: +SKIP
     >>> client.classify({"topology": "path", "n": 8})    # doctest: +SKIP
+    >>> client.trace(client.last_trace_id)               # doctest: +SKIP
     """
 
     def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _request(self, method: str, path: str,
@@ -47,7 +54,11 @@ class ServeClient:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 raw = resp.read()
                 ctype = resp.headers.get("Content-Type", "")
+                self.last_trace_id = resp.headers.get(TRACE_HEADER,
+                                                      self.last_trace_id)
         except urllib.error.HTTPError as exc:
+            self.last_trace_id = exc.headers.get(TRACE_HEADER,
+                                                 self.last_trace_id)
             raise self._error_from(exc) from None
         except urllib.error.URLError as exc:
             raise ServeError(
@@ -84,6 +95,10 @@ class ServeClient:
     def metrics_text(self) -> str:
         """The raw Prometheus exposition page."""
         return self._request("GET", "/metrics")
+
+    def trace(self, trace_id: str) -> dict:
+        """The reconstructed span tree for ``trace_id`` (404 → ServeError)."""
+        return self._request("GET", f"/v1/trace/{trace_id}")
 
     def classify(self, spec: Mapping[str, Any]) -> dict:
         return self._request("POST", "/v1/classify", {"spec": dict(spec)})

@@ -22,6 +22,7 @@ multigraph form (parallel edges allowed, rate maps keyed by node id).
 
 from __future__ import annotations
 
+import re
 from dataclasses import asdict
 from fractions import Fraction
 from typing import Any, Mapping, Optional
@@ -35,7 +36,26 @@ __all__ = [
     "parse_simulate_request",
     "report_to_json",
     "simulation_response",
+    "TRACE_HEADER",
+    "valid_trace_id",
 ]
+
+#: Response (and accepted request) header carrying the request's trace id.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+_TRACE_ID_RE = re.compile(r"^[A-Za-z0-9_.\-]{1,64}$")
+
+
+def valid_trace_id(value: Optional[str]) -> Optional[str]:
+    """``value`` if it is a usable trace id, else ``None``.
+
+    Incoming ids are untrusted header text that will be echoed into
+    responses, span records, and log lines — anything outside a short
+    URL-safe charset is discarded (the server then mints its own).
+    """
+    if isinstance(value, str) and _TRACE_ID_RE.match(value):
+        return value
+    return None
 
 TOPOLOGIES = ("path", "cycle", "grid", "complete", "gnp")
 

@@ -42,14 +42,19 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ReproError, ServeError
-from repro.obs.metrics import get_registry
+from repro.obs.merge import merge_worker_snapshots, render_snapshot
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, get_registry
+from repro.obs.spans import new_trace_id, span, span_tree
+from repro.obs.trace import RingBufferSink
 from repro.serve.admission import AdmissionController
 from repro.serve.batching import MicroBatcher
 from repro.serve.codec import (
     MAX_HORIZON,
+    TRACE_HEADER,
     parse_simulate_request,
     parse_spec,
     report_to_json,
+    valid_trace_id,
 )
 from repro.serve.jobs import JobManager
 from repro.serve.workers import WorkerPool
@@ -107,6 +112,7 @@ class ReproServer:
         cache_entries: Optional[int] = 1024,
         workers: int = 0,
         threads: int = 2,
+        trace_capacity: int = 16384,
     ) -> None:
         self.host = host
         #: the *requested* port (possibly 0 = ephemeral).  ``self.port``
@@ -137,6 +143,10 @@ class ReproServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._started = time.monotonic()
         self._obs_restore: Optional[dict] = None
+        self.trace_capacity = trace_capacity
+        #: span ring behind ``/v1/trace/{id}``; built (and installed as
+        #: the process-global span sink) in :meth:`start`
+        self._span_ring: Optional[RingBufferSink] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -144,10 +154,14 @@ class ReproServer:
     async def start(self) -> None:
         """Bind the listening socket (resolves ``port`` when it was 0),
         spawn the worker-process tier if one was configured, and enable
-        the metrics registry for the lifetime of the server."""
+        the metrics registry + request-span ring for the lifetime of the
+        server."""
         from repro import obs
 
-        self._obs_restore = obs.configure(metrics=True)
+        self._span_ring = RingBufferSink(capacity=self.trace_capacity)
+        # metrics before pool.start(): workers inherit the enabled flag
+        # at spawn, which is what makes their snapshots non-empty
+        self._obs_restore = obs.configure(metrics=True, spans=self._span_ring)
         self._started = time.monotonic()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port,
@@ -222,7 +236,16 @@ class ReproServer:
                 return
             if request is None:
                 return
-            status, payload, headers = await self._dispatch(request)
+            # mint (or honor) the trace id at the edge: this is the one
+            # identifier that ties the response header, the span tree,
+            # and the exemplars together
+            tid = (valid_trace_id(request.headers.get(TRACE_HEADER.lower()))
+                   or new_trace_id())
+            with span("ingress", trace_id=tid, method=request.method,
+                      path=self._endpoint_label(request)):
+                status, payload, headers = await self._dispatch(request, tid)
+            headers = dict(headers or {})
+            headers[TRACE_HEADER] = tid
             await self._respond(writer, status, payload, headers)
         except (ConnectionResetError, asyncio.IncompleteReadError,
                 asyncio.LimitOverrunError, BrokenPipeError):
@@ -284,7 +307,7 @@ class ReproServer:
                    500: "Internal Server Error", 503: "Service Unavailable"}
         if isinstance(payload, (bytes, str)):
             body = payload.encode("utf-8") if isinstance(payload, str) else payload
-            ctype = "text/plain; version=0.0.4; charset=utf-8"
+            ctype = PROMETHEUS_CONTENT_TYPE
         else:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
             ctype = "application/json"
@@ -300,7 +323,8 @@ class ReproServer:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    async def _dispatch(self, request: _HttpRequest):
+    async def _dispatch(self, request: _HttpRequest,
+                        trace_id: Optional[str] = None):
         """Route one request; returns ``(status, payload, extra_headers)``.
 
         All error mapping happens here: :class:`ServeError` renders its own
@@ -337,7 +361,8 @@ class ReproServer:
                 "Request latency from parse to response, by endpoint.",
                 label_names=("endpoint",),
                 buckets=_REQUEST_LATENCY_BUCKETS,
-            ).labels(endpoint=endpoint).observe(time.perf_counter() - tick)
+            ).labels(endpoint=endpoint).observe(
+                time.perf_counter() - tick, exemplar=trace_id)
         return status, payload, headers
 
     @staticmethod
@@ -345,6 +370,8 @@ class ReproServer:
         path = request.path
         if path.startswith("/v1/sweeps/"):
             return "/v1/sweeps/{id}"
+        if path.startswith("/v1/trace/"):
+            return "/v1/trace/{id}"
         if path in ("/healthz", "/metrics", "/v1/classify", "/v1/simulate",
                     "/v1/sweeps"):
             return path
@@ -359,7 +386,7 @@ class ReproServer:
         if path == "/metrics":
             if method != "GET":
                 raise _method_not_allowed(method, path)
-            return 200, get_registry().render_prometheus(), {}
+            return 200, await self._metrics(), {}
         if path == "/v1/classify":
             if method != "POST":
                 raise _method_not_allowed(method, path)
@@ -376,6 +403,10 @@ class ReproServer:
             if method != "GET":
                 raise _method_not_allowed(method, path)
             return 200, self._sweep_status(request), {}
+        if path.startswith("/v1/trace/"):
+            if method != "GET":
+                raise _method_not_allowed(method, path)
+            return 200, self._trace_status(request), {}
         raise ServeError(f"no such endpoint: {method} {path}",
                          status=404, error="not-found")
 
@@ -390,45 +421,95 @@ class ReproServer:
             "cache": {"size": self.cache.size, "hits": self.cache.hits,
                       "misses": self.cache.misses},
         }
+        if self._span_ring is not None:
+            # trace loss is an operator concern: a nonzero `dropped`
+            # means /v1/trace/{id} may return partial trees
+            out["trace"] = {
+                "ring_capacity": self._span_ring.capacity,
+                "spans": self._span_ring.emitted,
+                "dropped": self._span_ring.dropped,
+            }
         if self.pool is not None:
             out["workers"] = self.pool.health()
         if self.jobs is not None:
             out["jobs"] = self.jobs.counts()
         return out
 
+    async def _metrics(self) -> str:
+        """The scrape page: local registry, plus — when a worker tier is
+        running — every worker's registry under a ``worker`` label.
+
+        Parent series stay unlabeled, so a single-process deployment's
+        page is byte-identical to the pre-merge format."""
+        reg = get_registry()
+        if self.pool is None:
+            return reg.render_prometheus()
+        loop = asyncio.get_running_loop()
+        workers = await loop.run_in_executor(
+            self.executor, self.pool.metrics_snapshots)
+        return render_snapshot(merge_worker_snapshots(reg.snapshot(), workers))
+
+    def _trace_status(self, request: _HttpRequest) -> dict:
+        trace_id = request.path[len("/v1/trace/"):]
+        ring = self._span_ring
+        records = ([r for r in ring.records if r.get("trace_id") == trace_id]
+                   if ring is not None else [])
+        if not records:
+            raise ServeError(
+                f"no spans recorded for trace {trace_id!r} (expired from "
+                f"the ring, or never traced)",
+                status=404, error="trace-not-found",
+            )
+        return {
+            "trace_id": trace_id,
+            "span_count": len(records),
+            "dropped": ring.dropped,
+            "spans": records,
+            "tree": span_tree(records),
+        }
+
     async def _classify(self, request: _HttpRequest) -> dict:
         # Cache misses run classify_network's warm-started parametric chain
         # (one cold solve + two incremental re-augmentations), so even an
         # all-miss workload pays far less than three solves per request.
-        with self.admission.try_admit():
+        with span("admission"):
+            ticket = self.admission.try_admit()
+        with ticket:
             payload = request.json()
             if not isinstance(payload, dict):
                 raise ServeError("request body must be a JSON object")
             spec = parse_spec(payload.get("spec", payload))
-            if self.pool is not None:
-                # shard-affine dispatch: the worker owning this key's
-                # fingerprint range holds (or builds) its cache entry
-                out, hit = await asyncio.wrap_future(self.pool.submit(
-                    "classify", (spec, "dinic"),
-                    shard_key=canonical_spec_key(spec),
-                ))
-                out["cache_hit"] = hit
+            with span("batch", kind="classify") as sp:
+                ctx = sp.context() if sp.span_id is not None else None
+                if self.pool is not None:
+                    # shard-affine dispatch: the worker owning this key's
+                    # fingerprint range holds (or builds) its cache entry
+                    out, hit = await asyncio.wrap_future(self.pool.submit(
+                        "classify", (spec, "dinic"),
+                        shard_key=canonical_spec_key(spec), trace=ctx,
+                    ))
+                    out["cache_hit"] = hit
+                    return out
+                before = self.cache.hits
+                loop = asyncio.get_running_loop()
+                report = await loop.run_in_executor(
+                    self.executor, _classify_in_worker, self.cache, spec, ctx
+                )
+                out = report_to_json(report)
+                out["cache_hit"] = self.cache.hits > before
                 return out
-            before = self.cache.hits
-            loop = asyncio.get_running_loop()
-            report = await loop.run_in_executor(
-                self.executor, self.cache.classify, spec
-            )
-            out = report_to_json(report)
-            out["cache_hit"] = self.cache.hits > before
-            return out
 
     async def _simulate(self, request: _HttpRequest) -> dict:
-        with self.admission.try_admit():
+        with span("admission"):
+            ticket = self.admission.try_admit()
+        with ticket:
             spec, horizon, seed, loss_p = parse_simulate_request(
                 request.json(), max_horizon=self.max_horizon
             )
-            response = await self.batcher.simulate(spec, horizon, seed, loss_p)
+            with span("batch", kind="simulate") as sp:
+                ctx = sp.context() if sp.span_id is not None else None
+                response = await self.batcher.simulate(
+                    spec, horizon, seed, loss_p, trace=ctx)
             response["horizon"] = horizon
             response["seed"] = seed
             return response
@@ -457,6 +538,17 @@ class ReproServer:
         if request.query.get("records", ["0"])[-1] in ("1", "true", "yes"):
             out["records"] = self.jobs.records(job_id)
         return out
+
+
+def _classify_in_worker(cache: FeasibilityCache, spec, trace_ctx):
+    """Executor-thread body of the ``workers=0`` classify path: opens the
+    ``worker`` span in the thread that computes, so nested flow spans
+    parent correctly (the contextvar does not cross run_in_executor)."""
+    if trace_ctx is None:
+        return cache.classify(spec)
+    with span("worker", parent=trace_ctx, remote_suffix="local",
+              worker="local", kind="classify"):
+        return cache.classify(spec)
 
 
 def _method_not_allowed(method: str, path: str) -> ServeError:

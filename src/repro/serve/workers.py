@@ -33,6 +33,18 @@ Design
   ``repro_serve_worker_restarts_total`` is incremented.  Futures resolve
   exactly once; :attr:`WorkerPool.duplicate_results` counts (and tests
   assert zero) double deliveries.
+* **Telemetry rides the reply.**  Each worker owns a private
+  :mod:`repro.obs` registry; every task reply piggybacks a registry
+  snapshot, and :meth:`WorkerPool.metrics_snapshots` answers a scrape by
+  queueing a ``metrics_snapshot`` task at the *front* of every worker's
+  queue (falling back to the last piggybacked snapshot if a worker is
+  busy past the deadline).  When a worker dies, its predecessor's last
+  snapshot is *banked* and added to its successor's — merged counters
+  stay monotone across a SIGKILL, and only the single in-flight task's
+  increments are re-earned by the retry.  Tasks submitted with a trace
+  context likewise ship their span records back in the reply, so a
+  request's span tree crosses the process boundary without a side
+  channel.
 
 The pool is deliberately asyncio-agnostic (futures + threads only) so it
 can be driven from the server's event loop via ``asyncio.wrap_future``
@@ -51,13 +63,16 @@ from concurrent.futures import Future
 from typing import Any, Optional
 
 from repro.errors import ServeError
+from repro.obs.merge import add_snapshots
 from repro.obs.metrics import get_registry
+from repro.obs.spans import get_span_sink, set_span_sink, span
+from repro.obs.trace import RingBufferSink
 from repro.sweep.cache import FeasibilityCache, shard_index
 
 __all__ = ["WorkerPool", "TASK_KINDS"]
 
 #: Task kinds a worker knows how to execute, mapped to handler names.
-TASK_KINDS = ("classify", "simulate_batch", "ping")
+TASK_KINDS = ("classify", "simulate_batch", "ping", "metrics_snapshot")
 
 _READY = "__ready__"
 _STOP = None  # pipe sentinel: parent asks the worker to exit cleanly
@@ -96,15 +111,23 @@ def _task_ping(_cache: FeasibilityCache, payload: Any = None) -> Any:
     return payload
 
 
+def _task_metrics_snapshot(_cache: FeasibilityCache) -> dict:
+    """The scrape probe: this worker's registry, as a plain dict."""
+    return get_registry().snapshot()
+
+
 _HANDLERS = {
     "classify": _task_classify,
     "simulate_batch": _task_simulate_batch,
     "ping": _task_ping,
+    "metrics_snapshot": _task_metrics_snapshot,
 }
 
 
 def _worker_main(conn: multiprocessing.connection.Connection,
-                 cache_entries: Optional[int]) -> None:
+                 cache_entries: Optional[int],
+                 index: int = 0,
+                 enable_metrics: bool = False) -> None:
     """Entry point of one worker process: warm up, then serve the pipe."""
     import signal
 
@@ -114,6 +137,8 @@ def _worker_main(conn: multiprocessing.connection.Connection,
     # KeyboardInterrupt tracebacks racing the server's own teardown
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     _warm_imports()
+    registry = get_registry()
+    registry.enabled = enable_metrics
     cache = FeasibilityCache(max_entries=cache_entries)
     conn.send((_READY, None, None))
     while True:
@@ -124,18 +149,34 @@ def _worker_main(conn: multiprocessing.connection.Connection,
         if message is _STOP or message is None:
             conn.close()
             return
-        task_id, kind, args = message
+        task_id, kind, args, trace_ctx = message
         handler = _HANDLERS.get(kind)
+        collector: Optional[RingBufferSink] = None
+        spans: list[dict] = []
         try:
             if handler is None:
                 raise ServeError(f"worker got unknown task kind {kind!r}",
                                  status=500, error="internal")
-            result = handler(cache, *args)
-            reply = (task_id, True, result)
+            if trace_ctx is not None:
+                # collect this task's spans locally; the reply ships them
+                # back so the parent's ring sees one coherent trace
+                collector = RingBufferSink(capacity=1024)
+                set_span_sink(collector)
+                with span("worker", parent=tuple(trace_ctx),
+                          remote_suffix=f"w{index}", worker=index, kind=kind):
+                    result = handler(cache, *args)
+            else:
+                result = handler(cache, *args)
+            ok, payload = True, result
         except BaseException as exc:  # noqa: BLE001 - shipped to the caller
-            reply = (task_id, False, _picklable_error(exc))
+            ok, payload = False, _picklable_error(exc)
+        finally:
+            if collector is not None:
+                set_span_sink(None)
+                spans = collector.records
+        snapshot = registry.snapshot() if registry.enabled else None
         try:
-            conn.send(reply)
+            conn.send((task_id, ok, payload, spans, snapshot))
         except (BrokenPipeError, OSError):
             return
 
@@ -156,13 +197,15 @@ def _picklable_error(exc: BaseException) -> BaseException:
 # parent side
 # ----------------------------------------------------------------------
 class _Task:
-    __slots__ = ("id", "kind", "args", "future")
+    __slots__ = ("id", "kind", "args", "future", "trace")
 
-    def __init__(self, task_id: int, kind: str, args: tuple, future: Future):
+    def __init__(self, task_id: int, kind: str, args: tuple, future: Future,
+                 trace: Optional[tuple] = None):
         self.id = task_id
         self.kind = kind
         self.args = args
         self.future = future
+        self.trace = trace  # (trace_id, parent_span_id) or None
 
 
 class _TaskQueue:
@@ -209,7 +252,8 @@ class _TaskQueue:
 class _Worker:
     """Parent-side record of one worker process and its manager thread."""
 
-    __slots__ = ("index", "process", "conn", "queue", "thread", "inflight")
+    __slots__ = ("index", "process", "conn", "queue", "thread", "inflight",
+                 "restarts")
 
     def __init__(self, index: int):
         self.index = index
@@ -218,6 +262,7 @@ class _Worker:
         self.queue = _TaskQueue()
         self.thread: Optional[threading.Thread] = None
         self.inflight: Optional[_Task] = None
+        self.restarts = 0
 
 
 class WorkerPool:
@@ -257,6 +302,10 @@ class WorkerPool:
         self.duplicate_results = 0
         #: tasks executed, by kind (parent-side accounting)
         self.completed: collections.Counter[str] = collections.Counter()
+        # telemetry merge state: the latest snapshot each live worker
+        # shipped, and the accumulated totals of its dead predecessors
+        self._last: dict[int, dict] = {}
+        self._banked: dict[int, dict] = {}
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
@@ -284,7 +333,11 @@ class WorkerPool:
     def _spawn_process(self, worker: _Worker) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
-            target=_worker_main, args=(child_conn, self.cache_entries),
+            target=_worker_main,
+            # metrics-enablement is decided at spawn time: the server
+            # enables its registry before pool.start(), so workers match
+            args=(child_conn, self.cache_entries, worker.index,
+                  get_registry().enabled),
             name=f"repro-serve-worker-{worker.index}", daemon=True,
         )
         process.start()
@@ -325,6 +378,10 @@ class WorkerPool:
             if worker.thread is not None:
                 worker.thread.join(timeout=10.0)
             if worker.conn is not None:
+                # exit-time snapshot: only once the manager thread is
+                # provably off the pipe (joined) may we speak on it
+                if worker.thread is None or not worker.thread.is_alive():
+                    self._final_snapshot(worker)
                 try:
                     worker.conn.send(_STOP)
                 except (BrokenPipeError, OSError):
@@ -347,13 +404,20 @@ class WorkerPool:
 
     # -- submission ----------------------------------------------------
     def submit(self, kind: str, args: tuple = (),
-               shard_key: Optional[str] = None) -> Future:
+               shard_key: Optional[str] = None, *,
+               trace: Optional[tuple] = None,
+               worker_index: Optional[int] = None,
+               front: bool = False) -> Future:
         """Queue one task; the future resolves to the handler's return
         value (or raises the worker-side exception).
 
         ``shard_key`` pins the task to the worker owning that slice of
         the fingerprint space (cache affinity); without it the task is
-        spread round-robin.
+        spread round-robin.  ``trace`` is a ``(trace_id, parent_span_id)``
+        pair: the worker runs the task under a ``worker`` span and ships
+        its span records back with the result.  ``worker_index`` pins a
+        specific worker (scrapes); ``front`` jumps the queue (scrapes
+        must not wait behind a deep backlog of batches).
         """
         if not self._started or self._closed:
             raise ServeError("worker pool is not running", status=503,
@@ -362,12 +426,15 @@ class WorkerPool:
             raise ServeError(f"unknown task kind {kind!r}", status=500,
                              error="bad-config")
         future: Future = Future()
-        task = _Task(next(self._task_ids), kind, args, future)
-        if shard_key is not None:
+        task = _Task(next(self._task_ids), kind, args, future, trace=trace)
+        if worker_index is not None:
+            index = worker_index
+        elif shard_key is not None:
             index = shard_index(shard_key, self.n_workers)
         else:
             index = next(self._rr) % self.n_workers
-        self._workers[index].queue.put(task)
+        queue = self._workers[index].queue
+        (queue.put_front if front else queue.put)(task)
         return future
 
     def worker_for(self, shard_key: str) -> int:
@@ -394,7 +461,83 @@ class WorkerPool:
             "restarts": self.restarts,
             "queued": self.queued,
             "completed": dict(self.completed),
+            "per_worker": [
+                {
+                    "index": w.index,
+                    "alive": w.process is not None and w.process.is_alive(),
+                    "pid": w.process.pid if w.process is not None else None,
+                    "restarts": w.restarts,
+                    "queued": len(w.queue),
+                }
+                for w in self._workers
+            ],
         }
+
+    # -- telemetry merge -----------------------------------------------
+    def _merged_for(self, index: int) -> Optional[dict]:
+        """Banked predecessor totals + the worker's latest snapshot."""
+        with self._lock:
+            banked = self._banked.get(index)
+            last = self._last.get(index)
+        if banked is None and last is None:
+            return None
+        return add_snapshots(banked, last)
+
+    def metrics_snapshots(self, timeout: float = 2.0) -> dict[int, dict]:
+        """Fresh per-worker registry snapshots for a scrape.
+
+        Queues a ``metrics_snapshot`` task at the front of every worker's
+        queue and waits up to ``timeout`` (total); a worker that is busy
+        past the deadline contributes its last piggybacked snapshot
+        instead, so a scrape is bounded-latency and never blocks behind a
+        long batch.  Each value already includes banked predecessor
+        counts, keyed by worker index.
+        """
+        deadline = time.monotonic() + timeout
+        futures = []
+        if self._started and not self._closed:
+            for worker in self._workers:
+                try:
+                    futures.append((worker.index, self.submit(
+                        "metrics_snapshot", worker_index=worker.index,
+                        front=True)))
+                except ServeError:
+                    break  # closed under us: fall back to piggybacked state
+        for index, future in futures:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                snap = future.result(timeout=remaining)
+            except Exception:  # noqa: BLE001 - timeout/shutdown → stale data
+                continue
+            with self._lock:
+                self._last[index] = snap
+        out: dict[int, dict] = {}
+        for worker in self._workers:
+            merged = self._merged_for(worker.index)
+            if merged:
+                out[worker.index] = merged
+        return out
+
+    def _final_snapshot(self, worker: _Worker) -> None:
+        """Best-effort exit-time scrape, spoken directly on the pipe.
+
+        Only called from :meth:`close` after the manager thread has been
+        joined — nothing else is on the connection.
+        """
+        conn = worker.conn
+        if conn is None or worker.process is None or not worker.process.is_alive():
+            return
+        try:
+            conn.send((0, "metrics_snapshot", (), None))
+            if not conn.poll(1.0):
+                return
+            reply = conn.recv()
+            task_id, ok, payload = reply[0], reply[1], reply[2]
+            if task_id == 0 and ok and isinstance(payload, dict):
+                with self._lock:
+                    self._last[worker.index] = payload
+        except (EOFError, BrokenPipeError, OSError, ConnectionResetError):
+            pass
 
     # -- per-worker manager thread -------------------------------------
     def _manage(self, worker: _Worker) -> None:
@@ -419,7 +562,7 @@ class WorkerPool:
                 return
             try:
                 assert worker.conn is not None
-                worker.conn.send((task.id, task.kind, task.args))
+                worker.conn.send((task.id, task.kind, task.args, task.trace))
                 reply = worker.conn.recv()
             except (EOFError, BrokenPipeError, OSError, ConnectionResetError):
                 # the worker died under us: requeue semantics are "retry
@@ -431,7 +574,11 @@ class WorkerPool:
                         task.future.set_exception(exc)
                     return
                 continue
-            task_id, ok, payload = reply
+            task_id, ok, payload, spans, snapshot = reply
+            if snapshot is not None:
+                # even a stale reply carries a valid registry snapshot
+                with self._lock:
+                    self._last[worker.index] = snapshot
             if task_id != task.id:
                 # a reply for a task whose future was already settled in a
                 # previous life of this worker; never deliver it twice
@@ -442,6 +589,14 @@ class WorkerPool:
                 with self._lock:
                     self.duplicate_results += 1
                 return
+            if spans:
+                # relay the worker's span records into the parent's sink
+                # (skipped for stale replies above: span ids are
+                # deterministic, so a double delivery would duplicate)
+                sink = get_span_sink()
+                if sink.enabled:
+                    for record in spans:
+                        sink.emit(record)
             self.completed[task.kind] += 1
             reg = get_registry()
             if reg.enabled:
@@ -457,15 +612,23 @@ class WorkerPool:
             return
 
     def _respawn(self, worker: _Worker) -> None:
-        """Replace a dead worker process; counts the restart."""
+        """Replace a dead worker process; counts the restart and banks
+        the dead predecessor's last-known counters so the merged
+        ``/metrics`` view stays monotone."""
         if worker.process is not None:
             worker.process.join(timeout=5.0)
         if worker.conn is not None:
             worker.conn.close()
+        with self._lock:
+            last = self._last.pop(worker.index, None)
+            if last is not None:
+                self._banked[worker.index] = add_snapshots(
+                    self._banked.get(worker.index), last)
         if self._closed:
             return
         self._spawn_process(worker)
         self._await_ready(worker, time.monotonic() + self.spawn_timeout)
+        worker.restarts += 1
         with self._lock:
             self.restarts += 1
         reg = get_registry()

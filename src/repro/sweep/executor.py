@@ -34,6 +34,7 @@ from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import SweepError
 from repro.obs.metrics import get_registry
+from repro.obs.spans import get_span_sink, set_span_sink, span
 from repro.obs.trace import JsonlSink, get_tracer, sweep_event
 from repro.sweep.checkpoint import PathLike, SweepCheckpoint
 from repro.sweep.checkpoint import resume as load_resume
@@ -225,7 +226,9 @@ def run_sweep(
         The sweep emits ``sweep_start`` / ``point_done`` / ``chunk_failed``
         / ``sweep_end`` events (a failing chunk is announced *before* the
         exception unwinds the pool, so a dead sweep's trace names the
-        culprit chunk).
+        culprit chunk).  A path sink also collects ``span`` records — a
+        root ``sweep`` span plus one ``sweep.point`` per serial point —
+        unless a process-global span sink is already active.
     progress:
         Print a live ``points done/total, rate, ETA, cache hit-rate``
         telemetry line to stderr, read from the metrics registry.
@@ -307,46 +310,54 @@ def run_sweep(
                 error=repr(exc),
             ))
 
+    # A sweep traced to its own JSONL carries its spans in the same file —
+    # but never steal an already-configured process-global span sink
+    # (e.g. a server's ring buffer).
+    span_override = own_sink and sink.enabled and not get_span_sink().enabled
+    prev_span_sink = set_span_sink(sink) if span_override else None
     try:
-        if workers == 0 or not pending:
-            for k, pt in enumerate(pending):
-                tick = time.perf_counter()
-                try:
-                    records = [_evaluate(point_fn, pt)]
-                except BaseException as exc:
-                    _chunk_failed(k, exc)
-                    raise
-                _commit(records)
-                telemetry.chunk_done(1, time.perf_counter() - tick)
-        else:
-            if chunk_size is None:
-                per_worker = max(1, len(pending) // (workers * 4))
-                chunk_size = min(32, per_worker)
-            chunks = _chunked(pending, chunk_size)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                submit = time.perf_counter()
-                meta = {}  # future -> (chunk index, submit time)
-                for k, chunk in enumerate(chunks):
-                    meta[pool.submit(_run_chunk, point_fn, chunk)] = (k, submit)
-                futures = set(meta)
-                try:
-                    while futures:
-                        finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                        for fut in finished:
-                            k, started = meta.pop(fut)
-                            try:
-                                records = fut.result()
-                            except BaseException as exc:
-                                _chunk_failed(k, exc)
-                                raise
-                            _commit(records)
-                            telemetry.chunk_done(
-                                len(records), time.perf_counter() - started
-                            )
-                except BaseException:
-                    for fut in futures:
-                        fut.cancel()
-                    raise
+        with span("sweep", workers=workers, points=len(grid),
+                  pending=len(pending), resumed=resumed):
+            if workers == 0 or not pending:
+                for k, pt in enumerate(pending):
+                    tick = time.perf_counter()
+                    try:
+                        with span("sweep.point", index=pt.index, seed=pt.seed):
+                            records = [_evaluate(point_fn, pt)]
+                    except BaseException as exc:
+                        _chunk_failed(k, exc)
+                        raise
+                    _commit(records)
+                    telemetry.chunk_done(1, time.perf_counter() - tick)
+            else:
+                if chunk_size is None:
+                    per_worker = max(1, len(pending) // (workers * 4))
+                    chunk_size = min(32, per_worker)
+                chunks = _chunked(pending, chunk_size)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    submit = time.perf_counter()
+                    meta = {}  # future -> (chunk index, submit time)
+                    for k, chunk in enumerate(chunks):
+                        meta[pool.submit(_run_chunk, point_fn, chunk)] = (k, submit)
+                    futures = set(meta)
+                    try:
+                        while futures:
+                            finished, futures = wait(futures, return_when=FIRST_COMPLETED)
+                            for fut in finished:
+                                k, started = meta.pop(fut)
+                                try:
+                                    records = fut.result()
+                                except BaseException as exc:
+                                    _chunk_failed(k, exc)
+                                    raise
+                                _commit(records)
+                                telemetry.chunk_done(
+                                    len(records), time.perf_counter() - started
+                                )
+                    except BaseException:
+                        for fut in futures:
+                            fut.cancel()
+                        raise
         telemetry.maybe_print(final=True)
         if sink.enabled:
             sink.emit(sweep_event(
@@ -357,6 +368,8 @@ def run_sweep(
                 wall_time=time.perf_counter() - t0,
             ))
     finally:
+        if span_override:
+            set_span_sink(prev_span_sink)
         if writer is not None:
             writer.close()
         if own_sink:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs import NULL_SINK, get_registry, set_tracer
+from repro.obs import NULL_SINK, get_registry, set_span_sink, set_tracer
 
 
 @pytest.fixture(autouse=True)
@@ -11,5 +11,6 @@ def _clean_obs():
     prev_enabled = registry.enabled
     yield
     set_tracer(NULL_SINK)
+    set_span_sink(None)
     registry.enabled = prev_enabled
     registry.reset()

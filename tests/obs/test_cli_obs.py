@@ -22,7 +22,11 @@ class TestSimulateFlags:
         assert f"trace: {trace}" in out
         records = read_trace(trace)
         assert records[0]["type"] == "run_start"
-        assert records[-1]["type"] == "run_end"
+        types = [r["type"] for r in records]
+        assert "run_end" in types
+        # --trace now also collects spans into the same file
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"cli.simulate", "sim.run"} <= names
         rr = replay_trace(trace)
         assert rr.verdict.bounded == ("bounded: True" in out)
 

@@ -1,0 +1,80 @@
+"""Pytest wrapper + unit tests for ``tools/lint_metrics.py``."""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import lint_metrics  # noqa: E402
+
+
+class TestRepoIsClean:
+    def test_src_tree_passes(self, capsys):
+        assert lint_metrics.main() == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_span_histogram_is_seen(self):
+        regs = []
+        for path in sorted(lint_metrics.SRC.rglob("*.py")):
+            regs.extend(lint_metrics.collect_registrations(path))
+        names = {r.name for r in regs}
+        assert "repro_obs_span_seconds" in names
+        assert "repro_flow_warm_solves_total" in names
+
+
+def _check(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(source)
+    return lint_metrics.check_registrations(
+        lint_metrics.collect_registrations(path))
+
+
+class TestRules:
+    def test_bad_prefix(self, tmp_path):
+        out = _check(tmp_path, 'reg.counter("requests_total", "h")\n')
+        assert any("repro_[a-z0-9_]+" in v for v in out)
+
+    def test_counter_needs_total(self, tmp_path):
+        out = _check(tmp_path, 'reg.counter("repro_requests", "h")\n')
+        assert any("_total" in v for v in out)
+
+    def test_gauge_must_not_end_total(self, tmp_path):
+        out = _check(tmp_path, 'reg.gauge("repro_depth_total", "h")\n')
+        assert any("monotone" in v for v in out)
+
+    def test_histogram_needs_unit_suffix(self, tmp_path):
+        out = _check(tmp_path, 'reg.histogram("repro_latency", "h")\n')
+        assert any("unit suffix" in v for v in out)
+
+    def test_kind_conflict(self, tmp_path):
+        out = _check(tmp_path, (
+            'reg.counter("repro_x_total", "h")\n'
+            'reg.gauge("repro_x_total", "h")\n'
+        ))
+        assert any("multiple kinds" in v for v in out)
+
+    def test_label_schema_conflict(self, tmp_path):
+        out = _check(tmp_path, (
+            'reg.counter("repro_x_total", "h", ("route",))\n'
+            'reg.counter("repro_x_total", "h", ("verb",))\n'
+        ))
+        assert any("label schemas" in v for v in out)
+
+    def test_missing_help(self, tmp_path):
+        out = _check(tmp_path, 'reg.counter("repro_x_total")\n')
+        assert any("help" in v for v in out)
+
+    def test_clean_registration(self, tmp_path):
+        out = _check(tmp_path, (
+            'reg.counter("repro_x_total", "Help.", ("route",))\n'
+            'reg.counter("repro_x_total", "Help.", label_names=("route",))\n'
+            'reg.histogram("repro_y_seconds", "Help.")\n'
+            'reg.gauge("repro_z_depth", "Help.")\n'
+        ))
+        assert out == []
+
+    def test_dynamic_names_ignored(self, tmp_path):
+        out = _check(tmp_path, 'reg.counter(name_var, "h")\n')
+        assert out == []

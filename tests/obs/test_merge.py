@@ -1,0 +1,157 @@
+"""Snapshot merging, worker labeling, exposition round-trip, monotonicity."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import get_registry
+from repro.obs.merge import (
+    add_snapshots,
+    counter_regressions,
+    merge_worker_snapshots,
+    parse_exposition,
+    render_snapshot,
+)
+
+
+def _snapshot(*, requests=0, latencies=(), queue=None):
+    """Build a real registry snapshot (not a handwritten dict)."""
+    reg = get_registry()
+    reg.enabled = True
+    reg.reset()
+    counter = reg.counter("repro_test_requests_total", "Requests seen.",
+                          ("route",))
+    counter.labels(route="/v1/classify").inc(requests)
+    hist = reg.histogram("repro_test_latency_seconds", "Latency.")
+    for v in latencies:
+        hist.observe(v)
+    if queue is not None:
+        reg.gauge("repro_test_queue_depth", "Queue depth.").set(queue)
+    snap = reg.snapshot()
+    reg.reset()
+    return snap
+
+
+def _series(snap, name, **labels):
+    for s in snap[name]["series"]:
+        if s["labels"] == labels:
+            return s
+    raise AssertionError(f"no series {labels} in {snap[name]}")
+
+
+class TestAddSnapshots:
+    def test_counters_add(self):
+        merged = add_snapshots(_snapshot(requests=3), _snapshot(requests=4))
+        s = _series(merged, "repro_test_requests_total", route="/v1/classify")
+        assert s["value"] == 7
+
+    def test_histograms_add_buckets_sum_count(self):
+        merged = add_snapshots(_snapshot(latencies=[0.01, 0.2]),
+                               _snapshot(latencies=[0.02]))
+        s = _series(merged, "repro_test_latency_seconds")
+        assert s["count"] == 3
+        assert s["sum"] == pytest.approx(0.23)
+        assert s["buckets"]["+Inf"] == 3
+
+    def test_gauge_takes_the_extra_side(self):
+        merged = add_snapshots(_snapshot(queue=5), _snapshot(queue=2))
+        assert _series(merged, "repro_test_queue_depth")["value"] == 2
+
+    def test_disjoint_series_union(self):
+        merged = add_snapshots(_snapshot(requests=1), _snapshot(queue=9))
+        assert "repro_test_requests_total" in merged
+        assert "repro_test_queue_depth" in merged
+
+    def test_kind_mismatch_raises(self):
+        base = _snapshot(requests=1)
+        clash = {"repro_test_requests_total": {
+            "kind": "gauge", "help": "x",
+            "series": [{"labels": {}, "value": 1}],
+        }}
+        with pytest.raises(ObservabilityError, match="kind"):
+            add_snapshots(base, clash)
+
+
+class TestWorkerMerge:
+    def test_worker_label_and_parent_unlabeled(self):
+        merged = merge_worker_snapshots(
+            _snapshot(requests=1),
+            {0: _snapshot(requests=2), 1: _snapshot(requests=3)},
+        )
+        entry = merged["repro_test_requests_total"]
+        by_worker = {s["labels"].get("worker"): s["value"]
+                     for s in entry["series"]}
+        assert by_worker == {None: 1, "0": 2, "1": 3}
+
+    def test_existing_worker_label_rejected(self):
+        reg = get_registry()
+        reg.enabled = True
+        reg.reset()
+        reg.counter("repro_test_clash_total", "x", ("worker",)).labels(
+            worker="9").inc()
+        snap = reg.snapshot()
+        reg.reset()
+        with pytest.raises(ObservabilityError, match="worker"):
+            merge_worker_snapshots({}, {0: snap})
+
+
+class TestExpositionRoundTrip:
+    def test_parse_recovers_rendered_samples(self):
+        snap = merge_worker_snapshots(
+            _snapshot(requests=2, latencies=[0.01], queue=4),
+            {0: _snapshot(requests=5)},
+        )
+        text = render_snapshot(snap)
+        parsed = parse_exposition(text)
+        samples = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value in parsed["samples"]}
+        assert samples[("repro_test_requests_total",
+                        (("route", "/v1/classify"),))] == 2
+        assert samples[("repro_test_requests_total",
+                        (("route", "/v1/classify"), ("worker", "0")))] == 5
+        assert samples[("repro_test_queue_depth", ())] == 4
+        assert parsed["types"]["repro_test_latency_seconds"] == "histogram"
+        assert samples[("repro_test_latency_seconds_count", ())] == 1
+        # histogram bucket samples resolve to the base family type
+        bucket_keys = [k for k in samples
+                       if k[0] == "repro_test_latency_seconds_bucket"]
+        assert bucket_keys
+        assert parsed["helps"]["repro_test_requests_total"] == "Requests seen."
+
+    def test_escaped_label_values_round_trip(self):
+        reg = get_registry()
+        reg.enabled = True
+        reg.reset()
+        tricky = 'quote " backslash \\ newline \n end'
+        reg.counter("repro_test_escape_total", "x", ("path",)).labels(
+            path=tricky).inc()
+        snap = reg.snapshot()
+        reg.reset()
+        ((name, labels, value),) = parse_exposition(
+            render_snapshot(snap))["samples"]
+        assert name == "repro_test_escape_total"
+        assert labels == {"path": tricky}
+        assert value == 1
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ObservabilityError, match="TYPE"):
+            parse_exposition("repro_untyped_total 1\n")
+
+
+class TestCounterRegressions:
+    def test_monotone_growth_is_clean(self):
+        prev = _snapshot(requests=2, latencies=[0.1])
+        new = add_snapshots(prev, _snapshot(requests=1, latencies=[0.2]))
+        assert counter_regressions(prev, new) == []
+
+    def test_decrease_reported(self):
+        prev = _snapshot(requests=5)
+        new = _snapshot(requests=3)
+        problems = counter_regressions(prev, new)
+        assert any("repro_test_requests_total" in p for p in problems)
+
+    def test_disappearance_reported_and_ignorable(self):
+        prev = _snapshot(requests=5)
+        problems = counter_regressions(prev, {})
+        assert problems
+        assert counter_regressions(
+            prev, {}, ignore=("repro_test_requests_total",)) == []

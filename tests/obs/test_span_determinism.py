@@ -1,0 +1,91 @@
+"""Span trees are deterministic modulo wall-clock fields.
+
+Two runs of the same seeded work must produce byte-identical normalized
+trees: same names, same attrs, same nesting, same (hierarchical) span
+ids — only trace ids, timestamps, and durations may differ.  That is
+what makes span trees diffable across reruns, backends, and worker
+tiers.
+"""
+
+from repro.core import SimulationConfig, Simulator
+from repro.core.ensemble import EnsembleSimulator
+from repro.flow import classify_network
+from repro.graphs import generators
+from repro.network import NetworkSpec
+from repro.obs import RingBufferSink
+from repro.obs.spans import normalized_tree, set_span_sink, span_records
+from repro.obs.trace import WALL_CLOCK_FIELDS
+
+
+def _spec():
+    g, s, d = generators.bottleneck_gadget(2, 2, 2)
+    return NetworkSpec.classical(g, {v: 1 for v in s}, {v: 1 for v in d})
+
+
+def _collect(fn):
+    ring = RingBufferSink(capacity=4096)
+    set_span_sink(ring)
+    try:
+        fn()
+    finally:
+        set_span_sink(None)
+    return ring.records
+
+
+class TestWallClockContract:
+    def test_trace_id_and_timing_are_wall_clock_fields(self):
+        assert {"ts", "duration_s", "trace_id"} <= WALL_CLOCK_FIELDS
+
+    def test_span_ids_are_not_wall_clock(self):
+        assert "span_id" not in WALL_CLOCK_FIELDS
+        assert "parent_id" not in WALL_CLOCK_FIELDS
+
+
+class TestRerunDeterminism:
+    def test_scalar_run_tree_reproduces(self):
+        def run():
+            Simulator(_spec(), config=SimulationConfig(seed=7)).run(50)
+
+        one = _collect(run)
+        two = _collect(run)
+        assert normalized_tree(one) == normalized_tree(two)
+        # ids too: deterministic hierarchical numbering, not random
+        assert ([ (r["span_id"], r["parent_id"], r["name"]) for r in one]
+                == [(r["span_id"], r["parent_id"], r["name"]) for r in two])
+        # ... while the trace ids (the one random field) differ
+        assert (span_records(one)[0]["trace_id"]
+                != span_records(two)[0]["trace_id"])
+
+    def test_batched_run_tree_reproduces(self):
+        def run():
+            EnsembleSimulator(_spec(), 4, seed=3).run(40)
+
+        assert normalized_tree(_collect(run)) == normalized_tree(_collect(run))
+
+    def test_classify_tree_reproduces(self):
+        def run():
+            classify_network(_spec().extended())
+
+        one, two = _collect(run), _collect(run)
+        assert normalized_tree(one) == normalized_tree(two)
+        (root,) = normalized_tree(one)
+        assert root["name"] == "flow.classify"
+        kinds = [c["attrs"]["kind"] for c in root["children"]
+                 if c["name"] == "flow.solve"]
+        assert kinds[0] == "cold"
+        assert set(kinds[1:]) == {"warm"}
+
+
+class TestBackendShape:
+    def test_scalar_vs_batched_differ_only_in_backend_attrs(self):
+        def scalar():
+            Simulator(_spec(), config=SimulationConfig(seed=7)).run(50)
+
+        def batched():
+            EnsembleSimulator(_spec(), 4, seed=7).run(50)
+
+        (s_root,) = normalized_tree(
+            _collect(scalar), drop_attrs=("backend", "replicas"))
+        (b_root,) = normalized_tree(
+            _collect(batched), drop_attrs=("backend", "replicas"))
+        assert s_root == b_root  # same shape once backend identity dropped

@@ -153,5 +153,8 @@ class TestLifecycle:
         assert health["configured"] == 2
         assert health["alive"] == 2
         assert set(health) == {"configured", "alive", "restarts", "queued",
-                               "completed"}
+                               "completed", "per_worker"}
+        per_worker = health["per_worker"]
+        assert [w["index"] for w in per_worker] == [0, 1]
+        assert all(w["alive"] and w["restarts"] == 0 for w in per_worker)
         assert health["completed"].get("ping", 0) >= 1

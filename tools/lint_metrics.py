@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""AST lint: metric naming and registration hygiene for ``repro.obs``.
+
+Every metric registered through the :mod:`repro.obs.metrics` registry
+becomes a public contract the moment a dashboard or alert references it,
+so the conventions are enforced mechanically rather than by review:
+
+* names match ``repro_[a-z0-9_]+`` (one namespace, Prometheus-safe);
+* counters end in ``_total`` (Prometheus counter convention);
+* histograms end in a unit suffix (``_seconds``, ``_bytes``, ``_size``)
+  so the bucket bounds are interpretable;
+* gauges must *not* end in ``_total`` (that suffix promises monotone);
+* one name, one kind: the same metric name must not be registered as a
+  counter in one module and a histogram in another;
+* one name, one label schema: every registration site of a name must
+  pass the same ``label_names`` tuple — otherwise scrapes of the merged
+  registry would mix incompatible series under one family;
+* every metric has help text at (at least) one registration site.
+
+The lint walks the ASTs of ``src/repro`` looking for
+``<anything>.counter("literal", ...)`` / ``.gauge(...)`` /
+``.histogram(...)`` calls whose first argument is a string literal or a
+module-level string constant (``SPAN_SECONDS_METRIC``-style) — the only
+registration idioms the codebase uses.  Calls with a truly dynamic name
+are ignored (none exist today; if one appears, add it to the allowlist
+with a justification).
+
+Run directly (``python tools/lint_metrics.py``, exits nonzero on a
+violation) or through the pytest wrapper in
+``tests/obs/test_lint_metrics.py``.  CI runs it as its own step, next to
+``lint_exact_core.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+KINDS = ("counter", "gauge", "histogram")
+NAME_RE = re.compile(r"^repro_[a-z0-9_]+$")
+
+#: Histogram names must end in one of these so bucket bounds have units.
+HISTOGRAM_UNIT_SUFFIXES = ("_seconds", "_bytes", "_size")
+
+
+def _literal_str(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _label_names(call: ast.Call) -> tuple | None:
+    """The literal ``label_names`` tuple of a registration call.
+
+    Returns ``()`` when absent (unlabeled metric), ``None`` when present
+    but not a literal (cannot be checked statically).
+    """
+    value = None
+    if len(call.args) >= 3:
+        value = call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "label_names":
+            value = kw.value
+    if value is None:
+        return ()
+    if isinstance(value, (ast.Tuple, ast.List)):
+        names = [_literal_str(elt) for elt in value.elts]
+        if all(n is not None for n in names):
+            return tuple(names)
+    return None
+
+
+def _help_text(call: ast.Call) -> str | None:
+    if len(call.args) >= 2:
+        return _literal_str(call.args[1])
+    for kw in call.keywords:
+        if kw.arg == "help":
+            return _literal_str(kw.value)
+    return None
+
+
+class _Registration:
+    __slots__ = ("name", "kind", "labels", "help", "where")
+
+    def __init__(self, name, kind, labels, help_text, where):
+        self.name = name
+        self.kind = kind
+        self.labels = labels
+        self.help = help_text
+        self.where = where
+
+
+def _module_str_constants(tree: ast.Module) -> dict[str, str]:
+    """Top-level ``NAME = "literal"`` assignments (metric-name constants)."""
+    out: dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            value = _literal_str(stmt.value)
+            if value is None:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = value
+    return out
+
+
+def collect_registrations(path: Path) -> list[_Registration]:
+    """Every statically-named registry registration call in one module."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    constants = _module_str_constants(tree)
+    try:
+        rel = path.relative_to(REPO_ROOT)
+    except ValueError:
+        rel = path
+    out: list[_Registration] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in KINDS):
+            continue
+        if not node.args:
+            continue
+        name = _literal_str(node.args[0])
+        if name is None and isinstance(node.args[0], ast.Name):
+            name = constants.get(node.args[0].id)
+        if name is None:
+            continue  # dynamic name — not the registration idiom
+        out.append(_Registration(
+            name=name,
+            kind=func.attr,
+            labels=_label_names(node),
+            help_text=_help_text(node),
+            where=f"{rel}:{node.lineno}",
+        ))
+    return out
+
+
+def check_registrations(regs: list[_Registration]) -> list[str]:
+    violations: list[str] = []
+    for r in regs:
+        if not NAME_RE.match(r.name):
+            violations.append(
+                f"{r.where}: metric {r.name!r} must match "
+                f"'repro_[a-z0-9_]+'"
+            )
+        if r.kind == "counter" and not r.name.endswith("_total"):
+            violations.append(
+                f"{r.where}: counter {r.name!r} must end in '_total'"
+            )
+        if r.kind == "gauge" and r.name.endswith("_total"):
+            violations.append(
+                f"{r.where}: gauge {r.name!r} must not end in '_total' "
+                f"(that suffix promises a monotone counter)"
+            )
+        if r.kind == "histogram" and not r.name.endswith(
+            HISTOGRAM_UNIT_SUFFIXES
+        ):
+            violations.append(
+                f"{r.where}: histogram {r.name!r} needs a unit suffix "
+                f"({', '.join(HISTOGRAM_UNIT_SUFFIXES)})"
+            )
+
+    by_name: dict[str, list[_Registration]] = {}
+    for r in regs:
+        by_name.setdefault(r.name, []).append(r)
+    for name, sites in sorted(by_name.items()):
+        kinds = sorted({r.kind for r in sites})
+        if len(kinds) > 1:
+            wheres = ", ".join(r.where for r in sites)
+            violations.append(
+                f"{name!r} registered as multiple kinds "
+                f"({'/'.join(kinds)}) at {wheres}"
+            )
+        schemas = {r.labels for r in sites if r.labels is not None}
+        if len(schemas) > 1:
+            wheres = ", ".join(f"{r.where} {r.labels}" for r in sites
+                               if r.labels is not None)
+            violations.append(
+                f"{name!r} registered with conflicting label schemas: "
+                f"{wheres}"
+            )
+        if not any(r.help for r in sites):
+            wheres = ", ".join(r.where for r in sites)
+            violations.append(
+                f"{name!r} has no help text at any registration site "
+                f"({wheres})"
+            )
+    return violations
+
+
+def main() -> int:
+    files = sorted(SRC.rglob("*.py"))
+    if not files:
+        print(f"metrics lint: no modules found under {SRC}", file=sys.stderr)
+        return 1
+    regs: list[_Registration] = []
+    for path in files:
+        regs.extend(collect_registrations(path))
+    violations = check_registrations(regs)
+    if violations:
+        print(f"metrics lint: {len(violations)} violation(s):")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    names = len({r.name for r in regs})
+    print(f"metrics lint: {len(regs)} registration sites, "
+          f"{names} metrics clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
