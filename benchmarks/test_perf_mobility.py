@@ -1,0 +1,120 @@
+"""Mobility feasibility timeline: incremental vs cold-oracle speedup.
+
+The claim: tracking feasibility through a mobility trace with the
+warm-started block chain (:func:`feasibility_timeline` — one cold core
+solve per block, then ``fork()`` + parametric capacity raises per
+snapshot) beats the cold oracle (:func:`feasibility_timeline_cold`, a
+fresh max-flow per snapshot) on dense, slowly-changing traces.
+
+Exact agreement of every per-snapshot verdict *and* max-flow value is
+asserted unconditionally — the differential is the acceptance criterion,
+never timing-gated; only the wall-clock ratio is gated on
+``perf_asserts`` (off under ``--perf-smoke``).
+
+Results append to ``benchmarks/results/BENCH_mobility.json`` (gitignored
+output, not an input).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.mobility import (
+    MobilityTrace,
+    RandomWaypoint,
+    feasibility_timeline,
+    feasibility_timeline_cold,
+)
+
+# (n, radius, speed, steps) — slow motion on a dense radius keeps the
+# per-snapshot link delta small, which is the regime the warm chain is for
+SPECS = [
+    (24, 0.45, 0.02, 120),
+    (32, 0.40, 0.02, 120),
+    (40, 0.35, 0.015, 100),
+]
+SPEEDUP_FLOOR = 1.5
+RESULTS = Path(__file__).parent / "results" / "BENCH_mobility.json"
+
+
+def _record(payload: dict) -> None:
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    history = []
+    if RESULTS.exists():
+        try:
+            history = json.loads(RESULTS.read_text())
+        except json.JSONDecodeError:
+            history = []
+    history.append(payload)
+    RESULTS.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def _traces():
+    return [
+        MobilityTrace.generate(
+            RandomWaypoint(speed=speed), n, radius=radius, steps=steps,
+            seed=700 + i,
+        )
+        for i, (n, radius, speed, steps) in enumerate(SPECS)
+    ]
+
+
+def _facts(tl):
+    return [(e.t, e.feasible, e.max_flow_value) for e in tl.entries]
+
+
+class TestIncrementalTimelineSpeedup:
+    def test_warm_chain_beats_cold_oracle(self, benchmark, perf_asserts):
+        traces = _traces()
+        rates = [({0: 1}, {tr.n - 1: 2}) for tr in traces]
+
+        # warm-up: touch both paths once, off the clock
+        feasibility_timeline(traces[0], *rates[0])
+        feasibility_timeline_cold(traces[0], *rates[0])
+
+        t0 = time.perf_counter()
+        cold = [
+            _facts(feasibility_timeline_cold(tr, *r))
+            for tr, r in zip(traces, rates)
+        ]
+        cold_s = time.perf_counter() - t0
+
+        warm_timelines = []
+
+        def warm_pass():
+            warm_timelines.clear()
+            for tr, r in zip(traces, rates):
+                warm_timelines.append(feasibility_timeline(tr, *r))
+
+        benchmark.pedantic(warm_pass, rounds=1, iterations=1)
+        warm_s = benchmark.stats["mean"]
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+        warm_solves = sum(tl.warm_solves for tl in warm_timelines)
+        cold_solves = sum(tl.cold_solves for tl in warm_timelines)
+        snapshots = sum(len(tl) for tl in warm_timelines)
+        _record({
+            "bench": "mobility_timeline",
+            "traces": len(traces),
+            "snapshots": snapshots,
+            "warm_solves": warm_solves,
+            "cold_solves": cold_solves,
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup": round(speedup, 2),
+            "perf_asserts": perf_asserts,
+        })
+        print(f"\n[mobility] cold {cold_s:.3f}s  warm {warm_s:.3f}s  "
+              f"speedup {speedup:.2f}x over {snapshots} snapshots "
+              f"({warm_solves} warm / {cold_solves} cold solves)")
+
+        # the differential acceptance criterion: exact, never timing-gated
+        assert [_facts(tl) for tl in warm_timelines] == cold
+        assert warm_solves > cold_solves  # the chain actually ran warm
+
+        if perf_asserts:
+            assert speedup >= SPEEDUP_FLOOR, (
+                f"incremental timeline only {speedup:.2f}x faster "
+                f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s); floor is "
+                f"{SPEEDUP_FLOOR}x"
+            )

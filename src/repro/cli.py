@@ -141,9 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lockstep axis group (repeatable)")
     p_swp.add_argument("--samples", type=int, default=1,
                        help="repeats per grid cell (adds a 'sample' axis)")
-    p_swp.add_argument("--point", choices=["region", "classify"], default="region",
-                       help="payload per point: classify+simulate, or "
-                            "flow classification only")
+    p_swp.add_argument("--point", choices=["region", "classify", "mobility"],
+                       default="region",
+                       help="payload per point: classify+simulate, flow "
+                            "classification only, or a mobility-trace "
+                            "feasibility timeline")
     p_swp.add_argument("--horizon", type=int, default=None,
                        help="pin the simulation horizon (default: "
                             "suggest_horizon per instance)")
@@ -165,6 +167,37 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH",
                        help="dump the metrics registry in Prometheus text "
                             "format after the sweep")
+
+    p_mob = sub.add_parser(
+        "mobility",
+        help="generate a mobility trace and render its feasibility timeline",
+    )
+    p_mob.add_argument("--model", choices=["waypoint", "vforce", "orbit"],
+                       default="waypoint")
+    p_mob.add_argument("--n", type=int, default=10, help="node count")
+    p_mob.add_argument("--radius", type=float, default=0.4,
+                       help="communication radius on the unit square")
+    p_mob.add_argument("--speed", type=float, default=0.05,
+                       help="motion knob: waypoint speed, virtual-force "
+                            "gain, or orbit angular velocity")
+    p_mob.add_argument("--pause", type=int, default=0,
+                       help="waypoint pause steps on arrival")
+    p_mob.add_argument("--steps", type=int, default=60,
+                       help="simulated motion steps")
+    p_mob.add_argument("--snapshot-every", type=int, default=1,
+                       dest="snapshot_every",
+                       help="sample the link set every k-th step")
+    p_mob.add_argument("--source", type=int, default=0)
+    p_mob.add_argument("--sink", type=int, default=None)
+    p_mob.add_argument("--in-rate", type=int, default=1, dest="in_rate")
+    p_mob.add_argument("--out-rate", type=int, default=2, dest="out_rate")
+    p_mob.add_argument("--block", type=int, default=8,
+                       help="snapshots sharing one cold core solve")
+    p_mob.add_argument("--max-warm-delta", type=int, default=256,
+                       dest="max_warm_delta",
+                       help="largest link delta answered warm; bigger "
+                            "deltas fall back to a cold solve")
+    p_mob.add_argument("--seed", type=int, default=0)
 
     p_obs = sub.add_parser(
         "obs", help="observability utilities (span traces, waterfalls)"
@@ -239,8 +272,48 @@ def _parse_axis(spec: str) -> tuple[str, list]:
     return name, [_parse_axis_value(v) for v in values.split(",")]
 
 
+def _run_mobility_command(args) -> int:
+    from repro.mobility import MobilityTrace, feasibility_timeline, model_by_name
+
+    if args.model == "waypoint":
+        model = model_by_name("waypoint", speed=args.speed, pause=args.pause)
+    elif args.model == "vforce":
+        model = model_by_name("vforce", gain=args.speed)
+    else:
+        model = model_by_name("orbit", omega=args.speed)
+    trace = MobilityTrace.generate(
+        model, args.n, radius=args.radius, steps=args.steps,
+        snapshot_every=args.snapshot_every, seed=args.seed,
+    )
+    sink = args.sink if args.sink is not None else trace.n - 1
+    timeline = feasibility_timeline(
+        trace, {args.source: args.in_rate}, {sink: args.out_rate},
+        block=args.block, max_warm_delta=args.max_warm_delta,
+    )
+    links = [e.links for e in timeline.entries]
+    print(f"trace: model={args.model} n={trace.n} radius={args.radius} "
+          f"steps={args.steps} seed={args.seed}")
+    print(f"digest: {trace.digest()}")
+    print(f"snapshots: {len(timeline)}  link universe: "
+          f"{len(trace.link_universe())} pairs  links/snapshot: "
+          f"min {min(links)}  max {max(links)}")
+    print(f"demand: in({args.source})={args.in_rate} -> out({sink})={args.out_rate} "
+          f"(arrival {timeline.arrival})")
+    # one mark per snapshot: '#' feasible, '.' infeasible, 60 per line
+    strip = "".join("#" if e.feasible else "." for e in timeline.entries)
+    print("timeline ('#' feasible, '.' infeasible):")
+    for i in range(0, len(strip), 60):
+        print(f"  t={timeline.entries[i].t:>5}  {strip[i:i + 60]}")
+    first_bad = timeline.first_infeasible()
+    print(f"feasible: {timeline.feasible_fraction:.1%} of snapshots"
+          + ("" if first_bad is None else f"  (first infeasible at t={first_bad})"))
+    print(f"solves: {timeline.warm_solves} warm / {timeline.cold_solves} cold")
+    return 0
+
+
 def _run_sweep_command(args) -> int:
-    from repro.sweep import GridSpec, region_point, classify_point, run_sweep, shared_cache
+    from repro.sweep import (GridSpec, classify_point, mobility_point,
+                             region_point, run_sweep, shared_cache)
 
     grid = GridSpec(seed=args.seed)
     for spec in args.axis:
@@ -252,7 +325,8 @@ def _run_sweep_command(args) -> int:
     if args.samples > 1 or not grid.axis_names:
         grid = grid.cartesian(sample=list(range(max(1, args.samples))))
 
-    point_fn = region_point if args.point == "region" else classify_point
+    point_fn = {"region": region_point, "classify": classify_point,
+                "mobility": mobility_point}[args.point]
     # a singleton axis, not a closure: point functions must stay picklable,
     # and this way records are identical whatever --workers is
     if args.horizon is not None and args.point == "region":
@@ -298,10 +372,20 @@ def _run_sweep_command(args) -> int:
         off = fd + ib
         print("Theorem 1 diagonal: "
               + ("intact" if off == 0 else f"BROKEN ({off} off-diagonal)"))
-    classes: dict[str, int] = {}
-    for r in rows:
-        classes[r["network_class"]] = classes.get(r["network_class"], 0) + 1
-    print("class counts: " + "  ".join(f"{k}={v}" for k, v in sorted(classes.items())))
+    if args.point == "mobility":
+        always = sum(1 for r in rows if r["always_feasible"])
+        mean_frac = sum(r["feasible_fraction"] for r in rows) / len(rows)
+        warm = sum(r["warm_solves"] for r in rows)
+        cold = sum(r["cold_solves"] for r in rows)
+        print(f"always feasible: {always}/{len(rows)}  "
+              f"mean feasible fraction: {mean_frac:.3f}")
+        print(f"solves: {warm} warm / {cold} cold")
+    else:
+        classes: dict[str, int] = {}
+        for r in rows:
+            classes[r["network_class"]] = classes.get(r["network_class"], 0) + 1
+        print("class counts: "
+              + "  ".join(f"{k}={v}" for k, v in sorted(classes.items())))
     cache = shared_cache()
     if run.workers == 0 and (cache.hits or cache.misses):
         print(f"feasibility cache: {cache.hits} hits / {cache.misses} misses "
@@ -407,6 +491,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         if args.command == "sweep":
             return _run_sweep_command(args)
+
+        if args.command == "mobility":
+            return _run_mobility_command(args)
 
         if args.command == "obs":
             return _run_obs_command(args)

@@ -34,6 +34,7 @@ from repro.exp import (  # noqa: F401  (import-for-side-effect)
     e20_source_fairness,
     e21_asynchrony,
     e22_latency_load,
+    e23_mobility_region,
     f01_model_figure,
     f02_extended_figure,
     f03_cut_figure,

@@ -10,6 +10,7 @@ All stochastic generators take an explicit ``seed`` and are reproducible.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -40,6 +41,13 @@ __all__ = [
     "parallel_paths",
     "theta_graph",
     "paper_figure_graph",
+    "barabasi_albert",
+    "watts_strogatz",
+    "kronecker",
+    "configuration_model",
+    "erdos_renyi_connected",
+    "radius_edges",
+    "connect_components",
 ]
 
 
@@ -166,18 +174,61 @@ def random_regular(n: int, d: int, seed: SeedLike = None, *, max_tries: int = 20
     raise GraphError(f"failed to sample a simple {d}-regular graph on {n} nodes in {max_tries} tries")
 
 
-def random_geometric(n: int, radius: float, seed: SeedLike = None) -> MultiGraph:
-    """Random geometric graph on the unit square (wireless-style topology)."""
+def radius_edges(points: np.ndarray, radius: float) -> list[tuple[int, int]]:
+    """The geometric link rule shared by :func:`random_geometric` and the
+    mobility layer (:mod:`repro.mobility`): node pairs within Euclidean
+    distance ``radius`` (inclusive), as sorted ``(u, v)`` pairs with
+    ``u < v``.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    _require(pts.ndim == 2 and pts.shape[1] == 2,
+             f"points must have shape (n, 2), got {pts.shape}")
+    _require(radius > 0, f"radius must be positive, got {radius}")
+    n = len(pts)
+    r2 = radius * radius
+    out: list[tuple[int, int]] = []
+    for i in range(n - 1):
+        d2 = np.sum((pts[i + 1 :] - pts[i]) ** 2, axis=1)
+        for j in np.nonzero(d2 <= r2)[0]:
+            out.append((i, int(i + 1 + j)))
+    return out
+
+
+def random_geometric(
+    n: int, radius: float, seed: SeedLike = None, *, ensure_connected: bool = False
+) -> MultiGraph:
+    """Random geometric graph on the unit square (wireless-style topology).
+
+    With ``ensure_connected`` (parity with :func:`random_gnp`), components
+    are stitched together by bridging the geometrically *closest* pair of
+    nodes across components — the natural repair for a radio topology, and
+    the standard footgun guard for routing experiments where a disconnected
+    initial placement makes every arrival rate infeasible.
+    """
     _require(n >= 1, f"need >= 1 node, got {n}")
     _require(radius > 0, f"radius must be positive, got {radius}")
     rng = as_generator(seed)
     pts = rng.random((n, 2))
     g = MultiGraph(n)
-    r2 = radius * radius
-    for i in range(n):
-        d2 = np.sum((pts[i + 1 :] - pts[i]) ** 2, axis=1)
-        for j in np.nonzero(d2 <= r2)[0]:
-            g.add_edge(i, int(i + 1 + j))
+    for u, v in radius_edges(pts, radius):
+        g.add_edge(u, v)
+    if ensure_connected and n > 1:
+        while not g.is_connected():
+            comps = g.components()
+            label = np.empty(n, dtype=np.int64)
+            for c, comp in enumerate(comps):
+                label[comp] = c
+            best = None
+            for i in range(n - 1):
+                d2 = np.sum((pts[i + 1 :] - pts[i]) ** 2, axis=1)
+                cross = np.nonzero(label[i + 1 :] != label[i])[0]
+                if len(cross):
+                    j = cross[int(np.argmin(d2[cross]))]
+                    cand = (float(d2[j]), i, int(i + 1 + j))
+                    if best is None or cand < best:
+                        best = cand
+            assert best is not None  # disconnected => a cross pair exists
+            g.add_edge(best[1], best[2])
     return g
 
 
@@ -390,6 +441,171 @@ def paper_figure_graph() -> tuple[MultiGraph, list[int], list[int]]:
     g.add_edge(5, 7)
     g.add_edge(5, 6)
     return g, [0, 1], [6, 7]
+
+
+def barabasi_albert(n: int, m_attach: int, seed: SeedLike = None) -> MultiGraph:
+    """Barabási–Albert preferential attachment (APGL's generator family).
+
+    Starts from a star on ``m_attach + 1`` nodes (so every node has
+    positive degree from the outset); each subsequent node attaches to
+    ``m_attach`` *distinct* existing nodes sampled proportionally to
+    degree.  Connected by construction; the result is a simple graph.
+    """
+    _require(m_attach >= 1, f"need m_attach >= 1, got {m_attach}")
+    _require(n >= m_attach + 1,
+             f"need n >= m_attach + 1 nodes, got n={n}, m_attach={m_attach}")
+    rng = as_generator(seed)
+    g = star(m_attach)  # nodes 0..m_attach, hub 0
+    g.add_nodes(n - (m_attach + 1))
+    # one entry per half-edge: sampling uniformly from it is degree-biased
+    repeated: list[int] = []
+    for _, u, v in g.edges():
+        repeated.append(u)
+        repeated.append(v)
+    for new in range(m_attach + 1, n):
+        targets: list[int] = []
+        seen: set[int] = set()
+        while len(targets) < m_attach:
+            pick = repeated[int(rng.integers(0, len(repeated)))]
+            if pick not in seen:
+                seen.add(pick)
+                targets.append(pick)
+        for t in targets:
+            g.add_edge(new, t)
+            repeated.append(new)
+            repeated.append(t)
+    return g
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: SeedLike = None) -> MultiGraph:
+    """Watts–Strogatz small world: ring lattice plus random rewiring.
+
+    Each node starts linked to its ``k / 2`` nearest neighbours on each
+    side (``k`` even, ``k < n``); every lattice edge is rewired with
+    probability ``beta`` to a uniform non-duplicate, non-loop endpoint.
+    Edge count is exactly ``n * k / 2`` for every ``beta``.
+    """
+    _require(n >= 3, f"need >= 3 nodes, got {n}")
+    _require(k >= 2 and k % 2 == 0, f"k must be a positive even integer, got {k}")
+    _require(k < n, f"need k < n, got k={k}, n={n}")
+    _require(0.0 <= beta <= 1.0, f"beta must be in [0, 1], got {beta}")
+    rng = as_generator(seed)
+    present: set[tuple[int, int]] = set()
+    for u in range(n):
+        for hop in range(1, k // 2 + 1):
+            v = (u + hop) % n
+            present.add((min(u, v), max(u, v)))
+    edges = sorted(present)
+    for idx, (u, v) in enumerate(edges):
+        if beta > 0 and rng.random() < beta:
+            # rewire the far endpoint, keeping u; reject loops/duplicates
+            for _ in range(4 * n):
+                w = int(rng.integers(0, n))
+                key = (min(u, w), max(u, w))
+                if w != u and key not in present:
+                    present.discard((u, v) if u < v else (v, u))
+                    present.add(key)
+                    edges[idx] = key
+                    break
+    return MultiGraph.from_edges(n, edges)
+
+
+#: Default Kronecker initiator: a 3-node path with self-loops — the
+#: classic seed whose powers produce hierarchical, heavy-tailed meshes.
+KRONECKER_INITIATOR = ((1, 1, 0), (1, 1, 1), (0, 1, 1))
+
+
+def kronecker(power: int, initiator: Sequence[Sequence[int]] = KRONECKER_INITIATOR) -> MultiGraph:
+    """Deterministic Kronecker-power graph (APGL's ``KroneckerGenerator``).
+
+    The adjacency of the result is the ``power``-fold Kronecker product of
+    the 0/1 ``initiator`` matrix (symmetrised; self-loops in the initiator
+    keep the product connected and are dropped from the final graph).
+    Node count is ``k ** power`` for a ``k × k`` initiator.  Fully
+    deterministic — the exact-regression workhorse of the family tests.
+    """
+    _require(power >= 1, f"need power >= 1, got {power}")
+    base = np.asarray(initiator, dtype=np.int64)
+    _require(base.ndim == 2 and base.shape[0] == base.shape[1] and base.shape[0] >= 2,
+             f"initiator must be a square matrix of size >= 2, got {base.shape}")
+    _require(bool(((base == 0) | (base == 1)).all()), "initiator entries must be 0/1")
+    base = ((base + base.T) > 0).astype(np.int64)  # symmetrise
+    mat = base
+    for _ in range(power - 1):
+        mat = np.kron(mat, base)
+    iu, jv = np.nonzero(np.triu(mat, k=1))
+    return MultiGraph.from_edges(mat.shape[0], zip(iu.tolist(), jv.tolist()))
+
+
+def configuration_model(
+    degrees: Sequence[int], seed: SeedLike = None, *, max_tries: int = 200
+) -> MultiGraph:
+    """Configuration model: a uniform pairing of degree stubs.
+
+    Parallel edges are *kept* — this is a multigraph library and parallel
+    links mean doubled capacity, the honest reading — but self-loops are
+    rejected (a node transmitting to itself has no meaning in the model),
+    so stub pairings are resampled until loop-free.  The degree sum must
+    be even; the resulting edge count is exactly ``sum(degrees) / 2``.
+    """
+    degs = [int(d) for d in degrees]
+    _require(len(degs) >= 2, f"need >= 2 nodes, got {len(degs)}")
+    _require(all(d >= 0 for d in degs), f"degrees must be >= 0, got {degs}")
+    total = sum(degs)
+    _require(total % 2 == 0, f"degree sum must be even, got {total}")
+    rng = as_generator(seed)
+    stubs = np.repeat(np.arange(len(degs)), degs)
+    for _ in range(max_tries):
+        pairs = stubs[rng.permutation(len(stubs))].reshape(-1, 2)
+        if len(pairs) == 0 or (pairs[:, 0] != pairs[:, 1]).all():
+            return MultiGraph.from_edges(
+                len(degs), ((int(u), int(v)) for u, v in pairs)
+            )
+    raise GraphError(
+        f"failed to sample a loop-free stub pairing in {max_tries} tries "
+        f"(degree sequence too concentrated?)"
+    )
+
+
+def erdos_renyi_connected(n: int, seed: SeedLike = None, *, max_tries: int = 50) -> MultiGraph:
+    """Erdős–Rényi at ``p = 2 ln(n) / n`` — the "most likely connected"
+    recipe (cs168 routing) — resampled until actually connected.
+
+    Falls back to ``random_gnp(..., ensure_connected=True)`` at the same
+    ``p`` if ``max_tries`` samples all come out disconnected (vanishingly
+    rare at this density, but the guarantee should not be probabilistic).
+    """
+    _require(n >= 2, f"need >= 2 nodes, got {n}")
+    p = min(1.0, 2.0 * math.log(n) / n)
+    rng = as_generator(seed)
+    for _ in range(max_tries):
+        g = random_gnp(n, p, seed=int(rng.integers(0, 2**31 - 1)))
+        if g.is_connected():
+            return g
+    return random_gnp(n, p, seed=int(rng.integers(0, 2**31 - 1)),
+                      ensure_connected=True)
+
+
+def connect_components(g: MultiGraph, seed: SeedLike = None) -> MultiGraph:
+    """Mutate ``g`` in place, bridging components with random edges until
+    connected; returns ``g`` for chaining.
+
+    The generic repair for families without a connectivity guarantee
+    (rewired small worlds, configuration models): one uniformly chosen
+    node of each later component is linked to a uniformly chosen node of
+    the running giant component.
+    """
+    if g.n <= 1:
+        return g
+    rng = as_generator(seed)
+    comps = g.components()
+    giant = list(comps[0])
+    for comp in comps[1:]:
+        u = giant[int(rng.integers(0, len(giant)))]
+        v = comp[int(rng.integers(0, len(comp)))]
+        g.add_edge(u, v)
+        giant.extend(comp)
+    return g
 
 
 def _require(cond: bool, msg: str) -> None:

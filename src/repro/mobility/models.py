@@ -1,0 +1,227 @@
+"""Mobility models: how node positions evolve step by step.
+
+Every model follows the same two-phase contract:
+
+* :meth:`MobilityModel.reset`\\ ``(n, rng)`` places ``n`` nodes on the
+  unit square and initialises any per-node state (waypoints, pause
+  counters, orbital phases) from the supplied generator;
+* :meth:`MobilityModel.step`\\ ``()`` advances every node by one time
+  step and returns the new ``(n, 2)`` position array.
+
+Determinism discipline: *all* randomness flows through the generator
+handed to ``reset`` (SeedSequence-derived upstream, never wall-clock), and
+draws happen in a fixed order — so a trace regenerated from the same seed
+is bit-identical, which the trace digests and the CI smoke step assert.
+
+The three models cover the design space the related mobility literature
+uses (uav-sim's random-waypoint and virtual-force drivers, plus a
+closed-form deterministic orbit for exact regression tests):
+
+* :class:`RandomWaypoint` — the classic ad-hoc-networking benchmark:
+  pick a uniform waypoint, travel to it at constant speed, pause, repeat.
+* :class:`VirtualForce` — deterministic swarm dynamics after a random
+  placement: pairwise repulsion below a preferred spacing, spring
+  attraction above it, plus a weak centroid pull that keeps the swarm
+  from dispersing.
+* :class:`CircularOrbit` — no randomness at all: node ``i`` sits on a
+  ring at angle ``2πi/n + (i + 1)ω t``, so relative geometry (and hence
+  the radio link set) changes periodically in closed form.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import SpecError
+
+__all__ = [
+    "MobilityModel",
+    "RandomWaypoint",
+    "VirtualForce",
+    "CircularOrbit",
+    "model_by_name",
+    "MODEL_NAMES",
+]
+
+
+class MobilityModel(Protocol):
+    """``reset(n, rng) -> (n, 2) positions``, then ``step() -> positions``."""
+
+    def reset(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        ...
+
+    def step(self) -> np.ndarray:
+        ...
+
+
+def _clip_unit(pos: np.ndarray) -> np.ndarray:
+    np.clip(pos, 0.0, 1.0, out=pos)
+    return pos
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility on the unit square.
+
+    Each node travels toward a uniformly drawn waypoint at ``speed`` per
+    step; on arrival it pauses for ``pause`` steps, then draws the next
+    waypoint.  Waypoints for all nodes needing one in a step are drawn in
+    one vectorised call (node order), keeping the draw sequence — and so
+    the whole trace — a pure function of the seed.
+    """
+
+    def __init__(self, speed: float = 0.05, pause: int = 0) -> None:
+        if not (speed > 0):
+            raise SpecError(f"speed must be positive, got {speed}")
+        if pause < 0:
+            raise SpecError(f"pause must be >= 0, got {pause}")
+        self.speed = float(speed)
+        self.pause = int(pause)
+        self._pos: np.ndarray | None = None
+
+    def reset(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise SpecError(f"need >= 1 node, got {n}")
+        self._rng = rng
+        self._pos = rng.random((n, 2))
+        self._target = rng.random((n, 2))
+        self._pause_left = np.zeros(n, dtype=np.int64)
+        return self._pos.copy()
+
+    def step(self) -> np.ndarray:
+        if self._pos is None:
+            raise SpecError("RandomWaypoint.step() before reset()")
+        pos, target = self._pos, self._target
+        paused = self._pause_left > 0
+        self._pause_left[paused] -= 1
+        # nodes whose pause just ran out draw their next waypoint now
+        expired = paused & (self._pause_left == 0)
+        k = int(expired.sum())
+        if k:
+            target[expired] = self._rng.random((k, 2))
+        moving = ~paused
+        if moving.any():
+            delta = target[moving] - pos[moving]
+            dist = np.sqrt((delta * delta).sum(axis=1))
+            arrive = dist <= self.speed
+            scale = np.zeros_like(dist)
+            far = ~arrive
+            scale[far] = self.speed / dist[far]
+            pos[moving] += delta * scale[:, None]
+            # land exactly on the waypoint, then pause — or re-target
+            # immediately when pause == 0
+            idx = np.nonzero(moving)[0][arrive]
+            if len(idx):
+                pos[idx] = target[idx]
+                if self.pause > 0:
+                    self._pause_left[idx] = self.pause
+                else:
+                    target[idx] = self._rng.random((len(idx), 2))
+        _clip_unit(pos)
+        return pos.copy()
+
+
+class VirtualForce:
+    """Virtual-force swarm dynamics (uav-sim style) on the unit square.
+
+    After a random initial placement the dynamics are deterministic:
+    nodes closer than ``spacing`` repel along their separation vector,
+    nodes farther apart feel a weak spring toward it, and everyone feels
+    a gentle pull toward the swarm centroid (cohesion).  ``gain`` scales
+    the per-step displacement.
+    """
+
+    def __init__(self, spacing: float = 0.25, gain: float = 0.05,
+                 cohesion: float = 0.2) -> None:
+        if not (spacing > 0):
+            raise SpecError(f"spacing must be positive, got {spacing}")
+        if not (gain > 0):
+            raise SpecError(f"gain must be positive, got {gain}")
+        if cohesion < 0:
+            raise SpecError(f"cohesion must be >= 0, got {cohesion}")
+        self.spacing = float(spacing)
+        self.gain = float(gain)
+        self.cohesion = float(cohesion)
+        self._pos: np.ndarray | None = None
+
+    def reset(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise SpecError(f"need >= 1 node, got {n}")
+        self._pos = rng.random((n, 2))
+        return self._pos.copy()
+
+    def step(self) -> np.ndarray:
+        if self._pos is None:
+            raise SpecError("VirtualForce.step() before reset()")
+        pos = self._pos
+        diff = pos[:, None, :] - pos[None, :, :]          # (n, n, 2) i - j
+        dist = np.sqrt((diff * diff).sum(axis=2))          # (n, n)
+        np.fill_diagonal(dist, np.inf)
+        # spring toward the preferred spacing: positive = repel, negative
+        # = attract; magnitude saturates at the spacing itself
+        stretch = np.clip(self.spacing - dist, -self.spacing, self.spacing)
+        force = (diff / dist[:, :, None] * stretch[:, :, None]).sum(axis=1)
+        force += self.cohesion * (pos.mean(axis=0) - pos)
+        pos += self.gain * force
+        _clip_unit(pos)
+        return pos.copy()
+
+
+class CircularOrbit:
+    """Deterministic orbital mobility — the exact-regression model.
+
+    Node ``i`` sits at angle ``2πi/n + (i + 1)·omega·t`` on a circle of
+    radius ``ring`` centred on the unit square, so nodes with different
+    indices drift at different angular velocities and the link set evolves
+    periodically in closed form.  ``reset`` ignores the generator entirely
+    (no randomness), which makes the model the anchor for bit-exact trace
+    digests across platforms.
+    """
+
+    def __init__(self, omega: float = 0.05, ring: float = 0.4) -> None:
+        if omega == 0:
+            raise SpecError("omega must be nonzero (a frozen orbit is static)")
+        if not (0 < ring <= 0.5):
+            raise SpecError(f"ring radius must be in (0, 0.5], got {ring}")
+        self.omega = float(omega)
+        self.ring = float(ring)
+        self._n: int | None = None
+
+    def _at(self, t: int) -> np.ndarray:
+        n = self._n
+        i = np.arange(n, dtype=np.float64)
+        theta = 2.0 * np.pi * i / n + (i + 1.0) * self.omega * t
+        return np.stack(
+            [0.5 + self.ring * np.cos(theta), 0.5 + self.ring * np.sin(theta)],
+            axis=1,
+        )
+
+    def reset(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 1:
+            raise SpecError(f"need >= 1 node, got {n}")
+        self._n = n
+        self._t = 0
+        return self._at(0)
+
+    def step(self) -> np.ndarray:
+        if self._n is None:
+            raise SpecError("CircularOrbit.step() before reset()")
+        self._t += 1
+        return self._at(self._t)
+
+
+MODEL_NAMES = ("waypoint", "vforce", "orbit")
+
+
+def model_by_name(name: str, **kwargs) -> MobilityModel:
+    """Construct a model from its CLI/sweep name (``MODEL_NAMES``)."""
+    if name == "waypoint":
+        return RandomWaypoint(**kwargs)
+    if name == "vforce":
+        return VirtualForce(**kwargs)
+    if name == "orbit":
+        return CircularOrbit(**kwargs)
+    raise SpecError(
+        f"unknown mobility model {name!r}; available: {', '.join(MODEL_NAMES)}"
+    )

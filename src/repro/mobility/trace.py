@@ -1,0 +1,222 @@
+"""Mobility traces: positions over time and the radio links they induce.
+
+A :class:`MobilityTrace` is the precomputed product of a mobility model
+(:mod:`repro.mobility.models`) and the geometric link rule shared with
+:func:`repro.graphs.generators.random_geometric`: every ``snapshot_every``
+steps the node positions are sampled and pairs within the communication
+``radius`` become links.  The trace is an immutable value object — the
+same ``(model, n, radius, steps, seed)`` tuple always regenerates it
+bit-for-bit (:meth:`MobilityTrace.digest` is the proof the CI smoke step
+asserts).
+
+Two consumers:
+
+* :class:`MobilitySchedule` adapts a trace to the
+  :class:`repro.dynamic.topology.TopologySchedule` protocol, so the
+  simulator, :mod:`repro.dynamic`, and E10 consume mobility exactly like
+  scripted churn — mutating the spec's multigraph in place through the
+  stable-edge-id tombstone mechanism.  Edges the schedule never created
+  (a wired backbone) are left untouched, so mobile radio links and static
+  infrastructure compose.
+* :func:`repro.mobility.feasibility.feasibility_timeline` tracks the
+  feasible-flow question *through* the trace on warm-started flow chains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._rng import SeedLike, as_generator
+from repro.errors import SpecError
+from repro.graphs.generators import radius_edges
+from repro.graphs.multigraph import MultiGraph
+from repro.mobility.models import MobilityModel
+
+__all__ = ["MobilitySnapshot", "MobilityTrace", "MobilitySchedule"]
+
+Pair = "tuple[int, int]"
+
+
+@dataclass(frozen=True)
+class MobilitySnapshot:
+    """One sampled instant: step index, positions, induced link set."""
+
+    t: int
+    positions: np.ndarray                 # (n, 2) float64, read-only
+    links: tuple[tuple[int, int], ...]    # sorted (u, v) pairs, u < v
+
+
+class MobilityTrace:
+    """An immutable sequence of :class:`MobilitySnapshot`.
+
+    Build with :meth:`generate`; index / iterate like a sequence.
+    """
+
+    def __init__(self, n: int, radius: float,
+                 snapshots: Sequence[MobilitySnapshot]) -> None:
+        if not snapshots:
+            raise SpecError("a mobility trace needs at least one snapshot")
+        self.n = int(n)
+        self.radius = float(radius)
+        self.snapshots: tuple[MobilitySnapshot, ...] = tuple(snapshots)
+
+    @classmethod
+    def generate(
+        cls,
+        model: MobilityModel,
+        n: int,
+        *,
+        radius: float,
+        steps: int,
+        seed: SeedLike = None,
+        snapshot_every: int = 1,
+    ) -> "MobilityTrace":
+        """Run ``model`` for ``steps`` steps, sampling every
+        ``snapshot_every``-th position set (step 0 included).
+
+        All randomness comes from ``seed`` through one generator handed to
+        ``model.reset`` — regenerating with the same arguments is
+        bit-identical.
+        """
+        if n < 2:
+            raise SpecError(f"mobility needs >= 2 nodes, got {n}")
+        if steps < 0:
+            raise SpecError(f"steps must be >= 0, got {steps}")
+        if snapshot_every < 1:
+            raise SpecError(f"snapshot_every must be >= 1, got {snapshot_every}")
+        if not (0 < radius):
+            raise SpecError(f"radius must be positive, got {radius}")
+        rng = as_generator(seed)
+        pos = np.asarray(model.reset(n, rng), dtype=np.float64)
+        if pos.shape != (n, 2):
+            raise SpecError(
+                f"model produced positions of shape {pos.shape}, want ({n}, 2)"
+            )
+        snaps = [cls._snap(0, pos, radius)]
+        for t in range(1, steps + 1):
+            pos = model.step()
+            if t % snapshot_every == 0:
+                snaps.append(cls._snap(t, pos, radius))
+        return cls(n, radius, snaps)
+
+    @staticmethod
+    def _snap(t: int, pos: np.ndarray, radius: float) -> MobilitySnapshot:
+        frozen = np.array(pos, dtype=np.float64)
+        frozen.setflags(write=False)
+        return MobilitySnapshot(
+            t=t, positions=frozen, links=tuple(radius_edges(frozen, radius))
+        )
+
+    # -- sequence protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __getitem__(self, i: int) -> MobilitySnapshot:
+        return self.snapshots[i]
+
+    def __iter__(self) -> Iterator[MobilitySnapshot]:
+        return iter(self.snapshots)
+
+    # -- derived views --------------------------------------------------
+    def link_universe(self) -> tuple[tuple[int, int], ...]:
+        """Every pair that is ever a link, sorted — the arc universe the
+        incremental feasibility tracker allocates once up front."""
+        universe: set[tuple[int, int]] = set()
+        for snap in self.snapshots:
+            universe.update(snap.links)
+        return tuple(sorted(universe))
+
+    def build_graph(self) -> MultiGraph:
+        """A fresh :class:`MultiGraph` holding the *initial* link set.
+
+        Pair it with :meth:`as_schedule` (or a :class:`MobilitySchedule`)
+        to drive a simulation whose topology follows the trace.
+        """
+        return MultiGraph.from_edges(self.n, self.snapshots[0].links)
+
+    def as_schedule(self) -> "tuple[MultiGraph, MobilitySchedule]":
+        """Convenience: ``(build_graph(), MobilitySchedule(self))``."""
+        return self.build_graph(), MobilitySchedule(self)
+
+    def digest(self) -> str:
+        """SHA-256 over the full trace (shape, link sets, raw positions).
+
+        Bit-identical regeneration is the determinism contract; the CI
+        mobility smoke step generates a trace twice and asserts equal
+        digests.
+        """
+        h = hashlib.sha256()
+        h.update(f"n={self.n};r={self.radius!r};k={len(self)}".encode())
+        for snap in self.snapshots:
+            h.update(f"t={snap.t};links={snap.links!r}".encode())
+            h.update(snap.positions.tobytes())
+        return h.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MobilityTrace(n={self.n}, radius={self.radius}, "
+                f"snapshots={len(self)})")
+
+
+class MobilitySchedule:
+    """Adapt a :class:`MobilityTrace` to the ``TopologySchedule`` protocol.
+
+    ``apply(graph, t)`` synchronises the graph's *radio* edges with the
+    latest snapshot at or before ``t`` (the trace holds its last snapshot
+    beyond its horizon).  Radio pairs map to stable edge ids on first
+    contact — a pair reappearing after an outage *restores* its original
+    id rather than allocating a new one, which is what lets the engine's
+    tombstone mechanism, trace replay, and Conjecture 4 analysis treat
+    mobility exactly like scripted churn.  Edges already in the graph at
+    first application are adopted as that pair's radio edge; edges of
+    pairs the trace never produces are never touched.
+    """
+
+    def __init__(self, trace: MobilityTrace) -> None:
+        self._trace = trace
+        self._by_time = {snap.t: i for i, snap in enumerate(trace.snapshots)}
+        self._eids: dict[tuple[int, int], int] | None = None
+        self._applied = -1  # index of the snapshot currently materialised
+
+    def _bind(self, graph: MultiGraph) -> dict[tuple[int, int], int]:
+        if graph.n < self._trace.n:
+            raise SpecError(
+                f"graph has {graph.n} nodes but the trace moves {self._trace.n}"
+            )
+        universe = set(self._trace.link_universe())
+        eids: dict[tuple[int, int], int] = {}
+        for eid, u, v in graph.edges():
+            key = (u, v) if u < v else (v, u)
+            if key in universe:  # non-radio (backbone) edges stay unmanaged
+                eids.setdefault(key, eid)
+        return eids
+
+    def apply(self, graph: MultiGraph, t: int) -> bool:
+        idx = self._by_time.get(t)
+        if idx is None:
+            return False
+        if self._eids is None:
+            self._eids = self._bind(graph)
+        if idx == self._applied:
+            return False
+        want = set(self._trace.snapshots[idx].links)
+        changed = False
+        # drop radio links that moved out of range
+        for pair, eid in self._eids.items():
+            if pair not in want and graph.has_edge_id(eid):
+                graph.remove_edge(eid)
+                changed = True
+        # (re-)establish links now in range: restore a known id, else mint one
+        for pair in self._trace.snapshots[idx].links:
+            eid = self._eids.get(pair)
+            if eid is None:
+                self._eids[pair] = graph.add_edge(*pair)
+                changed = True
+            elif not graph.has_edge_id(eid):
+                graph.restore_edge(eid)
+                changed = True
+        self._applied = idx
+        return changed

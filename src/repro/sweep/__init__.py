@@ -29,7 +29,13 @@ from repro.sweep.cache import (
 from repro.sweep.checkpoint import SweepCheckpoint, load_records, resume
 from repro.sweep.executor import PointRecord, SweepRun, run_sweep
 from repro.sweep.grid import GridPoint, GridSpec
-from repro.sweep.points import classify_point, random_instance_spec, region_point
+from repro.sweep.points import (
+    FAMILIES,
+    classify_point,
+    mobility_point,
+    random_instance_spec,
+    region_point,
+)
 
 __all__ = [
     "GridPoint",
@@ -45,7 +51,9 @@ __all__ = [
     "SweepCheckpoint",
     "load_records",
     "resume",
+    "FAMILIES",
     "random_instance_spec",
     "classify_point",
     "region_point",
+    "mobility_point",
 ]

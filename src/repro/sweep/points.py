@@ -23,7 +23,18 @@ from repro.graphs import generators as gen
 from repro.network import NetworkSpec
 from repro.sweep.cache import cached_classify
 
-__all__ = ["random_instance_spec", "classify_point", "region_point"]
+__all__ = [
+    "FAMILIES",
+    "random_instance_spec",
+    "classify_point",
+    "region_point",
+    "mobility_point",
+]
+
+#: Topology families ``random_instance_spec`` can draw from (the
+#: ``family`` grid axis).  "kronecker" fixes its own node count
+#: (``3 ** power``) and ignores ``n``.
+FAMILIES = ("gnp", "geometric", "ba", "ws", "kronecker", "config", "er_connected")
 
 
 def _param(params: Mapping[str, Any], key: str, cast, default):
@@ -48,33 +59,100 @@ def _param(params: Mapping[str, Any], key: str, cast, default):
         ) from None
 
 
+def _family_knobs(family: str, n: int, params: Mapping[str, Any], rng) -> dict:
+    """Draw/cast the family-specific knobs (``p``, ``radius``, ...).
+
+    Split from :func:`_family_graph` so the knob draws land in the same
+    stream position the gnp-only recipe historically used (between ``n``
+    and the terminal counts) — records from old checkpoints stay
+    reproducible.
+    """
+    if family == "gnp":
+        return {"p": _param(params, "p", float, lambda: rng.uniform(0.25, 0.6))}
+    if family == "geometric":
+        return {"radius": _param(params, "radius", float,
+                                 lambda: rng.uniform(0.35, 0.55))}
+    if family == "ba":
+        return {"m_attach": _param(params, "m_attach", int, lambda: 2)}
+    if family == "ws":
+        k = _param(params, "k", int, lambda: 4)
+        k -= k % 2  # Watts-Strogatz needs an even lattice degree < n
+        k = max(2, min(k, n - 1 - (n - 1) % 2))
+        return {"k": k, "beta": _param(params, "beta", float, lambda: 0.2)}
+    if family == "kronecker":
+        return {"power": _param(params, "power", int, lambda: 3)}
+    if family == "config":
+        return {"degree": max(1, min(_param(params, "degree", int, lambda: 3),
+                                     n - 1))}
+    if family == "er_connected":
+        return {}
+    raise SweepError(
+        f"unknown topology family {family!r}; available: {', '.join(FAMILIES)}"
+    )
+
+
+def _family_graph(family: str, n: int, knobs: Mapping[str, Any], rng):
+    """A connected graph of the requested family, from pre-drawn knobs.
+
+    Families whose raw recipe can disconnect (``ws``, ``kronecker``,
+    ``config``) are repaired with
+    :func:`repro.graphs.generators.connect_components` so every instance
+    is simulation-ready.
+    """
+    sub = int(rng.integers(0, 2**31 - 1))
+    if family == "gnp":
+        return gen.random_gnp(n, knobs["p"], seed=sub, ensure_connected=True)
+    if family == "geometric":
+        return gen.random_geometric(n, knobs["radius"], seed=sub,
+                                    ensure_connected=True)
+    if family == "ba":
+        return gen.barabasi_albert(n, min(knobs["m_attach"], n - 1), seed=sub)
+    if family == "ws":
+        return gen.connect_components(
+            gen.watts_strogatz(n, knobs["k"], knobs["beta"], seed=sub), seed=sub
+        )
+    if family == "kronecker":
+        return gen.connect_components(gen.kronecker(knobs["power"]), seed=sub)
+    if family == "config":
+        d = knobs["degree"]
+        degrees = [d] * n
+        if (d * n) % 2:
+            degrees[0] += 1  # stub count must be even
+        return gen.connect_components(
+            gen.configuration_model(degrees, seed=sub), seed=sub
+        )
+    return gen.erdos_renyi_connected(n, seed=sub)
+
+
 def random_instance_spec(params: Mapping[str, Any], seed: int) -> NetworkSpec:
     """A random connected S-D-network, grid-pinnable in every dimension.
 
     Recognized params (all optional; unpinned ones are drawn from
-    ``seed``): ``n`` (node count), ``p`` (G(n, p) edge density),
-    ``sources`` / ``sinks`` (terminal counts), ``in_rate`` / ``out_rate``
-    (per-terminal rate ceilings).
+    ``seed``): ``family`` (topology family, see :data:`FAMILIES`), ``n``
+    (node count), family knobs (``p``, ``radius``, ``m_attach``, ``k``,
+    ``beta``, ``power``, ``degree``), ``sources`` / ``sinks`` (terminal
+    counts), ``in_rate`` / ``out_rate`` (per-terminal rate ceilings).
     """
     rng = as_generator(derive_seed(seed, "instance"))
+    family = str(_param(params, "family", str, lambda: "gnp"))
     n = _param(params, "n", int, lambda: rng.integers(6, 14))
     if n < 2:
         raise SweepError(f"random instance needs n >= 2 nodes, got {n}")
-    p = _param(params, "p", float, lambda: rng.uniform(0.25, 0.6))
+    knobs = _family_knobs(family, n, params, rng)
     k_src = _param(params, "sources", int, lambda: rng.integers(1, 3))
     k_snk = _param(params, "sinks", int, lambda: rng.integers(1, 3))
-    if k_src + k_snk > n:
-        raise SweepError(
-            f"cannot place {k_src} sources + {k_snk} sinks on {n} nodes"
-        )
     in_hi = _param(params, "in_rate", int, lambda: 2)
     out_hi = _param(params, "out_rate", int, lambda: 3)
     if in_hi < 1 or out_hi < 1:
         raise SweepError(
             f"rate ceilings must be >= 1, got in_rate={in_hi} out_rate={out_hi}"
         )
-    g = gen.random_gnp(n, p, seed=int(rng.integers(0, 2**31 - 1)),
-                       ensure_connected=True)
+    g = _family_graph(family, n, knobs, rng)
+    n = g.n  # kronecker fixes its own node count
+    if k_src + k_snk > n:
+        raise SweepError(
+            f"cannot place {k_src} sources + {k_snk} sinks on {n} nodes"
+        )
     nodes = rng.permutation(n)
     in_rates = {int(nodes[i]): int(rng.integers(1, in_hi + 1)) for i in range(k_src)}
     out_rates = {int(nodes[-(j + 1)]): int(rng.integers(1, out_hi + 1))
@@ -127,4 +205,66 @@ def region_point(params: dict, seed: int) -> dict:
         "horizon": int(horizon),
         "delivered": int(res.delivered),
         "peak_queue": int(max(res.trajectory.max_queues)),
+    }
+
+
+def mobility_point(params: dict, seed: int) -> dict:
+    """Generate a mobility trace and track feasibility through it.
+
+    Recognized params (all optional): ``model`` (``waypoint`` / ``vforce``
+    / ``orbit``), ``n``, ``radius``, ``speed`` (the model's motion knob:
+    waypoint speed, virtual-force gain, orbit angular velocity),
+    ``pause`` (waypoint only), ``steps``, ``snapshot_every``, ``in_rate``
+    / ``out_rate`` (node 0 injects, node n-1 extracts), ``block`` and
+    ``max_warm_delta`` (incremental-solver tuning).
+
+    The record carries the trace digest, so any two runs of the same grid
+    cell are provably bit-identical.
+    """
+    from repro.mobility import MobilityTrace, feasibility_timeline, model_by_name
+
+    rng = as_generator(derive_seed(seed, "mobility"))
+    model_name = str(_param(params, "model", str, lambda: "waypoint"))
+    n = _param(params, "n", int, lambda: int(rng.integers(8, 16)))
+    radius = _param(params, "radius", float, lambda: rng.uniform(0.3, 0.5))
+    speed = _param(params, "speed", float, lambda: 0.05)
+    pause = _param(params, "pause", int, lambda: 0)
+    steps = _param(params, "steps", int, lambda: 40)
+    every = _param(params, "snapshot_every", int, lambda: 1)
+    in_rate = _param(params, "in_rate", int, lambda: 1)
+    out_rate = _param(params, "out_rate", int, lambda: 2)
+    block = _param(params, "block", int, lambda: 8)
+    max_warm_delta = _param(params, "max_warm_delta", int, lambda: 256)
+
+    if model_name == "waypoint":
+        model = model_by_name("waypoint", speed=speed, pause=pause)
+    elif model_name == "vforce":
+        model = model_by_name("vforce", gain=speed)
+    else:
+        model = model_by_name(model_name, omega=speed)
+
+    trace = MobilityTrace.generate(
+        model, n, radius=radius, steps=steps, snapshot_every=every,
+        seed=derive_seed(seed, "trace"),
+    )
+    tl = feasibility_timeline(
+        trace, {0: in_rate}, {trace.n - 1: out_rate},
+        block=block, max_warm_delta=max_warm_delta,
+    )
+    first_bad = tl.first_infeasible()
+    return {
+        "model": model_name,
+        "n": int(trace.n),
+        "radius": float(radius),
+        "speed": float(speed),
+        "steps": int(steps),
+        "snapshots": len(tl),
+        "universe_links": len(trace.link_universe()),
+        "arrival_rate": str(tl.arrival),
+        "always_feasible": tl.always_feasible,
+        "feasible_fraction": tl.feasible_fraction,
+        "first_infeasible": -1 if first_bad is None else int(first_bad),
+        "warm_solves": tl.warm_solves,
+        "cold_solves": tl.cold_solves,
+        "digest": trace.digest()[:16],
     }

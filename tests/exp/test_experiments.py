@@ -15,7 +15,7 @@ ALL_IDS = sorted(REGISTRY)
 
 class TestRegistry:
     def test_expected_inventory(self):
-        assert ALL_IDS == [f"e{i:02d}" for i in range(1, 23)] + [
+        assert ALL_IDS == [f"e{i:02d}" for i in range(1, 24)] + [
             "f01", "f02", "f03", "f04",
         ]
 

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the topology-family generators:
+determinism under a fixed seed, MultiGraph audit invariants, and the
+per-family degree/edge-count postconditions each recipe guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.validate import audit_graph
+
+
+def _edge_set(g):
+    return sorted((min(u, v), max(u, v)) for _, u, v in g.edges())
+
+
+SEEDS = st.integers(0, 2**31 - 1)
+
+
+class TestBarabasiAlbert:
+    @given(st.integers(3, 25), st.integers(1, 4), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_postconditions(self, n, m_attach, seed):
+        if n < m_attach + 1:
+            return
+        g = gen.barabasi_albert(n, m_attach, seed=seed)
+        audit_graph(g)
+        assert g.n == n
+        # star core contributes m_attach edges, each later node m_attach more
+        assert g.m == m_attach + (n - m_attach - 1) * m_attach
+        assert g.is_connected()
+        # simple graph: attachment targets are distinct, no loops
+        edges = _edge_set(g)
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    @given(st.integers(4, 20), st.integers(1, 3), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_given_seed(self, n, m_attach, seed):
+        if n < m_attach + 1:
+            return
+        a = gen.barabasi_albert(n, m_attach, seed=seed)
+        b = gen.barabasi_albert(n, m_attach, seed=seed)
+        assert _edge_set(a) == _edge_set(b)
+
+
+class TestWattsStrogatz:
+    @given(st.integers(4, 24), st.integers(1, 3),
+           st.floats(0.0, 1.0), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_postconditions(self, n, half_k, beta, seed):
+        k = 2 * half_k
+        if k >= n:
+            return
+        g = gen.watts_strogatz(n, k, beta, seed=seed)
+        audit_graph(g)
+        assert g.n == n
+        # rewiring moves edges, never changes the count
+        assert g.m == n * k // 2
+        edges = _edge_set(g)
+        assert len(edges) == len(set(edges))  # rewiring rejects duplicates
+        assert all(u != v for u, v in edges)
+
+    @given(st.integers(5, 20), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_beta_zero_is_the_ring_lattice(self, n, seed):
+        g = gen.watts_strogatz(n, 4, 0.0, seed=seed)
+        want = set()
+        for u in range(n):
+            for hop in (1, 2):
+                v = (u + hop) % n
+                want.add((min(u, v), max(u, v)))
+        assert set(_edge_set(g)) == want
+
+    @given(st.integers(5, 18), st.floats(0.0, 1.0), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_given_seed(self, n, beta, seed):
+        a = gen.watts_strogatz(n, 4, beta, seed=seed)
+        b = gen.watts_strogatz(n, 4, beta, seed=seed)
+        assert _edge_set(a) == _edge_set(b)
+
+
+class TestKronecker:
+    @given(st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_postconditions(self, power):
+        g = gen.kronecker(power)
+        audit_graph(g)
+        assert g.n == 3**power
+        # fully deterministic: no seed, same graph every call
+        assert _edge_set(g) == _edge_set(gen.kronecker(power))
+
+    @given(st.integers(1, 3))
+    @settings(max_examples=6, deadline=None)
+    def test_connected_after_repair(self, power):
+        g = gen.connect_components(gen.kronecker(power), seed=0)
+        assert g.is_connected()
+
+
+class TestConfigurationModel:
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=15), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_postconditions(self, degrees, seed):
+        if sum(degrees) % 2 == 1:
+            degrees[0] += 1
+        # an all-concentrated sequence (e.g. [4, 0]) can never pair
+        # loop-free; keep max degree below the sum of the others
+        total = sum(degrees)
+        if degrees and 2 * max(degrees) > total:
+            return
+        g = gen.configuration_model(degrees, seed=seed)
+        audit_graph(g)
+        assert g.n == len(degrees)
+        assert g.m == total // 2
+        assert list(g.degrees()) == degrees  # stub pairing preserves degrees
+        assert all(u != v for u, v in _edge_set(g))  # loop-free by rejection
+
+    @given(st.integers(2, 10), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_given_seed(self, n, seed):
+        degrees = [2] * n
+        a = gen.configuration_model(degrees, seed=seed)
+        b = gen.configuration_model(degrees, seed=seed)
+        assert _edge_set(a) == _edge_set(b)
+
+
+class TestErdosRenyiConnected:
+    @given(st.integers(2, 30), SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_postconditions(self, n, seed):
+        g = gen.erdos_renyi_connected(n, seed=seed)
+        audit_graph(g)
+        assert g.n == n
+        assert g.is_connected()
+
+    @given(st.integers(2, 20), SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_given_seed(self, n, seed):
+        a = gen.erdos_renyi_connected(n, seed=seed)
+        b = gen.erdos_renyi_connected(n, seed=seed)
+        assert _edge_set(a) == _edge_set(b)
+
+
+class TestConnectComponents:
+    @given(st.integers(2, 12), st.integers(0, 10), SEEDS)
+    @settings(max_examples=40, deadline=None)
+    def test_repair_connects_and_is_minimal(self, n, m, seed):
+        g = gen.random_multigraph(n, m, seed=seed)
+        comps_before = len(g.components())
+        m_before = g.m
+        out = gen.connect_components(g, seed=seed)
+        assert out is g  # in-place, returned for chaining
+        audit_graph(g)
+        assert g.is_connected()
+        # exactly one bridge per extra component
+        assert g.m == m_before + (comps_before - 1)
+
+    @given(st.integers(3, 10), SEEDS)
+    @settings(max_examples=20, deadline=None)
+    def test_connected_input_untouched(self, n, seed):
+        g = gen.cycle(n)
+        edges = _edge_set(g)
+        gen.connect_components(g, seed=seed)
+        assert _edge_set(g) == edges

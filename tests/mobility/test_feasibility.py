@@ -1,0 +1,166 @@
+"""Feasibility-timeline tests: the warm/cold differential and metrics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SpecError
+from repro.mobility import (
+    CircularOrbit,
+    MobilityTrace,
+    RandomWaypoint,
+    VirtualForce,
+    feasibility_timeline,
+    feasibility_timeline_cold,
+)
+
+
+def _trace(model=None, n=8, radius=0.4, steps=20, seed=7, **kw):
+    return MobilityTrace.generate(model or RandomWaypoint(speed=0.12), n,
+                                  radius=radius, steps=steps, seed=seed, **kw)
+
+
+def _assert_identical(warm, cold):
+    assert len(warm) == len(cold)
+    assert warm.arrival == cold.arrival
+    for a, b in zip(warm.entries, cold.entries):
+        assert a.t == b.t
+        assert a.feasible == b.feasible
+        assert a.max_flow_value == b.max_flow_value
+
+
+class TestDifferential:
+    """The acceptance criterion: incremental == cold oracle, exactly."""
+
+    @pytest.mark.parametrize("block", [1, 3, 8, 64])
+    def test_matches_cold_oracle_any_block(self, block):
+        tr = _trace()
+        warm = feasibility_timeline(tr, {0: 1}, {7: 2}, block=block)
+        _assert_identical(warm, feasibility_timeline_cold(tr, {0: 1}, {7: 2}))
+
+    @pytest.mark.parametrize("max_warm_delta", [0, 2, 256, None])
+    def test_matches_cold_oracle_any_fallback(self, max_warm_delta):
+        tr = _trace(seed=9)
+        warm = feasibility_timeline(tr, {0: 1}, {7: 2},
+                                    max_warm_delta=max_warm_delta)
+        _assert_identical(warm, feasibility_timeline_cold(tr, {0: 1}, {7: 2}))
+
+    @pytest.mark.parametrize("model", [
+        RandomWaypoint(speed=0.05, pause=2),
+        VirtualForce(),
+        CircularOrbit(omega=0.3),
+    ])
+    def test_matches_cold_oracle_every_model(self, model):
+        tr = _trace(model=model, seed=2)
+        warm = feasibility_timeline(tr, {0: 1, 1: 1}, {6: 2, 7: 1})
+        _assert_identical(
+            warm, feasibility_timeline_cold(tr, {0: 1, 1: 1}, {6: 2, 7: 1})
+        )
+
+    def test_fractional_rates(self):
+        tr = _trace(steps=10)
+        rates = ({0: Fraction(1, 3)}, {7: Fraction(1, 2)})
+        warm = feasibility_timeline(tr, *rates)
+        _assert_identical(warm, feasibility_timeline_cold(tr, *rates))
+
+
+class TestSolveAccounting:
+    def test_warm_solves_dominate_by_default(self):
+        tr = _trace(steps=30)
+        tl = feasibility_timeline(tr, {0: 1}, {7: 2})
+        assert tl.warm_solves == len(tl)
+        # one core solve per block of 8 snapshots
+        assert tl.cold_solves == -(-len(tl) // 8)
+
+    def test_zero_delta_forces_cold_fallback(self):
+        tr = _trace(steps=12)
+        tl = feasibility_timeline(tr, {0: 1}, {7: 2}, max_warm_delta=0)
+        # any snapshot beyond its block core must have gone cold
+        assert tl.cold_solves > -(-len(tl) // 8)
+
+    def test_entries_carry_modes_and_deltas(self):
+        tr = _trace(steps=12)
+        tl = feasibility_timeline(tr, {0: 1}, {7: 2}, max_warm_delta=3)
+        assert {e.mode for e in tl.entries} <= {"warm", "cold"}
+        for e in tl.entries:
+            if e.mode == "cold":
+                assert e.delta > 3
+
+
+class TestSemantics:
+    def test_disconnected_snapshot_is_infeasible(self):
+        # tiny radius: nodes are isolated, no flow can route
+        tr = _trace(radius=0.01, steps=3)
+        tl = feasibility_timeline(tr, {0: 1}, {7: 2})
+        assert not tl.always_feasible
+        assert tl.first_infeasible() == 0
+
+    def test_complete_connectivity_is_feasible(self):
+        # radius sqrt(2) covers the whole unit square
+        tr = _trace(radius=1.5, steps=5)
+        tl = feasibility_timeline(tr, {0: 1}, {7: 2})
+        assert tl.always_feasible
+        assert tl.first_infeasible() is None
+        assert tl.feasible_fraction == 1.0
+
+    def test_value_never_exceeds_arrival(self):
+        tr = _trace(steps=15)
+        tl = feasibility_timeline(tr, {0: 2, 1: 1}, {7: 4})
+        for e in tl.entries:
+            assert 0 <= e.max_flow_value <= tl.arrival
+
+    def test_zero_arrival_trivially_feasible(self):
+        tr = _trace(steps=4)
+        tl = feasibility_timeline(tr, {}, {7: 2})
+        assert tl.always_feasible and tl.arrival == 0
+
+    def test_validation(self):
+        tr = _trace(steps=4)
+        with pytest.raises(SpecError):
+            feasibility_timeline(tr, {0: 1}, {7: 2}, block=0)
+        with pytest.raises(SpecError):
+            feasibility_timeline(tr, {0: 1}, {7: 2}, max_warm_delta=-1)
+        with pytest.raises(SpecError):
+            feasibility_timeline(tr, {99: 1}, {7: 2})
+        with pytest.raises(SpecError):
+            feasibility_timeline(tr, {0: -1}, {7: 2})
+
+
+class TestMetrics:
+    def test_warm_cold_split_exported(self):
+        import repro.obs as obs
+        from repro.obs.metrics import get_registry
+
+        tr = _trace(steps=10)
+        restore = obs.configure(metrics=True)
+        try:
+            get_registry().reset()
+            tl = feasibility_timeline(tr, {0: 1}, {7: 2}, block=4)
+            snap = get_registry().snapshot()
+        finally:
+            obs.configure(**restore)
+
+        steps = snap["repro_mobility_steps_total"]["series"][0]["value"]
+        assert steps == len(tl)
+        by_mode = {
+            s["labels"]["mode"]: s["value"]
+            for s in snap["repro_mobility_solves_total"]["series"]
+        }
+        assert by_mode.get("warm", 0) == tl.warm_solves
+        assert by_mode.get("cold", 0) == tl.cold_solves
+        assert by_mode.get("warm", 0) > 0 and by_mode.get("cold", 0) > 0
+
+    def test_disabled_registry_records_nothing(self):
+        from repro.obs.metrics import get_registry
+
+        reg = get_registry()
+        assert not reg.enabled  # tests run with metrics off by default
+
+        def steps_count():
+            fam = reg.snapshot().get("repro_mobility_steps_total")
+            return fam["series"][0]["value"] if fam and fam["series"] else 0
+
+        before = steps_count()
+        tr = _trace(steps=4)
+        feasibility_timeline(tr, {0: 1}, {7: 2})
+        assert steps_count() == before

@@ -1,0 +1,148 @@
+"""Mobility-model unit tests: contracts, determinism, closed forms."""
+
+import numpy as np
+import pytest
+
+from repro._rng import as_generator
+from repro.errors import SpecError
+from repro.mobility import (
+    MODEL_NAMES,
+    CircularOrbit,
+    RandomWaypoint,
+    VirtualForce,
+    model_by_name,
+)
+
+
+def _run(model, n, steps, seed):
+    rng = as_generator(seed)
+    out = [model.reset(n, rng)]
+    for _ in range(steps):
+        out.append(model.step())
+    return np.stack(out)
+
+
+class TestContracts:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_positions_stay_on_unit_square(self, name):
+        traj = _run(model_by_name(name), 9, 25, seed=3)
+        assert traj.shape == (26, 9, 2)
+        assert np.all(traj >= 0.0) and np.all(traj <= 1.0)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_step_before_reset_rejected(self, name):
+        with pytest.raises(SpecError):
+            model_by_name(name).step()
+
+    def test_unknown_model_name(self):
+        with pytest.raises(SpecError):
+            model_by_name("teleport")
+
+    def test_step_returns_copies(self):
+        model = RandomWaypoint(speed=0.1)
+        model.reset(4, as_generator(0))
+        a = model.step()
+        b = model.step()
+        assert a is not b
+        a[:] = 99.0  # mutating a returned frame must not corrupt the model
+        assert np.all(model.step() <= 1.0)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_same_seed_same_trajectory(self, name):
+        t1 = _run(model_by_name(name), 7, 30, seed=11)
+        t2 = _run(model_by_name(name), 7, 30, seed=11)
+        np.testing.assert_array_equal(t1, t2)
+
+    @pytest.mark.parametrize("name", ["waypoint", "vforce"])
+    def test_different_seed_different_trajectory(self, name):
+        t1 = _run(model_by_name(name), 7, 30, seed=11)
+        t2 = _run(model_by_name(name), 7, 30, seed=12)
+        assert not np.array_equal(t1, t2)
+
+
+class TestRandomWaypoint:
+    def test_speed_bounds_step_length(self):
+        model = RandomWaypoint(speed=0.07)
+        traj = _run(model, 6, 40, seed=5)
+        hops = np.sqrt(((traj[1:] - traj[:-1]) ** 2).sum(axis=2))
+        assert hops.max() <= 0.07 + 1e-12
+
+    def test_pause_holds_position(self):
+        # with a long pause, some node must repeat its position exactly
+        model = RandomWaypoint(speed=0.4, pause=3)
+        traj = _run(model, 5, 30, seed=2)
+        stationary = (traj[1:] == traj[:-1]).all(axis=2)
+        assert stationary.any()
+
+    def test_zero_pause_never_stalls_forever(self):
+        model = RandomWaypoint(speed=0.3, pause=0)
+        traj = _run(model, 4, 30, seed=9)
+        # every node keeps moving: no node sits still for the whole run
+        moved = np.abs(traj[1:] - traj[:-1]).sum(axis=(0, 2))
+        assert np.all(moved > 0)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            RandomWaypoint(speed=0)
+        with pytest.raises(SpecError):
+            RandomWaypoint(pause=-1)
+
+
+class TestVirtualForce:
+    def test_deterministic_after_placement(self):
+        m1, m2 = VirtualForce(), VirtualForce()
+        p1 = m1.reset(8, as_generator(4))
+        m2.reset(8, as_generator(4))
+        np.testing.assert_array_equal(p1, m2._pos)
+        np.testing.assert_array_equal(m1.step(), m2.step())
+
+    def test_repulsion_spreads_a_tight_cluster(self):
+        model = VirtualForce(spacing=0.3, gain=0.1, cohesion=0.0)
+        model.reset(6, as_generator(1))
+        # collapse everyone near the centre, then let the forces act
+        model._pos[:] = 0.5 + 0.01 * model._pos
+        before = model._pos.copy()
+        for _ in range(20):
+            model.step()
+
+        def min_pairdist(p):
+            d = np.sqrt(((p[:, None] - p[None, :]) ** 2).sum(-1))
+            np.fill_diagonal(d, np.inf)
+            return d.min()
+
+        assert min_pairdist(model._pos) > min_pairdist(before)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            VirtualForce(spacing=0)
+        with pytest.raises(SpecError):
+            VirtualForce(gain=0)
+        with pytest.raises(SpecError):
+            VirtualForce(cohesion=-0.1)
+
+
+class TestCircularOrbit:
+    def test_closed_form_matches_stepping(self):
+        model = CircularOrbit(omega=0.17, ring=0.3)
+        model.reset(5, as_generator(0))
+        for t in range(1, 8):
+            np.testing.assert_allclose(model.step(), model._at(t))
+
+    def test_ignores_rng_entirely(self):
+        a = CircularOrbit().reset(6, as_generator(1))
+        b = CircularOrbit().reset(6, as_generator(999))
+        np.testing.assert_array_equal(a, b)
+
+    def test_nodes_sit_on_the_ring(self):
+        model = CircularOrbit(omega=0.1, ring=0.25)
+        pos = model.reset(7, as_generator(0))
+        r = np.sqrt(((pos - 0.5) ** 2).sum(axis=1))
+        np.testing.assert_allclose(r, 0.25)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            CircularOrbit(omega=0)
+        with pytest.raises(SpecError):
+            CircularOrbit(ring=0.6)

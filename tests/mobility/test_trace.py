@@ -1,0 +1,158 @@
+"""MobilityTrace and MobilitySchedule tests: digests, link rule, replay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.graphs.generators import radius_edges
+from repro.graphs.multigraph import MultiGraph
+from repro.graphs.validate import audit_graph
+from repro.mobility import (
+    CircularOrbit,
+    MobilitySchedule,
+    MobilityTrace,
+    RandomWaypoint,
+)
+
+
+def _trace(**kw):
+    args = dict(model=RandomWaypoint(speed=0.12), n=9, radius=0.4,
+                steps=24, seed=5)
+    args.update(kw)
+    model = args.pop("model")
+    n = args.pop("n")
+    return MobilityTrace.generate(model, n, **args)
+
+
+class TestGenerate:
+    def test_snapshot_count_and_times(self):
+        tr = _trace(steps=10, snapshot_every=3)
+        assert [s.t for s in tr] == [0, 3, 6, 9]
+
+    def test_links_follow_radius_rule(self):
+        tr = _trace()
+        for snap in tr:
+            assert snap.links == tuple(radius_edges(snap.positions, tr.radius))
+
+    def test_positions_frozen(self):
+        tr = _trace()
+        with pytest.raises(ValueError):
+            tr[0].positions[0, 0] = 0.5
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            _trace(n=1)
+        with pytest.raises(SpecError):
+            _trace(steps=-1)
+        with pytest.raises(SpecError):
+            _trace(snapshot_every=0)
+        with pytest.raises(SpecError):
+            _trace(radius=0)
+
+
+class TestDigest:
+    def test_bit_identical_across_runs(self):
+        assert _trace().digest() == _trace().digest()
+
+    def test_seed_sensitivity(self):
+        assert _trace(seed=5).digest() != _trace(seed=6).digest()
+
+    def test_radius_sensitivity(self):
+        assert _trace(radius=0.4).digest() != _trace(radius=0.45).digest()
+
+    def test_orbit_digest_seed_independent(self):
+        a = _trace(model=CircularOrbit(omega=0.2), seed=1)
+        b = _trace(model=CircularOrbit(omega=0.2), seed=2)
+        assert a.digest() == b.digest()
+
+
+class TestDerivedViews:
+    def test_link_universe_covers_every_snapshot(self):
+        tr = _trace()
+        uni = set(tr.link_universe())
+        for snap in tr:
+            assert set(snap.links) <= uni
+
+    def test_build_graph_matches_first_snapshot(self):
+        tr = _trace()
+        g = tr.build_graph()
+        assert g.n == tr.n
+        got = {tuple(sorted((u, v))) for _, u, v in g.edges()}
+        assert got == set(tr[0].links)
+
+
+class TestSchedule:
+    def _live_pairs(self, g):
+        return {tuple(sorted((u, v))) for _, u, v in g.edges()}
+
+    def test_replays_every_snapshot_exactly(self):
+        tr = _trace(steps=30)
+        g, sched = tr.as_schedule()
+        for snap in tr:
+            sched.apply(g, snap.t)
+            assert self._live_pairs(g) == set(snap.links)
+            audit_graph(g)
+
+    def test_stable_edge_ids_across_outages(self):
+        # a pair that disappears and comes back must reuse its original id
+        tr = _trace(steps=40)
+        g, sched = tr.as_schedule()
+        first_ids = {}
+        for eid, u, v in g.edges():
+            first_ids[tuple(sorted((u, v)))] = eid
+        for snap in tr:
+            sched.apply(g, snap.t)
+            for eid, u, v in g.edges():
+                pair = tuple(sorted((u, v)))
+                if pair in first_ids:
+                    assert eid == first_ids[pair]
+
+    def test_non_snapshot_steps_report_no_change(self):
+        tr = _trace(steps=12, snapshot_every=4)
+        g, sched = tr.as_schedule()
+        assert sched.apply(g, 0) is False  # t=0 already materialised
+        assert sched.apply(g, 1) is False
+        assert sched.apply(g, 3) is False
+
+    def test_backbone_edges_untouched(self):
+        # static edges outside the trace's radio pairs survive every apply
+        tr = _trace(n=6, steps=20)
+        g = MultiGraph(8)  # two extra infrastructure nodes
+        backbone = [g.add_edge(6, 7), g.add_edge(0, 6)]
+        for u, v in tr[0].links:
+            g.add_edge(u, v)
+        sched = MobilitySchedule(tr)
+        for snap in tr:
+            sched.apply(g, snap.t)
+            for eid in backbone:
+                assert g.has_edge_id(eid)
+
+    def test_graph_too_small_rejected(self):
+        tr = _trace(n=9)
+        with pytest.raises(SpecError):
+            MobilitySchedule(tr).apply(MultiGraph(4), 0)
+
+    def test_simulator_consumes_mobility_like_churn(self):
+        # end-to-end: the engine runs a mobility schedule as its topology
+        from repro.core import SimulationConfig, Simulator
+        from repro.network import NetworkSpec
+
+        tr = _trace(n=6, radius=0.8, steps=120, seed=3)
+        g, sched = tr.as_schedule()
+        spec = NetworkSpec.classical(g, {0: 1}, {5: 2})
+        res = Simulator(
+            spec, config=SimulationConfig(horizon=120, seed=0, topology=sched)
+        ).run()
+        assert res.delivered > 0
+
+
+class TestRadiusEdges:
+    def test_inclusive_threshold(self):
+        pts = np.array([[0.0, 0.0], [0.3, 0.0], [1.0, 1.0]])
+        assert radius_edges(pts, 0.3) == [(0, 1)]
+
+    def test_pairs_sorted(self):
+        pts = np.random.default_rng(0).random((12, 2))
+        edges = radius_edges(pts, 0.5)
+        assert edges == sorted(edges)
+        assert all(u < v for u, v in edges)

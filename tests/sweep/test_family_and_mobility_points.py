@@ -1,0 +1,114 @@
+"""Sweep coverage for the ``family`` axis and the mobility point function.
+
+The topology-family axis plugs the full generator zoo into the sweep
+machinery; ``mobility_point`` turns one parameter combination into a
+trace + feasibility-timeline record.  Both must be deterministic given
+``(params, seed)`` — that is what makes checkpoint resume and worker
+fan-out reproducible.
+"""
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sweep.points import (
+    FAMILIES,
+    classify_point,
+    mobility_point,
+    random_instance_spec,
+)
+
+
+class TestFamilyAxis:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_family_builds_a_connected_spec(self, family):
+        spec = random_instance_spec({"family": family, "n": 9}, seed=3)
+        assert spec.graph.is_connected()
+        assert spec.n >= 2
+        assert spec.in_rates and spec.out_rates
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_family_deterministic_given_seed(self, family):
+        a = random_instance_spec({"family": family, "n": 9}, seed=8)
+        b = random_instance_spec({"family": family, "n": 9}, seed=8)
+        edges = lambda s: sorted(
+            (min(u, v), max(u, v)) for _, u, v in s.graph.edges()
+        )
+        assert edges(a) == edges(b)
+        assert a.in_rates == b.in_rates and a.out_rates == b.out_rates
+
+    def test_default_family_matches_legacy_gnp_stream(self):
+        # family=gnp must reproduce the historical (pre-family) rng stream
+        # bit-for-bit, or every seeded sweep result in the repo shifts
+        legacy = random_instance_spec({}, seed=11)
+        gnp = random_instance_spec({"family": "gnp"}, seed=11)
+        assert legacy.in_rates == gnp.in_rates
+        assert sorted((u, v) for _, u, v in legacy.graph.edges()) == \
+               sorted((u, v) for _, u, v in gnp.graph.edges())
+
+    def test_kronecker_overrides_n(self):
+        spec = random_instance_spec({"family": "kronecker", "power": 3},
+                                    seed=0)
+        assert spec.n == 27
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SweepError, match="family"):
+            random_instance_spec({"family": "smallworld"}, seed=0)
+
+    def test_classify_point_on_family_instance(self):
+        # the sweep runner merges params into the record, so the point
+        # function itself only needs to classify the family's instance
+        rec = classify_point({"family": "ba", "n": 8}, seed=4)
+        assert rec["n"] == 8
+        assert isinstance(rec["network_class"], str) and rec["network_class"]
+
+
+class TestMobilityPoint:
+    def test_record_schema(self):
+        rec = mobility_point({"n": 7, "steps": 20}, seed=5)
+        for key in ("model", "n", "radius", "speed", "steps", "snapshots",
+                    "universe_links", "arrival_rate", "always_feasible",
+                    "feasible_fraction", "first_infeasible", "warm_solves",
+                    "cold_solves", "digest"):
+            assert key in rec, key
+        assert rec["n"] == 7
+        assert 0.0 <= rec["feasible_fraction"] <= 1.0
+        assert rec["warm_solves"] + rec["cold_solves"] > 0
+
+    def test_deterministic_given_seed(self):
+        params = {"model": "waypoint", "n": 8, "steps": 25, "radius": 0.45}
+        assert mobility_point(params, seed=9) == mobility_point(params, seed=9)
+
+    def test_seed_changes_the_record(self):
+        params = {"model": "waypoint", "n": 8, "steps": 25}
+        a = mobility_point(params, seed=1)
+        b = mobility_point(params, seed=2)
+        assert a["digest"] != b["digest"]
+
+    def test_orbit_digest_is_seed_invariant(self):
+        # radius must be pinned: unpinned knobs are drawn per-seed, and
+        # the digest covers the radius-induced link sets
+        params = {"model": "orbit", "n": 6, "steps": 15, "radius": 0.5}
+        a = mobility_point(params, seed=1)
+        b = mobility_point(params, seed=2)
+        assert a["digest"] == b["digest"]
+
+    def test_radius_monotone_feasibility(self):
+        # deterministic orbit: larger radius => superset links => the
+        # feasible fraction cannot drop
+        fracs = [
+            mobility_point({"model": "orbit", "n": 6, "steps": 40,
+                            "radius": r, "speed": 0.21}, seed=0)
+            ["feasible_fraction"]
+            for r in (0.3, 0.45, 0.7)
+        ]
+        assert fracs == sorted(fracs)
+
+    def test_infeasible_everywhere(self):
+        rec = mobility_point({"n": 6, "steps": 5, "radius": 0.01}, seed=0)
+        assert not rec["always_feasible"]
+        assert rec["first_infeasible"] == 0
+
+    def test_picklable_for_worker_fanout(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(mobility_point)) is mobility_point

@@ -32,6 +32,57 @@ class TestSimulateTopologies:
                      "--sink", "3", "--horizon", "100"]) == 0
 
 
+class TestMobilityCommand:
+    def test_renders_trace_and_timeline(self, capsys):
+        assert main(["mobility", "--model", "waypoint", "--n", "8",
+                     "--radius", "0.5", "--steps", "20", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "trace: model=waypoint n=8" in out
+        assert "digest: " in out
+        assert "timeline (" in out
+        assert "feasible: " in out
+        assert "solves: " in out
+
+    def test_digest_deterministic_across_invocations(self, capsys):
+        args = ["mobility", "--steps", "12", "--seed", "9"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_orbit_model_and_explicit_sink(self, capsys):
+        assert main(["mobility", "--model", "orbit", "--n", "6",
+                     "--radius", "0.6", "--speed", "0.2", "--steps", "15",
+                     "--sink", "3", "--out-rate", "2"]) == 0
+        assert "out(3)=2" in capsys.readouterr().out
+
+    def test_bad_n_is_clean_error(self, capsys):
+        assert main(["mobility", "--n", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert err.startswith("error:")
+
+
+class TestMobilitySweep:
+    def test_mobility_point_sweep(self, capsys):
+        assert main(["sweep", "--point", "mobility",
+                     "--axis", "radius=0.4,0.6", "--axis", "n=7",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 points" in out
+        assert "always feasible:" in out
+        assert "mean feasible fraction:" in out
+        assert "solves:" in out
+
+    def test_family_axis_in_classify_sweep(self, capsys):
+        assert main(["sweep", "--point", "classify",
+                     "--axis", "family=gnp,ba,ws", "--axis", "n=8",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 3 points" in out
+        assert "class counts:" in out
+
+
 class TestModuleEntryPoints:
     def test_python_dash_m_repro(self):
         proc = subprocess.run(

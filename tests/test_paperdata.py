@@ -13,7 +13,7 @@ from repro.exp import REGISTRY
 from repro.paperdata import CLAIMS, ClaimStatus, claim_by_id, claims_for_experiment
 
 
-EXTENSION_EXPERIMENTS = {"e12", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22"}  # ours, not the paper's
+EXTENSION_EXPERIMENTS = {"e12", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23"}  # ours, not the paper's
 
 
 class TestInventoryShape:
