@@ -3,7 +3,7 @@
 The claim: on a benchmark set of random S-D-networks, the warm-started
 feasibility stack — :func:`classify_network` (one cold solve, then the
 ε-probe and ``f*`` as parametric steps) plus
-:func:`max_unsaturation_margin` (bracket + bisection re-augmenting from
+:func:`max_unsaturation_margin_probe` (bracket + bisection re-augmenting from
 the last feasible residual, with banked min-cut certificates refuting
 infeasible probes in O(1)) — beats the cold-solve twins
 (:func:`classify_network_cold` / :func:`max_unsaturation_margin_cold`,
@@ -31,8 +31,8 @@ from repro.flow import ALGORITHMS
 from repro.flow.feasibility import (
     classify_network,
     classify_network_cold,
-    max_unsaturation_margin,
     max_unsaturation_margin_cold,
+    max_unsaturation_margin_probe,
 )
 from repro.graphs import build_extended_graph
 from repro.graphs import generators as gen
@@ -127,7 +127,7 @@ class TestWarmStartSpeedup:
                     _report_facts(classify_network(ext, algorithm=algorithm))
                 )
                 warm_margins.append(
-                    max_unsaturation_margin(ext, tol=TOL, algorithm=algorithm)
+                    max_unsaturation_margin_probe(ext, tol=TOL, algorithm=algorithm)
                 )
 
         benchmark.pedantic(warm_pass, rounds=1, iterations=1)

@@ -16,7 +16,6 @@ extracting.  Questions a planner asks:
 Run:  python examples/capacity_planning.py
 """
 
-from fractions import Fraction
 
 from repro import NetworkSpec, classify_network, generators, simulate_lgg
 from repro.analysis.report import format_table
@@ -42,7 +41,7 @@ for rate in (1, 2, 3):
     rep = classify_network(spec.extended())
     margin = None
     if rep.feasible:
-        margin = float(max_unsaturation_margin(spec.extended(), tol=Fraction(1, 256)))
+        margin = float(max_unsaturation_margin(spec.extended()))
         max_ok = rate
     rows.append(
         {

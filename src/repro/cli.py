@@ -9,6 +9,8 @@ Usage::
         --source 0 --sink 15 --in-rate 1 --out-rate 2 --horizon 1000
     python -m repro classify --topology path --n 5 --source 0 --sink 4 \
         --in-rate 1 --out-rate 1
+    python -m repro region --topology grid --rows 3 --cols 3 \
+        --out-rate 2 [--ray 0=3/2] [--json]  # exact frontier
     python -m repro sweep --axis n=8,10,12 --samples 4 --workers 4 \
         --checkpoint region.jsonl
     python -m repro obs trace run.jsonl  # span waterfall from a JSONL trace
@@ -104,6 +106,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cls = sub.add_parser("classify", help="Definitions 3-4 classification")
     _add_spec_args(p_cls)
+
+    p_reg = sub.add_parser(
+        "region",
+        help="exact stability frontier along a ray (breakpoint envelope)",
+    )
+    _add_spec_args(p_reg)
+    p_reg.add_argument("--ray", default=None, metavar="NODE=RATE[,NODE=RATE...]",
+                       help="direction in rate space; rates may be exact "
+                            "rationals like 3/2 (default: the nominal in-rates)")
+    p_reg.add_argument("--algorithm", choices=["dinic", "edmonds_karp",
+                                               "push_relabel", "push_relabel_fifo"],
+                       default="dinic")
+    p_reg.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the full envelope as JSON")
 
     p_ens = sub.add_parser(
         "ensemble", help="batched Monte-Carlo replicas (vectorized pipeline)"
@@ -609,6 +625,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(ens.profile_report())
             if args.trace:
                 print(f"trace: {args.trace}")
+            return 0
+
+        if args.command == "region":
+            import json as _json
+            from fractions import Fraction
+
+            from repro.flow import breakpoint_envelope, classify_region
+            from repro.serve.codec import region_response
+
+            spec = _spec_from_args(args)
+            direction = None
+            if args.ray:
+                direction = {}
+                for part in args.ray.split(","):
+                    node, sep, rate = part.partition("=")
+                    try:
+                        if not sep:
+                            raise ValueError(part)
+                        direction[int(node)] = Fraction(rate)
+                    except (ValueError, ZeroDivisionError):
+                        raise ReproError(
+                            f"--ray entry {part!r} must be NODE=RATE with an "
+                            "integer node and a rational rate (e.g. 0=3/2)"
+                        ) from None
+            ext = spec.extended()
+            env = breakpoint_envelope(ext, direction, algorithm=args.algorithm)
+            report = (classify_region(ext, args.algorithm, envelope=env)
+                      if direction is None else None)
+            if args.as_json:
+                print(_json.dumps(region_response(env, report), indent=2))
+                return 0
+            print(f"network: {spec}")
+            print("ray: " + ", ".join(f"{v}={d}" for v, d in env.direction))
+            print(f"lambda*: {env.lambda_star}  "
+                  f"(exact: lam·ray feasible iff lam <= lambda*)")
+            if report is not None:
+                print(f"class: {report.network_class.value}  "
+                      f"margin: {report.margin}")
+            bps = ", ".join(str(b) for b in env.breakpoints) or "(none)"
+            print(f"breakpoints: {bps}")
+            print(f"f*: {env.f_star}  "
+                  f"solves: {env.cold_solves} cold + {env.probes} warm probes")
+            print("envelope:")
+            for seg in env.segments:
+                hi = "inf" if seg.hi is None else seg.hi
+                print(f"  [{seg.lo}, {hi}]  v(lam) = {seg.slope}*lam + {seg.intercept}")
             return 0
 
         if args.command == "classify":

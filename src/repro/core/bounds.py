@@ -60,14 +60,17 @@ def generalized_growth_bound(spec: NetworkSpec) -> int:
     )
 
 
-def paper_epsilon(spec: NetworkSpec, *, tol: Fraction = Fraction(1, 256)) -> Fraction:
+def paper_epsilon(spec: NetworkSpec, *, tol: Fraction | None = None) -> Fraction:
     """The ε of Section III: ``min_s (Φ(s*, s) − in(s))`` maximised over
     unsaturated flows Φ.
 
     We realise Φ as the flow saturating source arcs scaled by the maximum
     unsaturation margin ``m`` (so ``Φ(s*, s) = (1 + m) in(s)``), giving
-    ``ε = m · min_s in(s)`` — a certified lower bound on the best ε.
+    ``ε = m · min_s in(s)`` — now *exact*, since the margin comes from
+    the parametric breakpoint envelope rather than a bisection bracket.
     Raises for saturated/infeasible networks, where no positive ε exists.
+    ``tol`` is deprecated and ignored (forwarded for the margin's own
+    deprecation warning when passed).
     """
     margin = max_unsaturation_margin(spec.extended(), tol=tol)
     if margin <= 0:
@@ -116,8 +119,12 @@ def lemma1_bound(spec: NetworkSpec, y: Fraction) -> Fraction:
     return property2_threshold(spec, y) + property1_bound(spec)
 
 
-def compute_bounds(spec: NetworkSpec, *, tol: Fraction = Fraction(1, 256)) -> PaperBounds:
-    """Compute every Section III constant for an unsaturated network."""
+def compute_bounds(spec: NetworkSpec, *, tol: Fraction | None = None) -> PaperBounds:
+    """Compute every Section III constant for an unsaturated network.
+
+    ``tol`` is deprecated and ignored — all constants are exact now that
+    the unsaturation margin is.
+    """
     from repro.flow.feasibility import f_star as f_star_fn
 
     eps = paper_epsilon(spec, tol=tol)

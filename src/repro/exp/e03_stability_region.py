@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.core import simulate_lgg
 from repro.exp.common import ExperimentResult, main_for, register
 from repro.exp.workloads import bottleneck_spec
-from repro.flow import classify_network
+from repro.flow import classify_region
 
 
 @register("e03", "Theorem 1: stability region = feasibility region")
@@ -28,7 +28,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     all_ok = True
     for k in range(1, 9):
         spec = bottleneck_spec(k, width=8, bridge=bridge)
-        report = classify_network(spec.extended())
+        report = classify_region(spec.extended())
         res = simulate_lgg(spec, horizon=horizon, seed=seed)
         feasible = report.feasible
         ok = res.verdict.bounded == feasible
@@ -39,6 +39,7 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
                 "arrival": int(report.arrival_rate),
                 "f*": int(report.f_star),
                 "class": report.network_class.value,
+                "lambda*": str(report.lambda_star),
                 "LGG bounded": res.verdict.bounded,
                 "tail queue": res.verdict.tail_mean_queued,
                 "slope": res.verdict.slope,

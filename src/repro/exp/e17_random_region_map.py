@@ -10,7 +10,8 @@ feasible ⇒ bounded, infeasible ⇒ divergent, with no off-diagonal cells.
 Since the sweep subsystem landed, the sampling loop is a
 :func:`repro.sweep.run_sweep` grid over :func:`repro.sweep.region_point`
 — one grid point per instance, feasibility classified through the
-canonical-hash cache, horizons from
+canonical-hash cache on the exact parametric-envelope path (one cold
+solve per instance, λ* an exact Fraction), horizons from
 :func:`repro.analysis.horizons.suggest_horizon` (quadratic in the worst
 source-sink distance, per E15's build-up law).  Set
 ``REPRO_SWEEP_WORKERS=k`` to shard the instances over ``k`` processes;
@@ -20,6 +21,7 @@ records are bit-identical whatever the worker count.
 from __future__ import annotations
 
 import os
+from fractions import Fraction
 
 from repro.exp.common import ExperimentResult, main_for, register
 from repro.flow import NetworkClass
@@ -46,11 +48,13 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         ("infeasible", "divergent"): 0,
     }
     per_class = {c: 0 for c in NetworkClass}
+    lambda_stars = []
     for row in sweep.rows():
         per_class[NetworkClass(row["network_class"])] += 1
         feas = "feasible" if row["feasible"] else "infeasible"
         verdict = "bounded" if row["bounded"] else "divergent"
         matrix[(feas, verdict)] += 1
+        lambda_stars.append(Fraction(row["lambda_star"]))
 
     rows = [
         {
@@ -60,6 +64,13 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         }
         for feas in ("feasible", "infeasible")
     ]
+    rows.append(
+        {
+            "feasibility": "exact frontier λ*",
+            "LGG bounded": f"min={min(lambda_stars)}",
+            "LGG divergent": f"max={max(lambda_stars)}",
+        }
+    )
     rows.append(
         {
             "feasibility": "class counts",

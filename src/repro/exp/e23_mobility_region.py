@@ -28,7 +28,7 @@ iterate over.
 from __future__ import annotations
 
 from repro.exp.common import ExperimentResult, main_for, register
-from repro.flow import classify_network
+from repro.flow import classify_region
 from repro.mobility import (
     CircularOrbit,
     MobilityTrace,
@@ -105,10 +105,10 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     # -- the family axis (informational): one classified instance each --
     for family in FAMILIES:
         spec = random_instance_spec({"family": family, "n": 9}, seed + 2)
-        report = classify_network(spec.extended())
+        report = classify_region(spec.extended())
         rows.append({
             "probe": f"family {family}: n={spec.n} m={spec.graph.m} "
-                     f"-> {report.network_class.value}",
+                     f"-> {report.network_class.value} (λ*={report.lambda_star})",
             "feasible fraction": "-",
             "warm/cold": "-",
             "ok": True,

@@ -16,8 +16,11 @@ implements, from scratch:
 * :mod:`~repro.flow.warmstart` — the parametric warm-start engine: one
   cold solve, then monotone capacity increases answered by in-place
   residual re-augmentation (Dinic-on-residual or warm push-relabel),
+* :mod:`~repro.flow.parametric` — the Gallo–Grigoriadis–Tarjan breakpoint
+  envelope: the exact critical scalar λ* and the full piecewise-linear
+  min-cut envelope along a ray in rate space, one cold solve per ray,
 * :mod:`~repro.flow.feasibility` — Definitions 3–4: feasible, unsaturated,
-  saturated; the certified ε margin; ``f*`` — all on one warm chain,
+  saturated; the exact ε margin via the envelope; ``f*`` — all warm,
 * :mod:`~repro.flow.decomposition` — flow → path decomposition, used by the
   maximum-flow routing baseline (the ``E_t^Φ`` of the proofs).
 """
@@ -28,9 +31,18 @@ from repro.flow.mincut import min_cut, CutKind, MinCut, classify_cut, is_unique_
 from repro.flow.feasibility import (
     FeasibilityReport,
     NetworkClass,
+    RegionReport,
     classify_network,
+    classify_region,
     f_star,
     feasible_flow,
+    max_unsaturation_margin,
+)
+from repro.flow.parametric import (
+    BreakpointEnvelope,
+    EnvelopeSegment,
+    breakpoint_envelope,
+    critical_lambda,
 )
 from repro.flow.decomposition import (
     PathDecomposition,
@@ -56,9 +68,16 @@ __all__ = [
     "is_sd_cut",
     "FeasibilityReport",
     "NetworkClass",
+    "RegionReport",
     "classify_network",
+    "classify_region",
     "f_star",
     "feasible_flow",
+    "max_unsaturation_margin",
+    "BreakpointEnvelope",
+    "EnvelopeSegment",
+    "breakpoint_envelope",
+    "critical_lambda",
     "ParametricMaxFlow",
     "source_arc_updates",
     "PathDecomposition",

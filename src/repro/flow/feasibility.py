@@ -19,14 +19,18 @@ Everything here consumes an :class:`~repro.graphs.extended.ExtendedGraph`
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 from fractions import Fraction
 from typing import Optional
 
+import numpy as np
+
 from repro.errors import FlowError
 from repro.flow.maxflow import max_flow
 from repro.flow.mincut import CutKind, MinCut, classify_cut, is_unique_min_cut, min_cut
+from repro.flow.parametric import BreakpointEnvelope, breakpoint_envelope
 from repro.flow.residual import FlowProblem, FlowResult
 from repro.flow.warmstart import ParametricMaxFlow, source_arc_updates
 from repro.numeric import common_denominator, note_fraction_fallback, try_scale, unscale
@@ -35,13 +39,16 @@ from repro.obs.spans import span
 __all__ = [
     "NetworkClass",
     "FeasibilityReport",
+    "RegionReport",
     "classify_network",
     "classify_network_cold",
+    "classify_region",
     "f_star",
     "feasible_flow",
     "certification_epsilon",
     "max_unsaturation_margin",
     "max_unsaturation_margin_cold",
+    "max_unsaturation_margin_probe",
 ]
 
 
@@ -105,8 +112,15 @@ def f_star(ext, algorithm: str = "dinic") -> object:
     return result.value
 
 
-def certification_epsilon(ext) -> Fraction:
+def certification_epsilon(ext, *, envelope: BreakpointEnvelope | None = None) -> Fraction:
     """An ε > 0 small enough that 'feasible at this ε' ⇔ 'unsaturated'.
+
+    With an ``envelope`` (along the nominal injection ray, from
+    :func:`~repro.flow.parametric.breakpoint_envelope`) the answer is no
+    longer an a-priori bound but the exact *maximal* certifying slack:
+    ``λ* − 1`` when the network is unsaturated.  Without one, the cheap
+    denominator bound below is returned — it needs no flow solve, so the
+    classify hot path keeps using it.
 
     Max-flow/min-cut duality makes the scaled max-flow value
     ``v(ε) = min_C [(1 + ε)·inCross(C) + rest(C)]`` over cuts ``C``.  The
@@ -122,6 +136,8 @@ def certification_epsilon(ext) -> Fraction:
     arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
     if arrival <= 0:
         return Fraction(1)  # no injections: vacuously unsaturated at any ε
+    if envelope is not None and envelope.lambda_star > 1:
+        return envelope.lambda_star - 1
     L = common_denominator(list(ext.capacities) + [arrival])
     return Fraction(1, 2 * L * (int(arrival) + 2))
 
@@ -339,13 +355,46 @@ def classify_network_cold(ext, algorithm: str = "dinic") -> FeasibilityReport:
     )
 
 
-def max_unsaturation_margin(ext, *, tol: Fraction = Fraction(1, 1024), algorithm: str = "dinic") -> Fraction:
+def max_unsaturation_margin(ext, *, tol: Optional[Fraction] = None,
+                            algorithm: str = "dinic") -> Fraction:
+    """The *exact* largest ε with ``(1 + ε) in`` still feasible.
+
+    This is the ε of Definition 4 maximised: ``λ* − 1`` along the nominal
+    injection ray, with λ* the exact critical scalar from the parametric
+    breakpoint envelope (:func:`~repro.flow.parametric.critical_lambda`) —
+    a :class:`~fractions.Fraction`, not a bisection bracket.  Returns 0
+    for saturated/infeasible networks.  One cold solve per call; every
+    envelope evaluation is a warm parametric step.
+
+    ``tol`` is deprecated and ignored: the result is exact, so there is
+    no bracket width to control.  The PR 5 warm bracket/bisection search
+    survives as :func:`max_unsaturation_margin_probe` (the differential
+    oracle and benchmark baseline), and the all-cold variant as
+    :func:`max_unsaturation_margin_cold`.
+    """
+    if tol is not None:
+        warnings.warn(
+            "max_unsaturation_margin(tol=...) is deprecated: the margin is "
+            "now exact (parametric breakpoint envelope), so tol is ignored; "
+            "use max_unsaturation_margin_probe for the bracketed search",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    arrival = sum((Fraction(r) for r in ext.in_rates.values()), start=Fraction(0))
+    if arrival <= 0:
+        raise FlowError("margin undefined for a network with no injections")
+    env = breakpoint_envelope(ext, algorithm=algorithm)
+    return max(Fraction(0), env.lambda_star - 1)
+
+
+def max_unsaturation_margin_probe(ext, *, tol: Fraction = Fraction(1, 1024), algorithm: str = "dinic") -> Fraction:
     """Largest ε (to within ``tol``) with ``(1 + ε) in`` still feasible.
 
-    This is the ε of Definition 4 maximised — binary search on exact
-    rationals, so the returned value is a certified *lower* bound with
-    ``returned + tol`` an upper bound.  Returns 0 for saturated/infeasible
-    networks.
+    The PR 5 warm bracket-and-bisection search, kept as the differential
+    oracle for the exact envelope path (:func:`max_unsaturation_margin`)
+    and as the benchmark baseline: binary search on exact rationals, so
+    the returned value is a certified *lower* bound with ``returned +
+    tol`` an upper bound.  Returns 0 for saturated/infeasible networks.
 
     One cold solve (ε = 0), then every probe of the exponential bracket
     and the bisection is a warm parametric step: each probes ε > lo from a
@@ -446,3 +495,97 @@ def max_unsaturation_margin_cold(ext, *, tol: Fraction = Fraction(1, 1024), algo
         else:
             hi = mid
     return lo
+
+
+@dataclass(frozen=True)
+class RegionReport:
+    """A stability verdict derived from the exact breakpoint envelope.
+
+    The envelope-native sibling of :class:`FeasibilityReport`: one
+    parametric solve yields the class, the exact critical scalar
+    ``lambda_star`` along the nominal injection ray, the exact margin
+    (``max(0, λ* − 1)``, Definition 4 maximised), the max-flow value at
+    the nominal rates, ``f_star``, and a min cut binding at λ = 1.
+    Uniqueness of the min cut is *not* probed (it needs extra solves the
+    one-solve path deliberately avoids) — use :func:`classify_network`
+    when you need it.
+    """
+
+    network_class: NetworkClass
+    arrival_rate: Fraction
+    max_flow_value: Fraction
+    f_star: Fraction
+    lambda_star: Fraction
+    margin: Fraction
+    min_cut: MinCut
+    cut_kind: CutKind
+    envelope: BreakpointEnvelope
+
+    @property
+    def feasible(self) -> bool:
+        return self.network_class is not NetworkClass.INFEASIBLE
+
+    @property
+    def unsaturated(self) -> bool:
+        return self.network_class is NetworkClass.UNSATURATED
+
+    @property
+    def certified_epsilon(self) -> Optional[Fraction]:
+        """The maximal certifying slack — exact, unlike the a-priori bound."""
+        return self.margin if self.margin > 0 else None
+
+
+def classify_region(ext, algorithm: str = "dinic", *,
+                    envelope: BreakpointEnvelope | None = None) -> RegionReport:
+    """Classify a network from one parametric envelope solve.
+
+    The verdict is a pure function of the exact critical scalar: λ* > 1
+    means unsaturated (positive slack), λ* = 1 saturated (feasible at the
+    nominal rates — the feasible set along a ray is closed — but with
+    zero slack), λ* < 1 infeasible.  This replaces the 2-cold-solve +
+    ε-probe pipeline of :func:`classify_network` with exactly one cold
+    solve (the trivial λ = 0 base) plus a handful of warm probes, and the
+    reported ``lambda_star``/``margin`` are exact Fractions.
+
+    Pass a precomputed ``envelope`` (along the nominal injection ray) to
+    skip the solve entirely, e.g. from the feasibility cache.
+    """
+    if envelope is None:
+        envelope = breakpoint_envelope(ext, algorithm=algorithm)
+    arrival = envelope.arrival_slope
+    lambda_star = envelope.lambda_star
+    if lambda_star > 1:
+        network_class = NetworkClass.UNSATURATED
+    elif lambda_star == 1:
+        network_class = NetworkClass.SATURATED
+    else:
+        network_class = NetworkClass.INFEASIBLE
+
+    # The binding cut at λ = 1: the segment containing 1 (the later one
+    # when 1 is a breakpoint, so an infeasibility certificate for any
+    # scale-up when λ* = 1).  Its capacity at λ = 1 is the max-flow value
+    # at the nominal rates, by duality.
+    seg = envelope.segment_at(Fraction(1))
+    side = np.zeros(ext.n, dtype=bool)
+    side[list(seg.cut_side)] = True
+    max_flow_value = seg.value_at(Fraction(1))
+    cut = MinCut(side=side, arcs=tuple(seg.cut_arcs), capacity=max_flow_value)
+    a_size = len(seg.cut_side)
+    if a_size == 1:
+        cut_kind = CutKind.TRIVIAL_SOURCE
+    elif a_size == ext.n - 1:
+        cut_kind = CutKind.VIRTUAL_SINK
+    else:
+        cut_kind = CutKind.INTERIOR
+
+    return RegionReport(
+        network_class=network_class,
+        arrival_rate=arrival,
+        max_flow_value=max_flow_value,
+        f_star=envelope.f_star,
+        lambda_star=lambda_star,
+        margin=max(Fraction(0), lambda_star - 1),
+        min_cut=cut,
+        cut_kind=cut_kind,
+        envelope=envelope,
+    )

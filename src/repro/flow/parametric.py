@@ -1,0 +1,368 @@
+"""GGT-style breakpoint envelope of the parametric feasibility flow.
+
+The feasibility question behind every stability verdict is parametric:
+scale the source-arc capacities along a *ray* ``λ · d(v)`` (``d`` a
+non-negative direction in rate space, by default the nominal injection
+rates) and ask for which ``λ`` the max ``s*``-``d*`` flow still carries
+the full scaled injection.  Max-flow/min-cut duality makes the value
+
+    v(λ) = min over cuts C of [ λ · inCross_d(C) + rest(C) ]
+
+a minimum of finitely many lines — concave, piecewise linear, with at
+most ``n − 2`` breakpoints (Gallo–Grigoriadis–Tarjan).  This module
+computes the *entire* envelope exactly, by Eisner–Severance divide and
+conquer over the existing :class:`~repro.flow.warmstart.ParametricMaxFlow`
+fork/re-augment machinery: one cold solve at ``λ = 0`` (trivial — every
+source arc is closed), then every probe is a warm re-augmentation forked
+from the nearest smaller ``λ`` already solved, so capacity schedules
+stay monotone along every fork chain.
+
+The payoff is the exact critical scalar
+
+    λ* = sup { λ ≥ 0 : v(λ) = λ · Σd }
+
+as a :class:`~fractions.Fraction` — the feasibility frontier along the
+ray — instead of a bisection bracket.  ``max_unsaturation_margin`` and
+the region experiments ride on it; the PR 5 warm bracket/bisection
+twins survive as differential oracles.
+
+Every quantity here is a ``Fraction``; no floats enter.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Optional
+
+from repro.flow.residual import FlowError, FlowProblem
+from repro.flow.warmstart import ParametricMaxFlow
+from repro.graphs.extended import ArcKind, ExtendedGraph
+from repro.obs.metrics import get_registry
+from repro.obs.spans import span
+
+__all__ = [
+    "EnvelopeSegment",
+    "BreakpointEnvelope",
+    "breakpoint_envelope",
+    "critical_lambda",
+]
+
+
+@dataclass(frozen=True)
+class EnvelopeSegment:
+    """One linear piece of the min-cut envelope, with its certificate.
+
+    On ``[lo, hi]`` (``hi is None`` means ``+∞``) the min-cut value is
+    ``slope · λ + intercept``, and ``cut_side`` / ``cut_arcs`` name a cut
+    achieving it for *every* λ in the segment: ``cut_side`` is the
+    source-side node set (always contains ``s*``, never ``d*``) and
+    ``cut_arcs`` the crossing arc indices into the extended graph.
+    """
+
+    lo: Fraction
+    hi: Optional[Fraction]
+    slope: Fraction
+    intercept: Fraction
+    cut_side: tuple[int, ...]
+    cut_arcs: tuple[int, ...]
+
+    def value_at(self, lam) -> Fraction:
+        return self.slope * Fraction(lam) + self.intercept
+
+
+@dataclass(frozen=True)
+class BreakpointEnvelope:
+    """The exact piecewise-linear min-cut envelope along one ray.
+
+    ``segments`` tile ``[0, ∞)`` in order; adjacent segments meet at the
+    ``breakpoints``.  ``lambda_star`` is the exact feasibility frontier:
+    the ray point ``λ · direction`` is routable iff ``0 ≤ λ ≤ lambda_star``
+    (the feasible set along a ray is closed — interpolate flows).
+    """
+
+    direction: tuple[tuple[int, Fraction], ...]
+    arrival_slope: Fraction          # Σ d(v): slope of the demand line λ·Σd
+    segments: tuple[EnvelopeSegment, ...]
+    lambda_star: Fraction
+    algorithm: str
+    cold_solves: int
+    probes: int
+    warm_steps: int
+
+    @property
+    def breakpoints(self) -> tuple[Fraction, ...]:
+        """Interior kinks of v(λ), in increasing order (≤ n − 2 of them)."""
+        return tuple(seg.lo for seg in self.segments[1:])
+
+    @property
+    def f_star(self) -> Fraction:
+        """Plateau value: max flow with unbounded source capacity."""
+        return self.segments[-1].intercept
+
+    def segment_at(self, lam) -> EnvelopeSegment:
+        """The segment containing ``lam`` (the later one at a breakpoint)."""
+        lam = Fraction(lam)
+        if lam < 0:
+            raise FlowError(f"envelope is defined on λ ≥ 0, got {lam}")
+        los = [seg.lo for seg in self.segments]
+        return self.segments[bisect_right(los, lam) - 1]
+
+    def value_at(self, lam) -> Fraction:
+        """Exact min-cut (= max-flow) value at ``λ = lam``."""
+        return self.segment_at(lam).value_at(lam)
+
+    def feasible_at(self, lam) -> bool:
+        """Is the scaled injection ``lam · direction`` routable?"""
+        lam = Fraction(lam)
+        return 0 <= lam <= self.lambda_star
+
+
+def _exact_problem_at_zero(ext: ExtendedGraph) -> FlowProblem:
+    """The λ = 0 instance: every parametric source arc closed, exact caps."""
+    override = {v: Fraction(0) for v in ext.in_rates}
+    p = FlowProblem.from_extended(ext, source_cap_override=override)
+    return FlowProblem._trusted(
+        n=p.n,
+        tails=p.tails,
+        heads=p.heads,
+        capacities=[Fraction(c) if not isinstance(c, Fraction) else c
+                    for c in p.capacities],
+        source=p.source,
+        sink=p.sink,
+    )
+
+
+def _normalize_direction(ext: ExtendedGraph, direction) -> dict[int, Fraction]:
+    """Validate a ray and coerce it to ``{node: Fraction d(v) > 0}``."""
+    if direction is None:
+        direction = ext.in_rates
+    if not direction:
+        raise FlowError(
+            "breakpoint envelope needs a direction with at least one "
+            "positive entry (a network with no injections has no ray)"
+        )
+    out: dict[int, Fraction] = {}
+    for v, rate in direction.items():
+        d = Fraction(rate)
+        if d < 0:
+            raise FlowError(f"direction rate for node {v} is negative: {d}")
+        if v not in ext.in_rates:
+            raise FlowError(
+                f"direction names node {v}, which has no (s*, v) injection arc"
+            )
+        if d > 0:
+            out[v] = d
+    if not out:
+        raise FlowError("direction has no positive entries")
+    return out
+
+
+class _Ladder:
+    """Warm-engine bank: solved λ values with their engines, sorted.
+
+    ``probe(λ)`` forks the engine at the largest solved ``λ' ≤ λ`` and
+    re-augments the parametric arcs up to ``λ · d`` — monotone by
+    construction, so :meth:`ParametricMaxFlow.raise_arc_capacities` never
+    sees a decrease.  Exactly one cold solve happens in ``__init__``
+    (the trivial λ = 0 instance).
+    """
+
+    def __init__(self, ext: ExtendedGraph, direction: Mapping[int, Fraction],
+                 algorithm: str) -> None:
+        problem = _exact_problem_at_zero(ext)
+        base = ParametricMaxFlow(problem, algorithm)
+        self._param_arcs: dict[int, Fraction] = {}
+        for j, kind in enumerate(ext.kinds):
+            if kind is ArcKind.SOURCE:
+                d = direction.get(int(ext.refs[j]))
+                if d is not None:
+                    self._param_arcs[j] = d
+        # Fixed capacities come from the λ=0 instance, not the extended
+        # graph: injection nodes outside the direction support have their
+        # source arcs pinned to 0 there, and that 0 is what any cut pays.
+        self._fixed_caps = tuple(problem.capacities)
+        self._lams: list[Fraction] = [Fraction(0)]
+        self._engines: list[ParametricMaxFlow] = [base]
+        self.probes = 0
+        self.warm_steps = 0
+
+    def probe(self, lam: Fraction) -> tuple[Fraction, tuple[int, ...]]:
+        """Exact v(lam) plus the min-side cut mask (node tuple)."""
+        i = bisect_right(self._lams, lam) - 1
+        if self._lams[i] == lam:
+            engine = self._engines[i]
+        else:
+            engine = self._engines[i].fork()
+            updates = {j: lam * d for j, d in self._param_arcs.items()}
+            engine.raise_arc_capacities(updates)
+            self.warm_steps += 1
+            self._lams.insert(i + 1, lam)
+            self._engines.insert(i + 1, engine)
+            self.probes += 1
+        mask = engine.result.source_side()
+        side = tuple(int(v) for v in range(engine.problem.n) if mask[v])
+        return engine.value, side
+
+    def line_of(self, side: tuple[int, ...], ext: ExtendedGraph,
+                ) -> tuple[Fraction, Fraction, tuple[int, ...]]:
+        """(slope, intercept, crossing arcs) of the cut named by ``side``.
+
+        Computed from the side mask directly — never from
+        :func:`~repro.flow.mincut.min_cut`'s arc list, which drops
+        zero-capacity arcs and so would lose every parametric arc at λ = 0.
+        """
+        in_side = set(side)
+        slope = Fraction(0)
+        intercept = Fraction(0)
+        crossing: list[int] = []
+        for j in range(len(ext.tails)):
+            if int(ext.tails[j]) in in_side and int(ext.heads[j]) not in in_side:
+                d = self._param_arcs.get(j)
+                if d is not None:
+                    slope += d
+                    crossing.append(j)
+                else:
+                    cap = self._fixed_caps[j]
+                    if cap > 0:
+                        intercept += cap
+                        crossing.append(j)
+        return slope, intercept, tuple(crossing)
+
+
+def breakpoint_envelope(ext: ExtendedGraph, direction=None, *,
+                        algorithm: str = "dinic") -> BreakpointEnvelope:
+    """Compute the exact min-cut envelope of ``v(λ)`` along a ray.
+
+    ``direction`` maps injection nodes to non-negative rates (defaults to
+    ``ext.in_rates``); nodes absent from it keep their source arcs closed
+    for every λ.  Returns the full :class:`BreakpointEnvelope` — exact
+    breakpoints, a min-cut certificate per segment, and the critical
+    scalar ``lambda_star`` — after exactly one cold solve; every other
+    evaluation is a warm re-augmentation.
+    """
+    direction = _normalize_direction(ext, direction)
+    arrival_slope = sum(direction.values(), start=Fraction(0))
+
+    with span("flow.envelope", algorithm=algorithm):
+        ladder = _Ladder(ext, direction, algorithm)
+
+        # Tangent at λ = 0: the min cut is exactly {s*} (all parametric
+        # arcs closed, so no residual arc leaves s*), giving the demand
+        # line itself: v ≥ 0 = λ·Σd at the origin with slope Σd.
+        v0, side0 = ladder.probe(Fraction(0))
+        assert v0 == 0, "λ=0 instance must have zero max flow"
+        line0 = ladder.line_of(side0, ext)
+        assert line0[0] == arrival_slope and line0[1] == 0, (
+            "cut at λ=0 must be the demand line", line0)
+
+        # Tangent on the plateau: beyond λ_end every parametric arc's
+        # capacity exceeds any possible flow (total fixed sink capacity
+        # + 1), so the binding cut excludes all of them — slope 0.
+        total_out = sum((Fraction(r) for r in ext.out_rates.values()),
+                        start=Fraction(0))
+        d_min = min(direction.values())
+        lam_end = (total_out + 1) / d_min
+        v_end, side_end = ladder.probe(lam_end)
+        line_end = ladder.line_of(side_end, ext)
+        if line_end[0] != 0:
+            raise FlowError(
+                f"plateau cut still crosses parametric arcs at λ={lam_end}"
+            )
+
+        pieces: list[tuple[Fraction, Fraction,
+                           tuple[Fraction, Fraction, tuple[int, ...]],
+                           tuple[int, ...]]] = []
+
+        def emit(lo, hi, line, side):
+            pieces.append((lo, hi, line, side))
+
+        def refine(lo, line_lo, side_lo, hi, line_hi, side_hi):
+            """Resolve the envelope on [lo, hi] given tangents at the ends.
+
+            Concavity plus tangency does all the work: the two tangent
+            lines intersect at a unique λ_x in [lo, hi]; if the envelope
+            meets their pointwise minimum there, λ_x is a breakpoint and
+            each tangent is the envelope on its side (the envelope is
+            wedged between chord and tangent); otherwise the probe at λ_x
+            yields a strictly lower tangent and we recurse on both halves.
+            """
+            if line_lo[0] == line_hi[0]:
+                # Equal slopes with both tangent ⇒ same line (concavity
+                # forbids two parallel tangents with different intercepts
+                # touching on one interval unless they coincide).
+                emit(lo, hi, line_lo, side_lo)
+                return
+            lam_x = (line_hi[1] - line_lo[1]) / (line_lo[0] - line_hi[0])
+            if lam_x == lo:
+                emit(lo, hi, line_hi, side_hi)
+                return
+            if lam_x == hi:
+                emit(lo, hi, line_lo, side_lo)
+                return
+            v_x, side_x = ladder.probe(lam_x)
+            if v_x == line_lo[0] * lam_x + line_lo[1]:
+                emit(lo, lam_x, line_lo, side_lo)
+                emit(lam_x, hi, line_hi, side_hi)
+                return
+            line_x = ladder.line_of(side_x, ext)
+            assert line_x[0] * lam_x + line_x[1] == v_x, "cut does not certify probe"
+            refine(lo, line_lo, side_lo, lam_x, line_x, side_x)
+            refine(lam_x, line_x, side_x, hi, line_hi, side_hi)
+
+        refine(Fraction(0), line0, side0, lam_end, line_end, side_end)
+
+        # Merge adjacent pieces that carry the same line, then stretch the
+        # final (slope-0 plateau) piece to +∞.
+        segments: list[EnvelopeSegment] = []
+        for lo, hi, line, side in pieces:
+            if segments and (segments[-1].slope, segments[-1].intercept) == line[:2]:
+                prev = segments[-1]
+                segments[-1] = EnvelopeSegment(prev.lo, hi, prev.slope,
+                                               prev.intercept, prev.cut_side,
+                                               prev.cut_arcs)
+            else:
+                segments.append(EnvelopeSegment(lo, hi, line[0], line[1],
+                                                side, line[2]))
+        last = segments[-1]
+        assert last.slope == 0, "final envelope segment must be the plateau"
+        segments[-1] = EnvelopeSegment(last.lo, None, last.slope,
+                                       last.intercept, last.cut_side,
+                                       last.cut_arcs)
+
+        # λ* = sup { λ : v(λ) = λ·Σd }: the first (smallest-λ) crossing of
+        # the demand line with a strictly-shallower envelope line.  The
+        # plateau has slope 0 < Σd, so the minimum is over a non-empty set
+        # and λ* is always finite.
+        lambda_star = min(
+            seg.intercept / (arrival_slope - seg.slope)
+            for seg in segments if seg.slope < arrival_slope
+        )
+
+    reg = get_registry()
+    if reg.enabled:
+        lbl = {"algorithm": algorithm}
+        reg.counter("repro_flow_envelope_solves_total",
+                    "Breakpoint-envelope computations (one cold solve each).",
+                    ("algorithm",)).labels(**lbl).inc()
+        reg.counter("repro_flow_envelope_probes_total",
+                    "Warm parametric probes spent building envelopes.",
+                    ("algorithm",)).labels(**lbl).inc(ladder.probes)
+
+    return BreakpointEnvelope(
+        direction=tuple(sorted(direction.items())),
+        arrival_slope=arrival_slope,
+        segments=tuple(segments),
+        lambda_star=lambda_star,
+        algorithm=algorithm,
+        cold_solves=1,
+        probes=ladder.probes,
+        warm_steps=ladder.warm_steps,
+    )
+
+
+def critical_lambda(ext: ExtendedGraph, direction=None, *,
+                    algorithm: str = "dinic") -> Fraction:
+    """The exact feasibility frontier λ* along a ray (see module docs)."""
+    return breakpoint_envelope(ext, direction, algorithm=algorithm).lambda_star

@@ -103,6 +103,19 @@ class ServeClient:
     def classify(self, spec: Mapping[str, Any]) -> dict:
         return self._request("POST", "/v1/classify", {"spec": dict(spec)})
 
+    def region(self, spec: Mapping[str, Any], *,
+               direction: Optional[Mapping[Any, Any]] = None) -> dict:
+        """The exact stability frontier along a ray (``/v1/region``).
+
+        ``direction`` maps injection nodes to rates (ints or exact
+        rational strings); omit it for the nominal injection ray, where
+        the response also carries the Definitions 3–4 classification.
+        """
+        payload: dict[str, Any] = {"spec": dict(spec)}
+        if direction is not None:
+            payload["direction"] = {str(k): v for k, v in direction.items()}
+        return self._request("POST", "/v1/region", payload)
+
     def simulate(self, spec: Mapping[str, Any], *, horizon: int = 1000,
                  seed: int = 0, loss_p: float = 0.0) -> dict:
         return self._request("POST", "/v1/simulate", {

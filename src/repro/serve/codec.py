@@ -34,6 +34,8 @@ from repro.network.spec import NetworkSpec, RevelationPolicy
 __all__ = [
     "parse_spec",
     "parse_simulate_request",
+    "parse_region_request",
+    "region_response",
     "report_to_json",
     "simulation_response",
     "TRACE_HEADER",
@@ -233,6 +235,90 @@ def report_to_json(report) -> dict:
         "cut_kind": report.cut_kind.value,
         "unique_min_cut": report.unique_min_cut,
     }
+
+
+def parse_region_request(payload: Mapping[str, Any]):
+    """Validate a ``/v1/region`` payload into ``(spec, direction)``.
+
+    The spec uses either standard shape, inline or nested under
+    ``"spec"``; ``direction`` is an optional top-level object mapping
+    injection-node ids to non-negative rates — integers or exact rational
+    strings (``"3/2"``).  ``None`` means the nominal injection ray (the
+    spec's ``in_rates``).
+    """
+    spec_payload = payload.get("spec", payload)
+    if not isinstance(spec_payload, Mapping):
+        raise _bad("'spec' must be a JSON object")
+    spec = parse_spec(spec_payload)
+    raw = payload.get("direction")
+    if raw is None:
+        return spec, None
+    if not isinstance(raw, Mapping) or not raw:
+        raise _bad("'direction' must be a non-empty object mapping node -> rate")
+    direction: dict[int, Fraction] = {}
+    for node, rate in raw.items():
+        try:
+            v = int(node)
+        except (TypeError, ValueError):
+            raise _bad(f"'direction' has non-integer node key {node!r}") from None
+        if isinstance(rate, bool) or not isinstance(rate, (int, str)):
+            raise _bad(f"direction[{node}] = {rate!r} must be an integer or "
+                       "an exact rational string like '3/2'")
+        try:
+            d = Fraction(rate)
+        except (ValueError, ZeroDivisionError):
+            raise _bad(f"direction[{node}] = {rate!r} is not a valid rational") from None
+        if d < 0:
+            raise _bad(f"direction[{node}] = {rate!r} must be nonnegative")
+        if v not in spec.in_rates:
+            raise _bad(f"'direction' references node {v}, which has no injection "
+                       f"(in_rates nodes: {sorted(spec.in_rates)})")
+        direction[v] = d
+    if all(d == 0 for d in direction.values()):
+        raise _bad("'direction' needs at least one positive rate")
+    return spec, direction
+
+
+def region_response(envelope, report=None) -> dict:
+    """A :class:`~repro.flow.parametric.BreakpointEnvelope` (plus, along
+    the nominal ray, the :class:`~repro.flow.feasibility.RegionReport`)
+    as the ``/v1/region`` response body.
+
+    Everything rational crosses the wire as an exact string; the
+    classification block is present only when the query ran along the
+    nominal injection ray, where λ* ⋚ 1 *is* Definitions 3–4.
+    """
+    body = {
+        "lambda_star": _frac(envelope.lambda_star),
+        "arrival_slope": _frac(envelope.arrival_slope),
+        "f_star": _frac(envelope.f_star),
+        "direction": {str(v): _frac(d) for v, d in envelope.direction},
+        "breakpoints": [_frac(b) for b in envelope.breakpoints],
+        "segments": [
+            {
+                "lo": _frac(seg.lo),
+                "hi": _frac(seg.hi),
+                "slope": _frac(seg.slope),
+                "intercept": _frac(seg.intercept),
+                "cut_side": list(seg.cut_side),
+                "cut_arcs": list(seg.cut_arcs),
+            }
+            for seg in envelope.segments
+        ],
+        "algorithm": envelope.algorithm,
+        "cold_solves": envelope.cold_solves,
+        "probes": envelope.probes,
+    }
+    if report is not None:
+        body.update({
+            "network_class": report.network_class.value,
+            "feasible": report.feasible,
+            "unsaturated": report.unsaturated,
+            "margin": _frac(report.margin),
+            "max_flow": _frac(report.max_flow_value),
+            "cut_kind": report.cut_kind.value,
+        })
+    return body
 
 
 def simulation_response(result: SimulationResult, *, potentials_tail: int = 32) -> dict:

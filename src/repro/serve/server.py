@@ -51,14 +51,16 @@ from repro.serve.batching import MicroBatcher
 from repro.serve.codec import (
     MAX_HORIZON,
     TRACE_HEADER,
+    parse_region_request,
     parse_simulate_request,
     parse_spec,
+    region_response,
     report_to_json,
     valid_trace_id,
 )
 from repro.serve.jobs import JobManager
 from repro.serve.workers import WorkerPool
-from repro.sweep.cache import FeasibilityCache, canonical_spec_key
+from repro.sweep.cache import FeasibilityCache, canonical_ray_key, canonical_spec_key
 
 __all__ = ["ReproServer", "BackgroundServer"]
 
@@ -372,8 +374,8 @@ class ReproServer:
             return "/v1/sweeps/{id}"
         if path.startswith("/v1/trace/"):
             return "/v1/trace/{id}"
-        if path in ("/healthz", "/metrics", "/v1/classify", "/v1/simulate",
-                    "/v1/sweeps"):
+        if path in ("/healthz", "/metrics", "/v1/classify", "/v1/region",
+                    "/v1/simulate", "/v1/sweeps"):
             return path
         return "other"
 
@@ -391,6 +393,10 @@ class ReproServer:
             if method != "POST":
                 raise _method_not_allowed(method, path)
             return 200, await self._classify(request), {}
+        if path == "/v1/region":
+            if method != "POST":
+                raise _method_not_allowed(method, path)
+            return 200, await self._region(request), {}
         if path == "/v1/simulate":
             if method != "POST":
                 raise _method_not_allowed(method, path)
@@ -499,6 +505,36 @@ class ReproServer:
                 out["cache_hit"] = self.cache.hits > before
                 return out
 
+    async def _region(self, request: _HttpRequest) -> dict:
+        # The exact stability frontier along a ray: one parametric
+        # envelope solve per (network, ray) fingerprint, banked in the
+        # same shard-affine FeasibilityCache the classify path uses, so
+        # repeat queries are pure lookups whichever endpoint warmed them.
+        with span("admission"):
+            ticket = self.admission.try_admit()
+        with ticket:
+            payload = request.json()
+            if not isinstance(payload, dict):
+                raise ServeError("request body must be a JSON object")
+            spec, direction = parse_region_request(payload)
+            with span("batch", kind="region") as sp:
+                ctx = sp.context() if sp.span_id is not None else None
+                if self.pool is not None:
+                    out, hit = await asyncio.wrap_future(self.pool.submit(
+                        "region", (spec, direction, "dinic"),
+                        shard_key=canonical_ray_key(spec, direction), trace=ctx,
+                    ))
+                    out["cache_hit"] = hit
+                    return out
+                before = self.cache.hits
+                loop = asyncio.get_running_loop()
+                out = await loop.run_in_executor(
+                    self.executor, _region_in_worker, self.cache, spec,
+                    direction, ctx
+                )
+                out["cache_hit"] = self.cache.hits > before
+                return out
+
     async def _simulate(self, request: _HttpRequest) -> dict:
         with span("admission"):
             ticket = self.admission.try_admit()
@@ -549,6 +585,22 @@ def _classify_in_worker(cache: FeasibilityCache, spec, trace_ctx):
     with span("worker", parent=trace_ctx, remote_suffix="local",
               worker="local", kind="classify"):
         return cache.classify(spec)
+
+
+def _region_in_worker(cache: FeasibilityCache, spec, direction, trace_ctx) -> dict:
+    """Executor-thread body of the ``workers=0`` region path (see
+    :func:`_classify_in_worker` for why the span opens here)."""
+    def compute() -> dict:
+        if direction is None:
+            report = cache.region(spec)
+            return region_response(report.envelope, report)
+        return region_response(cache.envelope(spec, direction))
+
+    if trace_ctx is None:
+        return compute()
+    with span("worker", parent=trace_ctx, remote_suffix="local",
+              worker="local", kind="region"):
+        return compute()
 
 
 def _method_not_allowed(method: str, path: str) -> ServeError:

@@ -72,7 +72,7 @@ from repro.sweep.cache import FeasibilityCache, shard_index
 __all__ = ["WorkerPool", "TASK_KINDS"]
 
 #: Task kinds a worker knows how to execute, mapped to handler names.
-TASK_KINDS = ("classify", "simulate_batch", "ping", "metrics_snapshot")
+TASK_KINDS = ("classify", "region", "simulate_batch", "ping", "metrics_snapshot")
 
 _READY = "__ready__"
 _STOP = None  # pipe sentinel: parent asks the worker to exit cleanly
@@ -99,6 +99,25 @@ def _task_classify(cache: FeasibilityCache, spec, algorithm: str) -> tuple[dict,
     return report_to_json(report), cache.hits > before
 
 
+def _task_region(cache: FeasibilityCache, spec, direction,
+                 algorithm: str) -> tuple[dict, bool]:
+    """Exact region frontier through this worker's shard cache.
+
+    ``direction is None`` means the nominal injection ray, where the
+    response also carries the Definitions 3–4 classification block.
+    """
+    from repro.serve.codec import region_response
+
+    before = cache.hits
+    if direction is None:
+        report = cache.region(spec, algorithm)
+        body = region_response(report.envelope, report)
+    else:
+        envelope = cache.envelope(spec, direction, algorithm)
+        body = region_response(envelope)
+    return body, cache.hits > before
+
+
 def _task_simulate_batch(_cache: FeasibilityCache, spec, horizon: int,
                          loss_p: float, seeds: list[int]) -> list[dict]:
     from repro.serve.batching import _run_batch
@@ -118,6 +137,7 @@ def _task_metrics_snapshot(_cache: FeasibilityCache) -> dict:
 
 _HANDLERS = {
     "classify": _task_classify,
+    "region": _task_region,
     "simulate_batch": _task_simulate_batch,
     "ping": _task_ping,
     "metrics_snapshot": _task_metrics_snapshot,

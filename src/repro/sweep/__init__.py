@@ -22,7 +22,10 @@ worker count or completion order — so ``workers=0`` (inline serial),
 from repro.sweep.cache import (
     FeasibilityCache,
     cached_classify,
+    cached_envelope,
+    cached_region,
     canonical_graph_key,
+    canonical_ray_key,
     canonical_spec_key,
     shared_cache,
 )
@@ -46,7 +49,10 @@ __all__ = [
     "FeasibilityCache",
     "shared_cache",
     "cached_classify",
+    "cached_envelope",
+    "cached_region",
     "canonical_graph_key",
+    "canonical_ray_key",
     "canonical_spec_key",
     "SweepCheckpoint",
     "load_records",

@@ -32,15 +32,19 @@ from repro.network.spec import NetworkSpec
 from repro.obs.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.flow.feasibility import FeasibilityReport
+    from repro.flow.feasibility import FeasibilityReport, RegionReport
+    from repro.flow.parametric import BreakpointEnvelope
 
 __all__ = [
     "canonical_graph_key",
     "canonical_spec_key",
+    "canonical_ray_key",
     "shard_index",
     "FeasibilityCache",
     "shared_cache",
     "cached_classify",
+    "cached_envelope",
+    "cached_region",
 ]
 
 
@@ -87,6 +91,30 @@ def canonical_spec_key(spec: NetworkSpec) -> str:
     })
 
 
+def canonical_ray_key(spec: NetworkSpec, direction=None) -> str:
+    """Canonical hash of a (network, ray) pair for envelope banking.
+
+    Extends :func:`canonical_spec_key` with the ray — the direction in
+    rate space a :func:`~repro.flow.parametric.breakpoint_envelope` is
+    computed along.  ``None`` means the nominal injection ray (the
+    ``in_rates`` themselves), hashed under the same bytes as the explicit
+    equivalent so callers can't split the cache by spelling.  Ray rates
+    are stringified exactly (``Fraction`` is not JSON-serializable);
+    zero-rate entries are dropped first, matching the envelope's own
+    normalization.
+    """
+    from fractions import Fraction
+
+    ray = spec.in_rates if direction is None else direction
+    payload = {
+        "in": sorted(spec.in_rates.items()),
+        "out": sorted(spec.out_rates.items()),
+        "ray": [[int(v), str(Fraction(r))]
+                for v, r in sorted(ray.items()) if Fraction(r) != 0],
+    }
+    return spec.graph.to_csr().canonical_digest(payload)
+
+
 class FeasibilityCache:
     """Memo table for :func:`repro.flow.classify_network` keyed by
     :func:`canonical_spec_key`.
@@ -105,38 +133,36 @@ class FeasibilityCache:
         if max_entries is not None and max_entries < 1:
             raise SweepError(f"max_entries must be >= 1 or None, got {max_entries}")
         self.max_entries = max_entries
-        self._table: dict[tuple[str, str], "FeasibilityReport"] = {}
+        # classify entries key as (digest, algorithm); envelope/region
+        # entries as ("ray"/"region", ray digest, algorithm) — disjoint
+        # tuple shapes sharing one table, one bound, one eviction order
+        self._table: dict[tuple, object] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def classify(self, spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
-        """``classify_network(spec.extended(), algorithm)``, memoized.
+    def _memoized(self, key: tuple, compute):
+        """Lock-guarded get-or-compute with eviction and obs counters.
 
-        A miss pays exactly one cold max-flow solve: ``classify_network``
-        runs its base / ε-scaled / ``f*`` chain on a single warm-started
-        :class:`~repro.flow.warmstart.ParametricMaxFlow` engine, so the
-        cache's unit of work is "one cold solve plus two parametric
-        steps", not three independent solves.
+        The lock covers only table and counter accesses — ``compute``
+        runs unlocked, so two threads missing the same key concurrently
+        both compute it (wasted work, never wrong results).
         """
-        key = (canonical_spec_key(spec), algorithm)
         reg = get_registry()
         with self._lock:
-            report = self._table.get(key)
-            if report is not None:
+            value = self._table.get(key)
+            if value is not None:
                 self.hits += 1
-        if report is not None:
+        if value is not None:
             if reg.enabled:
                 reg.counter("repro_feasibility_cache_hits_total",
                             "FeasibilityCache lookups served from memory.").inc()
-            return report
-        from repro.flow.feasibility import classify_network
-
-        report = classify_network(spec.extended(), algorithm)
+            return value
+        value = compute()
         evicted = 0
         with self._lock:
-            self._table[key] = report
+            self._table[key] = value
             self.misses += 1
             if self.max_entries is not None:
                 while len(self._table) > self.max_entries:
@@ -149,7 +175,56 @@ class FeasibilityCache:
             if evicted:
                 reg.counter("repro_feasibility_cache_evictions_total",
                             "FeasibilityCache entries evicted (max_entries).").inc(evicted)
-        return report
+        return value
+
+    def classify(self, spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
+        """``classify_network(spec.extended(), algorithm)``, memoized.
+
+        A miss pays exactly one cold max-flow solve: ``classify_network``
+        runs its base / ε-scaled / ``f*`` chain on a single warm-started
+        :class:`~repro.flow.warmstart.ParametricMaxFlow` engine, so the
+        cache's unit of work is "one cold solve plus two parametric
+        steps", not three independent solves.
+        """
+        def compute():
+            from repro.flow.feasibility import classify_network
+
+            return classify_network(spec.extended(), algorithm)
+
+        return self._memoized((canonical_spec_key(spec), algorithm), compute)
+
+    def envelope(self, spec: NetworkSpec, direction=None,
+                 algorithm: str = "dinic") -> "BreakpointEnvelope":
+        """``breakpoint_envelope(spec.extended(), direction)``, memoized.
+
+        Banks the full exact envelope — λ*, breakpoints, per-segment cut
+        certificates — under :func:`canonical_ray_key`, so repeated
+        region queries (serve ``/v1/region``, sweeps, the CLI) pay the
+        one-cold-solve parametric computation once per (network, ray).
+        """
+        def compute():
+            from repro.flow.parametric import breakpoint_envelope
+
+            return breakpoint_envelope(spec.extended(), direction,
+                                       algorithm=algorithm)
+
+        key = ("ray", canonical_ray_key(spec, direction), algorithm)
+        return self._memoized(key, compute)
+
+    def region(self, spec: NetworkSpec, algorithm: str = "dinic") -> "RegionReport":
+        """``classify_region`` along the nominal injection ray, memoized.
+
+        Derived from (and sharing) the banked envelope, so a region
+        lookup after an envelope lookup — or vice versa — never re-solves.
+        """
+        def compute():
+            from repro.flow.feasibility import classify_region
+
+            env = self.envelope(spec, None, algorithm)
+            return classify_region(spec.extended(), algorithm, envelope=env)
+
+        key = ("region", canonical_ray_key(spec, None), algorithm)
+        return self._memoized(key, compute)
 
     # ------------------------------------------------------------------
     @property
@@ -191,3 +266,14 @@ def shared_cache() -> FeasibilityCache:
 def cached_classify(spec: NetworkSpec, algorithm: str = "dinic") -> "FeasibilityReport":
     """:func:`classify_network` through the process-global cache."""
     return _SHARED.classify(spec, algorithm)
+
+
+def cached_envelope(spec: NetworkSpec, direction=None,
+                    algorithm: str = "dinic") -> "BreakpointEnvelope":
+    """:func:`breakpoint_envelope` through the process-global cache."""
+    return _SHARED.envelope(spec, direction, algorithm)
+
+
+def cached_region(spec: NetworkSpec, algorithm: str = "dinic") -> "RegionReport":
+    """:func:`classify_region` through the process-global cache."""
+    return _SHARED.region(spec, algorithm)

@@ -2,9 +2,10 @@
 
 These are the payloads the executor ships to worker processes: each takes
 ``(params, seed)`` and returns a flat JSON-able record.  They all classify
-through the process-global :func:`repro.sweep.cache.cached_classify`, so a
-worker that sees the same (topology, rates) twice pays for the max-flow
-computation once.
+through the process-global :func:`repro.sweep.cache.cached_region` — one
+parametric envelope solve per (network, ray), yielding the exact critical
+scalar λ* alongside the class — so a worker that sees the same (topology,
+rates) twice pays for the flow computation once.
 
 ``region_point`` is the workhorse behind ``repro-lgg sweep`` and the E17
 random-region experiment: sample a random connected instance (any
@@ -21,7 +22,7 @@ from repro._rng import as_generator, derive_seed
 from repro.errors import SweepError
 from repro.graphs import generators as gen
 from repro.network import NetworkSpec
-from repro.sweep.cache import cached_classify
+from repro.sweep.cache import cached_region
 
 __all__ = [
     "FAMILIES",
@@ -163,7 +164,7 @@ def random_instance_spec(params: Mapping[str, Any], seed: int) -> NetworkSpec:
 def classify_point(params: dict, seed: int) -> dict:
     """Flow classification only — the cheap half of the region map."""
     spec = random_instance_spec(params, seed)
-    report = cached_classify(spec)
+    report = cached_region(spec)
     return {
         "n": spec.n,
         "m": spec.graph.m,
@@ -172,6 +173,8 @@ def classify_point(params: dict, seed: int) -> dict:
         "arrival_rate": str(report.arrival_rate),
         "max_flow": str(report.max_flow_value),
         "f_star": str(report.f_star),
+        "lambda_star": str(report.lambda_star),
+        "margin": str(report.margin),
     }
 
 
@@ -185,7 +188,7 @@ def region_point(params: dict, seed: int) -> dict:
     from repro.core import simulate_lgg
 
     spec = random_instance_spec(params, seed)
-    report = cached_classify(spec)
+    report = cached_region(spec)
 
     def _suggest():
         from repro.analysis.horizons import suggest_horizon
@@ -202,6 +205,8 @@ def region_point(params: dict, seed: int) -> dict:
         "feasible": report.feasible,
         "bounded": bounded,
         "diagonal": report.feasible == bounded,
+        "lambda_star": str(report.lambda_star),
+        "margin": str(report.margin),
         "horizon": int(horizon),
         "delivered": int(res.delivered),
         "peak_queue": int(max(res.trajectory.max_queues)),

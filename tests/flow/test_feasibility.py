@@ -104,12 +104,12 @@ class TestEpsilonMachinery:
     def test_margin_zero_on_unit_path(self):
         # degree-1 source on unit links: no (1+eps) scaling is feasible
         ext = ext_of(gen.path(4), {0: 1}, {3: 2})
-        assert max_unsaturation_margin(ext, tol=Fraction(1, 64)) == 0
+        assert max_unsaturation_margin(ext) == 0
 
     def test_margin_wide_network(self):
         g, s, d = gen.parallel_paths(2, 2)
         ext = ext_of(g, {s: 1}, {d: 2})
-        m = max_unsaturation_margin(ext, tol=Fraction(1, 64))
+        m = max_unsaturation_margin(ext)
         # two disjoint unit paths, in = 1 -> can scale up to 2: margin ~ 1
         assert m >= Fraction(63, 64)
 
@@ -128,7 +128,7 @@ class TestEpsilonMachinery:
         for g, ins, outs in cases:
             ext = ext_of(g, ins, outs)
             rep = classify_network(ext)
-            m = max_unsaturation_margin(ext, tol=Fraction(1, 128))
+            m = max_unsaturation_margin(ext)
             if rep.network_class is NetworkClass.UNSATURATED:
                 assert m > 0
             elif rep.network_class is NetworkClass.SATURATED:

@@ -1,6 +1,5 @@
 """LP formulation tests: differential against the combinatorial solvers."""
 
-from fractions import Fraction
 
 import numpy as np
 import pytest
@@ -90,5 +89,5 @@ class TestLPMargin:
         g, ins, outs = builder()
         ext = build_extended_graph(g, ins, outs)
         lp = lp_unsaturation_margin(ext)
-        rational = float(max_unsaturation_margin(ext, tol=Fraction(1, 4096)))
+        rational = float(max_unsaturation_margin(ext))
         assert lp == pytest.approx(rational, abs=1 / 2048)

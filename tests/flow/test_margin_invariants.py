@@ -1,12 +1,15 @@
-"""Invariants of the warm-started max-unsaturation-margin search.
+"""Invariants of the max-unsaturation-margin searches.
 
-The margin is a certified *lower* bound with ``margin + tol`` an upper
-bound: ``(1 + margin)·in`` must still be feasible and
-``(1 + margin + tol)·in`` must not (the ε-feasible set is an interval
-``[0, ε*]``, so infeasibility at the bisection's ``hi`` transfers to
-every larger ε).  The warm search must reproduce the cold search's
-result exactly, and the two documented escape hatches — no injections,
-essentially-unbounded slack — must keep working.
+``max_unsaturation_margin`` is now *exact* — λ* − 1 from the parametric
+breakpoint envelope — so its contract is the strongest possible:
+``(1 + margin)·in`` is feasible and ``(1 + margin + δ)·in`` is not for
+*every* δ > 0 (the ε-feasible set is the closed interval ``[0, ε*]``).
+The PR 5 warm bracket/bisection search survives as
+``max_unsaturation_margin_probe`` and must still walk the identical
+bracket trajectory as the all-cold twin; both bracket the exact value.
+The documented escape hatches — no injections, essentially-unbounded
+slack — must keep working (the probe searches cap at 2**20; the exact
+path has no cap).
 """
 
 from fractions import Fraction
@@ -22,6 +25,7 @@ from repro.flow.feasibility import (
     _exact_problem,
     max_unsaturation_margin,
     max_unsaturation_margin_cold,
+    max_unsaturation_margin_probe,
 )
 from repro.flow.maxflow import max_flow
 from repro.graphs import build_extended_graph
@@ -57,35 +61,58 @@ def random_networks(draw):
     return build_extended_graph(g, in_rates, out_rates)
 
 
-class TestMarginCertificate:
+class TestExactMarginCertificate:
     @given(ext=random_networks())
     @settings(max_examples=25, deadline=None)
-    def test_margin_feasible_margin_plus_tol_not(self, ext):
-        margin = max_unsaturation_margin(ext, tol=TOL)
-        # the returned margin is itself feasible (a certified lower bound)
-        if margin > 0:
-            assert _feasible_at(ext, margin)
-        # ... and tol past it is infeasible, unless the search bailed out
-        # on the unbounded-slack path (margin capped at 2**20)
-        if margin < 2**20 and _feasible_at(ext, Fraction(0)):
-            assert not _feasible_at(ext, margin + TOL)
+    def test_margin_feasible_any_excess_not(self, ext):
+        margin = max_unsaturation_margin(ext)
+        if not _feasible_at(ext, Fraction(0)):
+            assert margin == 0  # infeasible even unscaled
+            return
+        # the exact margin is itself feasible (the feasible set is closed)
+        assert _feasible_at(ext, margin)
+        # ... and *any* strictly larger slack is infeasible — no tol slop
+        assert not _feasible_at(ext, margin + Fraction(1, 2**40))
 
     @given(ext=random_networks())
     @settings(max_examples=25, deadline=None)
     def test_infeasible_or_saturated_margin_is_zero(self, ext):
-        margin = max_unsaturation_margin(ext, tol=TOL)
+        margin = max_unsaturation_margin(ext)
         if not _feasible_at(ext, Fraction(0)):
             assert margin == 0
 
+    @given(ext=random_networks())
+    @settings(max_examples=10, deadline=None)
+    def test_tol_is_deprecated_but_ignored(self, ext):
+        exact = max_unsaturation_margin(ext)
+        with pytest.deprecated_call():
+            assert max_unsaturation_margin(ext, tol=Fraction(1, 4)) == exact
 
-class TestWarmEqualsCold:
+
+class TestProbeBracketsExact:
     @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
     @given(ext=random_networks())
     @settings(max_examples=10, deadline=None)
-    def test_identical_result_per_algorithm(self, algorithm, ext):
-        warm = max_unsaturation_margin(ext, tol=TOL, algorithm=algorithm)
+    def test_probe_equals_cold_and_brackets_exact(self, algorithm, ext):
+        probe = max_unsaturation_margin_probe(ext, tol=TOL, algorithm=algorithm)
         cold = max_unsaturation_margin_cold(ext, tol=TOL, algorithm=algorithm)
-        assert warm == cold  # exact Fraction equality, same bracket walk
+        assert probe == cold  # exact Fraction equality, same bracket walk
+        exact = max_unsaturation_margin(ext, algorithm=algorithm)
+        if probe >= 2**20:
+            # bracket search bailed out on the unbounded-slack escape
+            # hatch; the exact path keeps going
+            assert exact >= 2**20
+        else:
+            # the bisection's lo is a certified lower bound, lo + tol an
+            # upper bound — the exact value must land inside
+            assert probe <= exact < probe + TOL
+
+    @given(ext=random_networks())
+    @settings(max_examples=10, deadline=None)
+    def test_exact_identical_across_algorithms(self, ext):
+        values = {alg: max_unsaturation_margin(ext, algorithm=alg)
+                  for alg in sorted(ALGORITHMS)}
+        assert len(set(values.values())) == 1, values
 
 
 class TestEdgePaths:
@@ -95,17 +122,21 @@ class TestEdgePaths:
         with pytest.raises(FlowError, match="no injections"):
             max_unsaturation_margin(ext)
         with pytest.raises(FlowError, match="no injections"):
+            max_unsaturation_margin_probe(ext)
+        with pytest.raises(FlowError, match="no injections"):
             max_unsaturation_margin_cold(ext)
 
-    def test_unbounded_slack_returns_bracket_cap(self):
+    def test_unbounded_slack_exact_beyond_bracket_cap(self):
         # A 3-node path with a microscopic injection: even (1 + 2**20)·in
-        # stays far below the unit edge capacity, so no probe is ever
-        # infeasible and the exponential bracket gives up at 2**20.
+        # stays far below the unit edge capacity, so the probe searches'
+        # exponential bracket gives up at 2**20 — but the envelope path
+        # returns the exact frontier: λ* = 2**22, margin 2**22 − 1.
         g = MultiGraph(3)
         g.add_edge(0, 1)
         g.add_edge(1, 2)
         ext = build_extended_graph(g, {0: Fraction(1, 2**22)}, {2: 1})
-        assert max_unsaturation_margin(ext) == 2**20
+        assert max_unsaturation_margin(ext) == 2**22 - 1
+        assert max_unsaturation_margin_probe(ext) == 2**20
         assert max_unsaturation_margin_cold(ext) == 2**20
 
     def test_saturated_chain_is_zero(self):
